@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: canonical
+ * task budgets (larger than the unit-test budgets) and formatting.
+ */
+
+#ifndef AUTOPILOT_BENCH_BENCH_COMMON_H
+#define AUTOPILOT_BENCH_BENCH_COMMON_H
+
+#include <string>
+
+#include "core/autopilot.h"
+#include "uav/uav_spec.h"
+#include "util/table.h"
+
+namespace autopilot::bench
+{
+
+/** Canonical bench-quality task specification for a scenario. */
+inline core::TaskSpec
+benchTask(airlearning::ObstacleDensity density)
+{
+    core::TaskSpec task;
+    task.density = density;
+    task.validationEpisodes = 200;
+    task.dseBudget = 120;
+    task.seed = 0xA070D1;
+    return task;
+}
+
+/** Format a FullSystemDesign as a short description string. */
+inline std::string
+designLabel(const core::FullSystemDesign &design)
+{
+    return nn::policyName(design.eval.point.policy) + " on " +
+           design.eval.point.accel.name();
+}
+
+/** Scenario label like "nano/dense". */
+inline std::string
+scenarioLabel(const uav::UavSpec &spec,
+              airlearning::ObstacleDensity density)
+{
+    return uav::uavClassName(spec.uavClass) + "/" +
+           airlearning::densityName(density);
+}
+
+} // namespace autopilot::bench
+
+#endif // AUTOPILOT_BENCH_BENCH_COMMON_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Dataflow ablation (a DESIGN.md design-choice study): the paper's DSSoC
+ * template fixes a systolic array but SCALE-Sim exposes the mapping
+ * strategy as a parameter. This bench quantifies how WS / OS / IS change
+ * runtime, DRAM traffic and power across the scenario-best policies and
+ * representative array sizes - justifying the template's
+ * weight-stationary default for these weight-heavy E2E models.
+ */
+
+#include <iostream>
+
+#include "airlearning/policy.h"
+#include "nn/e2e_template.h"
+#include "power/npu_power.h"
+#include "systolic/cycle_engine.h"
+#include "util/table.h"
+
+using namespace autopilot;
+
+int
+main()
+{
+    std::cout << "=== Dataflow ablation: WS vs OS vs IS ===\n\n";
+
+    for (airlearning::ObstacleDensity density :
+         airlearning::allDensities()) {
+        const nn::Model model =
+            nn::buildE2EModel(airlearning::bestHyperParams(density));
+        std::cout << "--- " << airlearning::densityName(density)
+                  << "-scenario policy " << model.name() << " ("
+                  << util::formatDouble(model.totalMacs() * 1e-9, 2)
+                  << " GMAC) ---\n";
+
+        util::Table table({"array", "dataflow", "FPS", "DRAM MB/frame",
+                           "NPU W", "FPS/W"});
+        for (int size : {16, 64}) {
+            for (systolic::Dataflow dataflow :
+                 {systolic::Dataflow::WeightStationary,
+                  systolic::Dataflow::OutputStationary,
+                  systolic::Dataflow::InputStationary}) {
+                systolic::AcceleratorConfig config;
+                config.peRows = size;
+                config.peCols = size;
+                config.ifmapSramKb = 256;
+                config.filterSramKb = 256;
+                config.ofmapSramKb = 256;
+                config.dataflow = dataflow;
+
+                const systolic::CycleEngine engine(config);
+                const systolic::RunResult run = engine.run(model);
+                const double fps =
+                    run.framesPerSecond(config.clockGhz);
+                const double watts =
+                    power::NpuPowerModel(config).averagePowerW(run);
+                table.addRow(
+                    {std::to_string(size) + "x" + std::to_string(size),
+                     systolic::dataflowName(dataflow),
+                     util::formatDouble(fps, 1),
+                     util::formatDouble(
+                         run.traffic.totalDramBytes() / 1048576.0, 1),
+                     util::formatDouble(watts, 2),
+                     util::formatDouble(fps / watts, 1)});
+            }
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Simulator-stack validation bench (gem5-Aladdin-style accuracy table):
+ *
+ *  1. Functional vs analytic: the register-level array's measured cycles
+ *     must match the fold formula exactly (WS and OS) on random GEMMs.
+ *  2. Analytical vs cycle-stepped engine: the fast DSE path must track
+ *     the reference prefetch-timeline engine within a few percent across
+ *     random layers and configurations.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "nn/e2e_template.h"
+#include "systolic/cycle_engine.h"
+#include "systolic/engine.h"
+#include "systolic/functional.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace autopilot;
+
+int
+main()
+{
+    util::Rng rng(0x5A11DA7E);
+    std::cout << "=== Simulator validation ===\n\n";
+
+    // --- 1. Functional (register-level) vs analytic fold timing ---
+    std::cout << "(1) Register-level array vs analytic fold formula "
+                 "(random GEMMs):\n";
+    int exact_ws = 0, exact_os = 0;
+    const int gemm_trials = 30;
+    for (int trial = 0; trial < gemm_trials; ++trial) {
+        const int m = rng.uniformInt(1, 40);
+        const int k = rng.uniformInt(1, 60);
+        const int n = rng.uniformInt(1, 40);
+        const int pe = 1 << rng.uniformInt(1, 4); // 2..16.
+        systolic::IntMatrix a(m, k), b(k, n);
+        for (auto &v : a.data)
+            v = rng.uniformInt(-128, 127);
+        for (auto &v : b.data)
+            v = rng.uniformInt(-128, 127);
+
+        nn::GemmShape gemm;
+        gemm.m = m;
+        gemm.n = n;
+        gemm.k = k;
+        systolic::AcceleratorConfig config;
+        config.peRows = pe;
+        config.peCols = pe;
+
+        const auto ws = systolic::runWeightStationaryGemm(a, b, pe, pe);
+        exact_ws +=
+            (ws.totalCycles ==
+             systolic::scheduleGemm(gemm, config).computeCycles()) &&
+            (ws.output.data == systolic::referenceGemm(a, b).data);
+
+        config.dataflow = systolic::Dataflow::OutputStationary;
+        const auto os = systolic::runOutputStationaryGemm(a, b, pe, pe);
+        exact_os +=
+            (os.totalCycles ==
+             systolic::scheduleGemm(gemm, config).computeCycles()) &&
+            (os.output.data == systolic::referenceGemm(a, b).data);
+    }
+    std::cout << "WS: " << exact_ws << "/" << gemm_trials
+              << " bit- and cycle-exact; OS: " << exact_os << "/"
+              << gemm_trials << "\n\n";
+
+    // --- 2. Analytical vs cycle-stepped engine across the space ---
+    std::cout << "(2) Analytical engine vs cycle-stepped reference "
+                 "(full policies, random configs):\n";
+    const systolic::HardwareSpace space;
+    std::vector<double> errors;
+    util::Table worst({"config", "policy", "analytic cycles",
+                       "cycle-engine cycles", "error %"});
+    double worst_error = -1.0;
+    std::vector<std::string> worst_row;
+    for (int trial = 0; trial < 60; ++trial) {
+        systolic::AcceleratorConfig config;
+        config.peRows = space.peRowChoices[rng.index(6)]; // <= 256.
+        config.peCols = space.peColChoices[rng.index(6)];
+        config.ifmapSramKb = space.sramKbChoices[rng.index(8)];
+        config.filterSramKb = space.sramKbChoices[rng.index(8)];
+        config.ofmapSramKb = space.sramKbChoices[rng.index(8)];
+
+        nn::PolicyHyperParams params;
+        params.numConvLayers = rng.uniformInt(2, 10);
+        params.numFilters =
+            nn::PolicySpace().filterChoices[rng.index(3)];
+        const nn::Model model = nn::buildE2EModel(params);
+
+        const systolic::AnalyticalEngine fast(config);
+        const systolic::CycleEngine reference(config);
+        const auto fast_run = fast.run(model);
+        const auto ref_run = reference.run(model);
+        const double error =
+            100.0 *
+            std::abs(double(fast_run.totalCycles) -
+                     double(ref_run.totalCycles)) /
+            double(ref_run.totalCycles);
+        errors.push_back(error);
+        if (error > worst_error) {
+            worst_error = error;
+            worst_row = {config.name(), model.name(),
+                         std::to_string(fast_run.totalCycles),
+                         std::to_string(ref_run.totalCycles),
+                         util::formatDouble(error, 2)};
+        }
+    }
+    worst.addRow(worst_row);
+
+    std::cout << "60 random (policy, config) pairs: mean error "
+              << util::formatDouble(util::mean(errors), 2)
+              << " %, p95 "
+              << util::formatDouble(util::percentile(errors, 95), 2)
+              << " %, max " << util::formatDouble(worst_error, 2)
+              << " %\n\nWorst case:\n";
+    worst.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Reproduces Fig. 10: the high-efficiency (HE) pitfall. HE wins FPS/W
+ * (paper: 64 vs 55 FPS/W) but is ~2x over-provisioned past the knee, so
+ * its extra power and heatsink mass only cost missions (paper: AP 1.3x).
+ */
+
+#include <iostream>
+
+#include "bench_pitfall_common.h"
+
+int
+main()
+{
+    std::cout << "=== Fig. 10: high-efficiency (HE) pitfall, nano-UAV "
+                 "===\n\n";
+    autopilot::bench::runPitfallBench(
+        autopilot::core::DesignStrategy::HighEfficiency, 1.3);
+    return 0;
+}

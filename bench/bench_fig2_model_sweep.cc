@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Fig. 2b: E2E model parameters vs. task-level success rate.
+ *
+ * The paper reports success rates between 60% and 91% across the template
+ * grid, with the task-dependent optima of Section V-A (5L/32F low,
+ * 4L/48F medium, 7L/48F dense). This bench trains/validates the full grid
+ * per scenario and prints (params, success) series.
+ */
+
+#include <iostream>
+
+#include "airlearning/trainer.h"
+#include "bench_common.h"
+
+using namespace autopilot;
+
+int
+main()
+{
+    std::cout << "=== Fig. 2b: E2E model parameters vs. success rate "
+                 "===\n\n";
+
+    airlearning::TrainerConfig config;
+    config.validationEpisodes = 300;
+    const airlearning::Trainer trainer(config);
+    const nn::PolicySpace space;
+
+    for (airlearning::ObstacleDensity density :
+         airlearning::allDensities()) {
+        airlearning::PolicyDatabase db;
+        trainer.trainAll(space, density, db);
+
+        std::cout << "--- " << airlearning::densityName(density)
+                  << " obstacles ---\n";
+        util::Table table({"policy", "params (M)", "MACs (G)",
+                           "success %"});
+        for (const nn::PolicyHyperParams &params : space.enumerate()) {
+            const auto record = db.find(params, density);
+            table.addRow(
+                {nn::policyName(params),
+                 util::formatDouble(record->modelParams * 1e-6, 1),
+                 util::formatDouble(record->modelMacs * 1e-9, 2),
+                 util::formatDouble(record->successRate * 100, 1)});
+        }
+        table.print(std::cout);
+
+        const auto best = db.best(density);
+        double lo = 1.0, hi = 0.0;
+        for (const auto &record : db.forDensity(density)) {
+            lo = std::min(lo, record.successRate);
+            hi = std::max(hi, record.successRate);
+        }
+        std::cout << "best: " << best->policyId << " ("
+                  << util::formatDouble(best->successRate * 100, 1)
+                  << " %); grid band "
+                  << util::formatDouble(lo * 100, 0) << "-"
+                  << util::formatDouble(hi * 100, 0)
+                  << " % (paper: 60-91 %)\n\n";
+    }
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reproduces Fig. 3b: varying the accelerator-template parameters
+ * (PE array shape, scratchpad sizes) produces a wide runtime/power spread
+ * with a Pareto frontier, spanning roughly the Table III NPU band
+ * (22-200 FPS, 0.7-8.24 W).
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "airlearning/policy.h"
+#include "dse/pareto.h"
+#include "nn/e2e_template.h"
+#include "power/npu_power.h"
+#include "systolic/engine.h"
+#include "util/table.h"
+
+using namespace autopilot;
+
+int
+main()
+{
+    std::cout << "=== Fig. 3b: accelerator parameter sweep ===\n\n";
+
+    const nn::Model model = nn::buildE2EModel(
+        airlearning::bestHyperParams(airlearning::ObstacleDensity::Dense));
+    std::cout << "Workload: " << model.name() << " ("
+              << util::formatDouble(model.totalMacs() * 1e-9, 2)
+              << " GMAC)\n\n";
+
+    struct Sample
+    {
+        systolic::AcceleratorConfig config;
+        double fps = 0.0;
+        double watts = 0.0;
+    };
+    std::vector<Sample> samples;
+    const systolic::HardwareSpace space;
+    // Square-ish arrays with matched scratchpads: the slice of the space
+    // the figure plots.
+    for (int rows : space.peRowChoices) {
+        for (int cols : space.peColChoices) {
+            if (cols > 4 * rows || rows > 4 * cols)
+                continue; // Extreme aspect ratios clutter the figure.
+            if (rows > 256 || cols > 256)
+                continue; // 512+ arrays burn >10 W: off the plot.
+            for (int sram : {64, 256, 1024, 4096}) {
+                Sample sample;
+                sample.config.peRows = rows;
+                sample.config.peCols = cols;
+                sample.config.ifmapSramKb = sram;
+                sample.config.filterSramKb = sram;
+                sample.config.ofmapSramKb = sram;
+                const systolic::AnalyticalEngine engine(sample.config);
+                const systolic::RunResult run = engine.run(model);
+                sample.fps =
+                    run.framesPerSecond(sample.config.clockGhz);
+                sample.watts = power::NpuPowerModel(sample.config)
+                                   .averagePowerW(run);
+                samples.push_back(sample);
+            }
+        }
+    }
+
+    // Pareto frontier in (maximize fps, minimize watts) == minimize
+    // (-fps, watts).
+    std::vector<dse::Objectives> objectives;
+    objectives.reserve(samples.size());
+    for (const Sample &sample : samples)
+        objectives.push_back({-sample.fps, sample.watts});
+    const auto front = dse::paretoFrontIndices(objectives);
+
+    util::Table table({"array", "SRAM (KB)", "FPS", "NPU W", "Pareto"});
+    std::vector<std::size_t> order(samples.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return samples[a].watts < samples[b].watts;
+              });
+    for (std::size_t index : order) {
+        const Sample &sample = samples[index];
+        const bool on_front =
+            std::find(front.begin(), front.end(), index) != front.end();
+        table.addRow({std::to_string(sample.config.peRows) + "x" +
+                          std::to_string(sample.config.peCols),
+                      std::to_string(sample.config.ifmapSramKb),
+                      util::formatDouble(sample.fps, 1),
+                      util::formatDouble(sample.watts, 2),
+                      on_front ? "*" : ""});
+    }
+    table.print(std::cout);
+
+    double fps_lo = 1e9, fps_hi = 0.0, w_lo = 1e9, w_hi = 0.0;
+    for (const Sample &sample : samples) {
+        fps_lo = std::min(fps_lo, sample.fps);
+        fps_hi = std::max(fps_hi, sample.fps);
+        w_lo = std::min(w_lo, sample.watts);
+        w_hi = std::max(w_hi, sample.watts);
+    }
+    std::cout << "\n" << samples.size() << " designs; "
+              << front.size() << " Pareto-optimal.\n";
+    std::cout << "FPS span " << util::formatDouble(fps_lo, 1) << " - "
+              << util::formatDouble(fps_hi, 1)
+              << " (paper NPU band 22-200 FPS); power span "
+              << util::formatDouble(w_lo, 2) << " - "
+              << util::formatDouble(w_hi, 2)
+              << " W (paper 0.7-8.24 W)\n";
+    return 0;
+}

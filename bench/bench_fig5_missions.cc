@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces Fig. 5 (a, b, c): number of missions per battery charge for
+ * AutoPilot-generated DSSoCs vs. Jetson TX2, Xavier NX and PULP-DroNet,
+ * across three UAV classes and three deployment scenarios.
+ *
+ * Paper headline: AutoPilot increases missions on average by up to 2.25x
+ * (nano), 1.62x (micro) and 1.43x (mini) over the baselines.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "core/baseline_eval.h"
+#include "core/baselines.h"
+#include "util/stats.h"
+
+using namespace autopilot;
+
+int
+main()
+{
+    std::cout << "=== Fig. 5: missions per charge, AutoPilot vs "
+                 "baselines ===\n\n";
+
+    std::map<uav::UavClass, std::vector<double>> gains;
+
+    for (airlearning::ObstacleDensity density :
+         airlearning::allDensities()) {
+        // Phases 1-2 are scenario-specific and shared across vehicles.
+        core::AutoPilot pilot(bench::benchTask(density));
+
+        std::cout << "--- " << airlearning::densityName(density)
+                  << " obstacle scenario ---\n";
+        util::Table table({"UAV", "design", "missions", "vs AutoPilot"});
+
+        for (const uav::UavSpec &vehicle : uav::allUavs()) {
+            const core::AutoPilotRun run = pilot.designFor(vehicle);
+            const double ap_missions = run.selected.mission.numMissions;
+            table.addRow({vehicle.name,
+                          "AutoPilot (" +
+                              bench::designLabel(run.selected) + ")",
+                          util::formatDouble(ap_missions, 1), "1.00x"});
+
+            const nn::Model model =
+                nn::buildE2EModel(run.selected.eval.point.policy);
+            for (const core::BaselinePlatform &platform :
+                 core::figure5Baselines()) {
+                const auto baseline = core::evaluateBaselineOnUav(
+                    platform, model, vehicle);
+                const double missions = baseline.mission.numMissions;
+                const double gain =
+                    missions > 0.0 ? ap_missions / missions : 99.0;
+                gains[vehicle.uavClass].push_back(gain);
+                table.addRow(
+                    {vehicle.name, platform.name,
+                     util::formatDouble(missions, 1),
+                     missions > 0.0 ? util::formatRatio(gain)
+                                    : "infeasible"});
+            }
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "--- Average AutoPilot gain per UAV class ---\n";
+    util::Table summary(
+        {"UAV class", "mean gain", "max gain", "paper (up to)"});
+    const std::map<uav::UavClass, std::string> paper = {
+        {uav::UavClass::Nano, "2.25x"},
+        {uav::UavClass::Micro, "1.62x"},
+        {uav::UavClass::Mini, "1.43x"},
+    };
+    for (const auto &[uav_class, values] : gains) {
+        summary.addRow({uav::uavClassName(uav_class),
+                        util::formatRatio(util::mean(values)),
+                        util::formatRatio(util::maxValue(values)),
+                        paper.at(uav_class)});
+    }
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Reproduces Fig. 6: the DSSoC architectural parameters AutoPilot selects
+ * vary across all nine (UAV x deployment scenario) combinations - the
+ * quantitative case for per-domain custom silicon. Values are printed
+ * raw and normalized to the minimum selected value per parameter, as in
+ * the paper's radar plot.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace autopilot;
+
+int
+main()
+{
+    std::cout << "=== Fig. 6: selected DSSoC parameters across nine "
+                 "scenarios ===\n\n";
+
+    struct Row
+    {
+        std::string scenario;
+        core::FullSystemDesign design;
+    };
+    std::vector<Row> rows;
+
+    for (airlearning::ObstacleDensity density :
+         airlearning::allDensities()) {
+        core::AutoPilot pilot(bench::benchTask(density));
+        for (const uav::UavSpec &vehicle : uav::allUavs()) {
+            const core::AutoPilotRun run = pilot.designFor(vehicle);
+            rows.push_back(
+                {bench::scenarioLabel(vehicle, density), run.selected});
+        }
+    }
+
+    util::Table raw({"scenario", "layers", "filters", "PE rows",
+                     "PE cols", "ifmap KB", "filter KB", "ofmap KB",
+                     "NPU W", "FPS"});
+    for (const Row &row : rows) {
+        const auto &p = row.design.eval.point;
+        raw.addRow({row.scenario,
+                    std::to_string(p.policy.numConvLayers),
+                    std::to_string(p.policy.numFilters),
+                    std::to_string(p.accel.peRows),
+                    std::to_string(p.accel.peCols),
+                    std::to_string(p.accel.ifmapSramKb),
+                    std::to_string(p.accel.filterSramKb),
+                    std::to_string(p.accel.ofmapSramKb),
+                    util::formatDouble(row.design.eval.npuPowerW, 2),
+                    util::formatDouble(row.design.eval.fps, 1)});
+    }
+    raw.print(std::cout);
+
+    // Normalized view (per parameter, relative to the smallest selected
+    // value), matching the figure's presentation.
+    auto values_of = [&](auto getter) {
+        std::vector<double> values;
+        for (const Row &row : rows)
+            values.push_back(getter(row.design));
+        return values;
+    };
+    struct Axis
+    {
+        const char *name;
+        std::vector<double> values;
+    };
+    std::vector<Axis> axes = {
+        {"layers", values_of([](const core::FullSystemDesign &d) {
+             return double(d.eval.point.policy.numConvLayers);
+         })},
+        {"filters", values_of([](const core::FullSystemDesign &d) {
+             return double(d.eval.point.policy.numFilters);
+         })},
+        {"PEs", values_of([](const core::FullSystemDesign &d) {
+             return double(d.eval.point.accel.peCount());
+         })},
+        {"SRAM", values_of([](const core::FullSystemDesign &d) {
+             return double(d.eval.point.accel.totalSramKb());
+         })},
+        {"power", values_of([](const core::FullSystemDesign &d) {
+             return d.eval.npuPowerW;
+         })},
+    };
+
+    std::cout << "\nNormalized to the minimum selected value:\n";
+    std::vector<std::string> header = {"scenario"};
+    for (const Axis &axis : axes)
+        header.push_back(axis.name);
+    util::Table normalized(header);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        std::vector<std::string> cells = {rows[r].scenario};
+        for (const Axis &axis : axes) {
+            const double lo =
+                *std::min_element(axis.values.begin(), axis.values.end());
+            cells.push_back(util::formatRatio(axis.values[r] / lo));
+        }
+        normalized.addRow(cells);
+    }
+    normalized.print(std::cout);
+
+    // How many distinct accelerator configurations did the nine
+    // scenarios need?
+    std::vector<std::string> distinct;
+    for (const Row &row : rows) {
+        const std::string name = row.design.eval.point.accel.name();
+        if (std::find(distinct.begin(), distinct.end(), name) ==
+            distinct.end())
+            distinct.push_back(name);
+    }
+    std::cout << "\n" << distinct.size()
+              << " distinct accelerator configurations across 9 "
+                 "scenarios -> no one-size-fits-all DSSoC.\n";
+    return 0;
+}

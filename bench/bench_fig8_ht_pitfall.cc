@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Reproduces Fig. 8: the high-throughput (HT) pitfall. HT out-runs AP on
+ * raw FPS (paper: 4.47x) but its heatsink mass lowers the nano-UAV's F-1
+ * ceiling, and AP wins the mission metric (paper: 2.25x).
+ */
+
+#include <iostream>
+
+#include "bench_pitfall_common.h"
+
+int
+main()
+{
+    std::cout << "=== Fig. 8: high-throughput (HT) pitfall, nano-UAV "
+                 "===\n\n";
+    autopilot::bench::runPitfallBench(
+        autopilot::core::DesignStrategy::HighThroughput, 2.25);
+    return 0;
+}

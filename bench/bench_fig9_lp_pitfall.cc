@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces Fig. 9: the low-power (LP) pitfall. LP draws less SoC power
+ * than AP but its low decision rate (paper: 18.4 Hz, ~2.5x below the
+ * knee) forces a slow safe velocity, and AP wins missions (paper: 1.8x).
+ */
+
+#include <iostream>
+
+#include "bench_pitfall_common.h"
+
+int
+main()
+{
+    std::cout << "=== Fig. 9: low-power (LP) pitfall, nano-UAV ===\n\n";
+    autopilot::bench::runPitfallBench(
+        autopilot::core::DesignStrategy::LowPower, 1.8);
+    return 0;
+}

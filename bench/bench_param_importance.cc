@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Design-space sensitivity analysis: which Table II knob moves which
+ * objective? One-at-a-time perturbation around random base points: for
+ * every encoded dimension, step it one choice up/down and record the
+ * mean relative change in SoC power and inference latency. Tells an
+ * architect where the leverage is (and the optimizer's GP length scale
+ * what to expect).
+ */
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "airlearning/trainer.h"
+#include "dse/evaluator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace autopilot;
+
+int
+main()
+{
+    std::cout << "=== Table II knob sensitivity (one-at-a-time, 40 "
+                 "random base points) ===\n\n";
+
+    airlearning::TrainerConfig trainer_config;
+    trainer_config.validationEpisodes = 60;
+    const airlearning::Trainer trainer(trainer_config);
+    airlearning::PolicyDatabase db;
+    trainer.trainAll(nn::PolicySpace(),
+                     airlearning::ObstacleDensity::Dense, db);
+
+    dse::DseEvaluator evaluator(db, airlearning::ObstacleDensity::Dense);
+    const dse::DesignSpace &space = evaluator.space();
+    util::Rng rng(0x1A8);
+
+    const char *dim_names[dse::designDims] = {
+        "NN layers",  "NN filters",  "PE rows",  "PE cols",
+        "ifmap SRAM", "filter SRAM", "ofmap SRAM"};
+
+    std::vector<std::vector<double>> power_delta(dse::designDims);
+    std::vector<std::vector<double>> latency_delta(dse::designDims);
+    std::vector<std::vector<double>> success_delta(dse::designDims);
+
+    const int base_points = 40;
+    for (int i = 0; i < base_points; ++i) {
+        const dse::Encoding base = space.randomEncoding(rng);
+        const dse::Evaluation base_eval = evaluator.evaluate(base);
+        for (std::size_t d = 0; d < dse::designDims; ++d) {
+            for (int step : {-1, 1}) {
+                dse::Encoding probe = base;
+                probe[d] += step;
+                if (probe[d] < 0 ||
+                    probe[d] >= space.dimensionSizes()[d])
+                    continue;
+                const dse::Evaluation probe_eval =
+                    evaluator.evaluate(probe);
+                power_delta[d].push_back(
+                    std::abs(probe_eval.socPowerW -
+                             base_eval.socPowerW) /
+                    base_eval.socPowerW);
+                latency_delta[d].push_back(
+                    std::abs(probe_eval.latencyMs -
+                             base_eval.latencyMs) /
+                    base_eval.latencyMs);
+                success_delta[d].push_back(std::abs(
+                    probe_eval.successRate - base_eval.successRate));
+            }
+        }
+    }
+
+    util::Table table({"knob", "mean |dPower| %", "mean |dLatency| %",
+                       "mean |dSuccess| pts"});
+    for (std::size_t d = 0; d < dse::designDims; ++d) {
+        table.addRow(
+            {dim_names[d],
+             util::formatDouble(util::mean(power_delta[d]) * 100, 1),
+             util::formatDouble(util::mean(latency_delta[d]) * 100, 1),
+             util::formatDouble(util::mean(success_delta[d]) * 100,
+                                1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected structure: PE dimensions dominate both "
+                 "power and latency; SRAM sizes matter mostly through "
+                 "leakage and residency; only the NN knobs move the "
+                 "success rate (Section III-B: success depends only on "
+                 "the hyperparameters).\n";
+    return 0;
+}

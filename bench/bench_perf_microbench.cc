@@ -1,0 +1,148 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the library's hot paths: the two
+ * systolic engines, the GP surrogate, hypervolume, and episode rollouts.
+ * These quantify the cost of one Phase 2 evaluation and one Phase 1
+ * validation - the quantities that set AutoPilot's end-to-end runtime.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "airlearning/rollout.h"
+#include "dse/gaussian_process.h"
+#include "dse/hypervolume.h"
+#include "nn/e2e_template.h"
+#include "power/npu_power.h"
+#include "systolic/cycle_engine.h"
+#include "systolic/engine.h"
+#include "util/rng.h"
+
+using namespace autopilot;
+
+namespace
+{
+
+systolic::AcceleratorConfig
+midConfig()
+{
+    systolic::AcceleratorConfig config;
+    config.peRows = 32;
+    config.peCols = 32;
+    config.ifmapSramKb = 256;
+    config.filterSramKb = 256;
+    config.ofmapSramKb = 256;
+    return config;
+}
+
+void
+BM_AnalyticalEngineFullModel(benchmark::State &state)
+{
+    const nn::Model model = nn::buildE2EModel({7, 48});
+    const systolic::AnalyticalEngine engine(midConfig());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run(model).totalCycles);
+    }
+}
+BENCHMARK(BM_AnalyticalEngineFullModel);
+
+void
+BM_CycleEngineFullModel(benchmark::State &state)
+{
+    const nn::Model model = nn::buildE2EModel({7, 48});
+    const systolic::CycleEngine engine(midConfig());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.run(model).totalCycles);
+    }
+}
+BENCHMARK(BM_CycleEngineFullModel);
+
+void
+BM_NpuPowerEstimate(benchmark::State &state)
+{
+    const nn::Model model = nn::buildE2EModel({7, 48});
+    const systolic::AnalyticalEngine engine(midConfig());
+    const systolic::RunResult run = engine.run(model);
+    const power::NpuPowerModel npu(midConfig());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(npu.averagePowerW(run));
+    }
+}
+BENCHMARK(BM_NpuPowerEstimate);
+
+void
+BM_GpFitPredict(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    util::Rng rng(5);
+    std::vector<std::vector<double>> inputs;
+    std::vector<double> targets;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> x(7);
+        for (double &v : x)
+            v = rng.uniform();
+        inputs.push_back(x);
+        targets.push_back(rng.normal());
+    }
+    const std::vector<double> query(7, 0.5);
+    for (auto _ : state) {
+        dse::GaussianProcess gp;
+        gp.fit(inputs, targets);
+        benchmark::DoNotOptimize(gp.predict(query).mean);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GpFitPredict)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void
+BM_Hypervolume3D(benchmark::State &state)
+{
+    util::Rng rng(9);
+    std::vector<dse::Objectives> points;
+    for (int i = 0; i < state.range(0); ++i)
+        points.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+    const dse::Objectives reference = {1.0, 1.0, 1.0};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dse::hypervolume(points, reference));
+    }
+}
+BENCHMARK(BM_Hypervolume3D)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_RolloutEpisode(benchmark::State &state)
+{
+    const auto env_config = airlearning::EnvironmentConfig::forDensity(
+        airlearning::ObstacleDensity::Dense);
+    const airlearning::EnvironmentGenerator generator(env_config);
+    const auto capability =
+        airlearning::PolicyCapability::fromQuality(0.7);
+    util::Rng rng(11);
+    const airlearning::Environment env = generator.generate(rng);
+    for (auto _ : state) {
+        util::Rng episode_rng(state.iterations());
+        benchmark::DoNotOptimize(
+            airlearning::runEpisode(env, capability,
+                                    airlearning::RolloutConfig(),
+                                    episode_rng)
+                .steps);
+    }
+}
+BENCHMARK(BM_RolloutEpisode);
+
+void
+BM_PolicyValidation(benchmark::State &state)
+{
+    const auto env_config = airlearning::EnvironmentConfig::forDensity(
+        airlearning::ObstacleDensity::Medium);
+    const auto capability =
+        airlearning::PolicyCapability::fromQuality(0.7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            airlearning::evaluatePolicy(env_config, capability, 50, 7)
+                .successes);
+    }
+}
+BENCHMARK(BM_PolicyValidation);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Reproduces Table VI: the AutoPilot generalization taxonomy - which
+ * components can fill each methodology phase for UAVs, self-driving
+ * cars and articulated robots, with this work's configuration marked.
+ */
+
+#include <iostream>
+
+#include "core/taxonomy.h"
+
+int
+main()
+{
+    std::cout << "=== Table VI: AutoPilot methodology taxonomy ===\n\n";
+    autopilot::core::printTaxonomy(std::cout);
+    std::cout << "\n('*' marks the configuration this library "
+                 "implements: UAV / E2E with Air Learning, systolic "
+                 "arrays + Bayesian optimization, and the F-1 model. "
+                 "The SPA row is also exercised by "
+                 "bench_spa_comparison.)\n";
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Phase 2's hardware half in isolation: sweep characteristic accelerator
+ * configurations for one policy network and print throughput, power,
+ * energy breakdown and the implied compute payload mass - the data a
+ * hardware architect inspects before committing to a design (Fig. 3b).
+ */
+
+#include <iostream>
+
+#include "airlearning/policy.h"
+#include "nn/e2e_template.h"
+#include "nn/summary.h"
+#include "power/mass_model.h"
+#include "power/npu_power.h"
+#include "power/soc_power.h"
+#include "systolic/cycle_engine.h"
+#include "systolic/run_report.h"
+#include "util/table.h"
+
+using namespace autopilot;
+
+int
+main()
+{
+    // The policy AutoPilot's front end favours for dense obstacles.
+    const nn::PolicyHyperParams params =
+        airlearning::bestHyperParams(airlearning::ObstacleDensity::Dense);
+    const nn::Model model = nn::buildE2EModel(params);
+
+    nn::printSummary(model, std::cout);
+    std::cout << "\n";
+
+    struct Candidate
+    {
+        const char *label;
+        int rows, cols, sram_kb;
+    };
+    const Candidate candidates[] = {
+        {"tiny", 8, 8, 64},       {"small", 16, 16, 128},
+        {"medium", 32, 32, 256},  {"large", 64, 64, 1024},
+        {"huge", 128, 128, 4096}, {"wide", 16, 256, 512},
+        {"tall", 256, 16, 512},
+    };
+
+    util::Table table({"design", "array", "SRAM", "FPS", "NPU W", "SoC W",
+                       "FPS/W", "payload g", "util %"});
+    const power::MassModel mass_model;
+    for (const Candidate &candidate : candidates) {
+        systolic::AcceleratorConfig config;
+        config.peRows = candidate.rows;
+        config.peCols = candidate.cols;
+        config.ifmapSramKb = candidate.sram_kb;
+        config.filterSramKb = candidate.sram_kb;
+        config.ofmapSramKb = candidate.sram_kb;
+
+        const systolic::CycleEngine engine(config);
+        const systolic::RunResult run = engine.run(model);
+        const power::NpuPowerModel npu(config);
+        const double npu_w = npu.averagePowerW(run);
+        const double soc_w = power::socPower(npu_w).totalW();
+        const double fps = run.framesPerSecond(config.clockGhz);
+
+        table.addRow(
+            {candidate.label,
+             std::to_string(candidate.rows) + "x" +
+                 std::to_string(candidate.cols),
+             std::to_string(candidate.sram_kb) + "KB",
+             util::formatDouble(fps, 1), util::formatDouble(npu_w, 2),
+             util::formatDouble(soc_w, 2),
+             util::formatDouble(fps / soc_w, 1),
+             util::formatDouble(
+                 mass_model.computePayloadGrams(npu_w), 1),
+             util::formatDouble(run.peUtilization(config.peCount()) * 100,
+                                1)});
+    }
+    table.print(std::cout);
+
+    systolic::AcceleratorConfig config;
+    config.peRows = 32;
+    config.peCols = 32;
+    config.ifmapSramKb = config.filterSramKb = config.ofmapSramKb = 256;
+    const systolic::CycleEngine engine(config);
+    const systolic::RunResult run = engine.run(model);
+
+    std::cout << "\nPer-layer breakdown of the 'medium' design ("
+              << "dominant layer: " << systolic::dominantLayer(run)
+              << "):\n";
+    systolic::printRunBreakdown(run, config, std::cout);
+
+    std::cout << "\nEnergy breakdown of the 'medium' design:\n";
+    const power::NpuPowerModel npu(config);
+    const power::NpuPowerBreakdown breakdown = npu.estimate(run);
+    util::Table bd({"component", "watts"});
+    bd.addRow({"PE dynamic", util::formatDouble(breakdown.peDynamicW, 3)});
+    bd.addRow({"PE leakage", util::formatDouble(breakdown.peLeakageW, 3)});
+    bd.addRow({"SRAM dynamic",
+               util::formatDouble(breakdown.sramDynamicW, 3)});
+    bd.addRow({"SRAM leakage",
+               util::formatDouble(breakdown.sramLeakageW, 3)});
+    bd.addRow({"DRAM", util::formatDouble(breakdown.dramW, 3)});
+    bd.addRow({"controller", util::formatDouble(breakdown.controllerW, 3)});
+    bd.addRow({"total", util::formatDouble(breakdown.totalW(), 3)});
+    bd.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Phase 1 in isolation: train and validate the full E2E template grid for
+ * all three deployment scenarios and print the success-rate landscape
+ * (the data behind Fig. 2b), plus each scenario's best policy.
+ */
+
+#include <iostream>
+
+#include "airlearning/trainer.h"
+#include "util/table.h"
+
+using namespace autopilot;
+
+int
+main()
+{
+    airlearning::TrainerConfig config;
+    config.validationEpisodes = 300;
+    const airlearning::Trainer trainer(config);
+    const nn::PolicySpace space;
+
+    for (airlearning::ObstacleDensity density :
+         airlearning::allDensities()) {
+        airlearning::PolicyDatabase db;
+        trainer.trainAll(space, density, db);
+
+        std::cout << "=== " << airlearning::densityName(density)
+                  << " obstacles: success rate (%) ===\n";
+        util::Table table({"layers", "f=32", "f=48", "f=64",
+                           "params(M) @f=48"});
+        for (int layers : space.layerChoices) {
+            std::vector<std::string> row = {std::to_string(layers)};
+            for (int filters : space.filterChoices) {
+                nn::PolicyHyperParams params;
+                params.numConvLayers = layers;
+                params.numFilters = filters;
+                const auto record = db.find(params, density);
+                row.push_back(
+                    util::formatDouble(record->successRate * 100, 1));
+            }
+            nn::PolicyHyperParams mid;
+            mid.numConvLayers = layers;
+            mid.numFilters = 48;
+            row.push_back(util::formatDouble(
+                static_cast<double>(db.find(mid, density)->modelParams) *
+                    1e-6,
+                1));
+            table.addRow(row);
+        }
+        table.print(std::cout);
+
+        const auto best = db.best(density);
+        std::cout << "best: " << best->policyId << " at "
+                  << util::formatDouble(best->successRate * 100, 1)
+                  << " %\n";
+
+        // Quality probe: the simulator must reward policy quality
+        // monotonically, otherwise "training" would be meaningless.
+        util::Table probe({"quality", "success %", "collide %",
+                           "timeout %"});
+        for (double q : {0.30, 0.45, 0.60, 0.75, 0.90}) {
+            const auto cap =
+                airlearning::PolicyCapability::fromQuality(q);
+            const auto eval = airlearning::evaluatePolicy(
+                airlearning::EnvironmentConfig::forDensity(density), cap,
+                400, 99);
+            probe.addRow(
+                {util::formatDouble(q, 2),
+                 util::formatDouble(eval.successRate() * 100, 1),
+                 util::formatDouble(eval.collisions * 100.0 / 400, 1),
+                 util::formatDouble(eval.timeouts * 100.0 / 400, 1)});
+        }
+        probe.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

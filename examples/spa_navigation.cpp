@@ -1,0 +1,130 @@
+/**
+ * @file
+ * SPA pipeline walkthrough: generate a dense-obstacle environment, run
+ * one Sense-Plan-Act episode, and render the environment plus the flown
+ * trajectory as ASCII art. Then sweep the decision rate to show how
+ * compute speed converts into safety - the coupling AutoPilot's Phase 3
+ * exploits.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "airlearning/environment.h"
+#include "spa/pipeline.h"
+#include "util/table.h"
+
+using namespace autopilot;
+
+namespace
+{
+
+/** Render the true environment plus a trajectory as ASCII. */
+void
+renderEpisode(const airlearning::Environment &env,
+              const std::vector<spa::TrajectoryPoint> &trajectory)
+{
+    const int size = 40; // Character cells per side.
+    const double scale = env.arenaSize / size;
+    std::vector<std::string> canvas(size, std::string(size, '.'));
+
+    auto plot = [&](double x, double y, char glyph, bool force) {
+        const int cx =
+            std::clamp(static_cast<int>(x / scale), 0, size - 1);
+        const int cy =
+            std::clamp(static_cast<int>(y / scale), 0, size - 1);
+        char &cell = canvas[size - 1 - cy][cx];
+        if (force || cell == '.')
+            cell = glyph;
+    };
+
+    for (const airlearning::Obstacle &obstacle : env.obstacles) {
+        const int span =
+            static_cast<int>(obstacle.radius / scale) + 1;
+        for (int dy = -span; dy <= span; ++dy) {
+            for (int dx = -span; dx <= span; ++dx) {
+                const double px = obstacle.x + dx * scale;
+                const double py = obstacle.y + dy * scale;
+                if (std::hypot(px - obstacle.x, py - obstacle.y) <=
+                    obstacle.radius)
+                    plot(px, py, obstacle.camouflaged ? 'c' : '#',
+                         true);
+            }
+        }
+    }
+    for (const spa::TrajectoryPoint &point : trajectory)
+        plot(point.x, point.y, '*', false);
+    plot(env.start.x, env.start.y, 'S', true);
+    plot(env.goal.x, env.goal.y, 'G', true);
+
+    for (const std::string &row : canvas)
+        std::cout << row << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto env_config = airlearning::EnvironmentConfig::forDensity(
+        airlearning::ObstacleDensity::Dense);
+    const airlearning::EnvironmentGenerator generator(env_config);
+    util::Rng env_rng(2026);
+    const airlearning::Environment env = generator.generate(env_rng);
+
+    spa::SpaConfig config;
+    config.decisionRateHz = 10.0;
+
+    util::Rng episode_rng(77);
+    spa::SpaEpisodeStats stats;
+    std::vector<spa::TrajectoryPoint> trajectory;
+    const auto result = spa::runSpaEpisode(env, config, episode_rng,
+                                           &stats, &trajectory);
+
+    std::cout << "One SPA episode (10 Hz decisions, dense obstacles): ";
+    switch (result.outcome) {
+      case airlearning::EpisodeOutcome::Success:
+        std::cout << "SUCCESS";
+        break;
+      case airlearning::EpisodeOutcome::Collision:
+        std::cout << "COLLISION";
+        break;
+      case airlearning::EpisodeOutcome::Timeout:
+        std::cout << "TIMEOUT";
+        break;
+    }
+    std::cout << " after " << result.steps << " steps, path "
+              << util::formatDouble(result.pathLengthM, 1)
+              << " m, min clearance "
+              << util::formatDouble(result.minClearanceM, 2) << " m\n";
+    std::cout << "Compute: " << stats.decisions << " decisions, "
+              << stats.replans << " replans, " << stats.expandedNodes
+              << " A* expansions, " << stats.mapUpdates
+              << " map updates\n\n";
+
+    renderEpisode(env, trajectory);
+    std::cout << "\n('#' obstacle, 'c' camouflaged obstacle, '*' flown "
+                 "path, S start, G goal)\n\n";
+
+    std::cout << "Decision rate vs outcome (300 episodes each):\n";
+    util::Table sweep({"decision Hz", "success %", "collide %",
+                       "mean path m"});
+    for (double rate : {2.0, 5.0, 10.0, 20.0, 40.0}) {
+        spa::SpaConfig swept = config;
+        swept.decisionRateHz = rate;
+        const auto evaluation =
+            spa::evaluateSpa(env_config, swept, 300, 4242);
+        sweep.addRow(
+            {util::formatDouble(rate, 0),
+             util::formatDouble(evaluation.successRate() * 100, 1),
+             util::formatDouble(
+                 evaluation.collisions * 100.0 / evaluation.episodes,
+                 1),
+             util::formatDouble(evaluation.meanPathLengthM, 1)});
+    }
+    sweep.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,68 @@
+#include "airlearning/database.h"
+
+#include <algorithm>
+
+namespace autopilot::airlearning
+{
+
+void
+PolicyDatabase::upsert(const PolicyRecord &record)
+{
+    for (PolicyRecord &existing : records) {
+        if (existing.params == record.params &&
+            existing.density == record.density) {
+            existing = record;
+            return;
+        }
+    }
+    records.push_back(record);
+}
+
+std::optional<PolicyRecord>
+PolicyDatabase::find(const nn::PolicyHyperParams &params,
+                     ObstacleDensity density) const
+{
+    for (const PolicyRecord &record : records) {
+        if (record.params == params && record.density == density)
+            return record;
+    }
+    return std::nullopt;
+}
+
+std::vector<PolicyRecord>
+PolicyDatabase::forDensity(ObstacleDensity density) const
+{
+    std::vector<PolicyRecord> out;
+    for (const PolicyRecord &record : records) {
+        if (record.density == density)
+            out.push_back(record);
+    }
+    return out;
+}
+
+std::vector<PolicyRecord>
+PolicyDatabase::meetingSuccessRate(ObstacleDensity density,
+                                   double min_rate) const
+{
+    std::vector<PolicyRecord> out;
+    for (const PolicyRecord &record : records) {
+        if (record.density == density && record.successRate >= min_rate)
+            out.push_back(record);
+    }
+    return out;
+}
+
+std::optional<PolicyRecord>
+PolicyDatabase::best(ObstacleDensity density) const
+{
+    const std::vector<PolicyRecord> candidates = forDensity(density);
+    if (candidates.empty())
+        return std::nullopt;
+    return *std::max_element(candidates.begin(), candidates.end(),
+                             [](const PolicyRecord &a,
+                                const PolicyRecord &b) {
+                                 return a.successRate < b.successRate;
+                             });
+}
+
+} // namespace autopilot::airlearning

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The Air Learning database (Fig. 1, Phase 1 output).
+ *
+ * Each record stores an algorithm identifier, the hyperparameters used for
+ * training and the validated task success rate - exactly the schema
+ * Section III-B describes. Phase 2's Bayesian optimization reads success
+ * rates from here instead of re-training.
+ */
+
+#ifndef AUTOPILOT_AIRLEARNING_DATABASE_H
+#define AUTOPILOT_AIRLEARNING_DATABASE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "airlearning/environment.h"
+#include "nn/e2e_template.h"
+
+namespace autopilot::airlearning
+{
+
+/** One validated policy record. */
+struct PolicyRecord
+{
+    std::string policyId;
+    nn::PolicyHyperParams params;
+    ObstacleDensity density = ObstacleDensity::Low;
+    double successRate = 0.0;
+    std::int64_t modelParams = 0; ///< Parameter count of the network.
+    std::int64_t modelMacs = 0;   ///< MACs per inference.
+    std::int64_t trainingSteps = 0; ///< Steps actually trained.
+    bool converged = true; ///< Converged within the step budget.
+};
+
+/** In-memory policy database with per-scenario lookup. */
+class PolicyDatabase
+{
+  public:
+    /** Insert or overwrite the record for (params, density). */
+    void upsert(const PolicyRecord &record);
+
+    /** Look up a record by hyperparameters and scenario. */
+    std::optional<PolicyRecord> find(const nn::PolicyHyperParams &params,
+                                     ObstacleDensity density) const;
+
+    /** All records for one scenario. */
+    std::vector<PolicyRecord> forDensity(ObstacleDensity density) const;
+
+    /** Records for a scenario meeting a minimum success rate. */
+    std::vector<PolicyRecord>
+    meetingSuccessRate(ObstacleDensity density, double min_rate) const;
+
+    /** Highest-success-rate record for a scenario, if any. */
+    std::optional<PolicyRecord> best(ObstacleDensity density) const;
+
+    std::size_t size() const { return records.size(); }
+    const std::vector<PolicyRecord> &all() const { return records; }
+
+  private:
+    std::vector<PolicyRecord> records;
+};
+
+} // namespace autopilot::airlearning
+
+#endif // AUTOPILOT_AIRLEARNING_DATABASE_H

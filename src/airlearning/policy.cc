@@ -1,0 +1,96 @@
+#include "airlearning/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace autopilot::airlearning
+{
+
+namespace
+{
+
+/** Ideal template capacity per scenario (Section V-A). */
+struct IdealCapacity
+{
+    double layers = 5.0;
+    double filters = 32.0;
+    double ceiling = 0.92; ///< Quality of the ideal network.
+};
+
+IdealCapacity
+idealCapacity(ObstacleDensity density)
+{
+    switch (density) {
+      case ObstacleDensity::Low:    return {5.0, 32.0, 0.94};
+      case ObstacleDensity::Medium: return {4.0, 48.0, 0.88};
+      case ObstacleDensity::Dense:  return {7.0, 48.0, 0.82};
+    }
+    util::panic("idealCapacity: unknown density");
+}
+
+} // namespace
+
+PolicyCapability
+PolicyCapability::fromQuality(double quality)
+{
+    util::fatalIf(quality < 0.0 || quality > 1.0,
+                  "PolicyCapability::fromQuality: quality outside [0, 1]");
+    PolicyCapability capability;
+    capability.quality = quality;
+    capability.perceptionRangeM = 0.9 + 2.4 * quality;
+    capability.detectionProb = 0.15 + 0.65 * quality;
+    capability.headingNoiseRad = 0.40 * (1.0 - quality) + 0.03;
+    return capability;
+}
+
+double
+policyQuality(const nn::PolicyHyperParams &params, ObstacleDensity density)
+{
+    const IdealCapacity ideal = idealCapacity(density);
+    const double dl = params.numConvLayers - ideal.layers;
+    // Asymmetric depth penalty: undersized networks underfit quickly,
+    // oversized ones degrade more slowly (harder training on the same
+    // one-million-step budget).
+    const double sigma_depth = dl < 0.0 ? 1.6 : 3.2;
+    const double depth_term =
+        std::exp(-(dl * dl) / (2.0 * sigma_depth * sigma_depth));
+    const double df = params.numFilters - ideal.filters;
+    const double sigma_filters = 20.0;
+    const double filter_term =
+        std::exp(-(df * df) / (2.0 * sigma_filters * sigma_filters));
+
+    const double floor = 0.30;
+    const double quality =
+        floor + (ideal.ceiling - floor) * depth_term * filter_term;
+    return std::clamp(quality, 0.0, 1.0);
+}
+
+double
+trainedPolicyQuality(const nn::PolicyHyperParams &params,
+                     ObstacleDensity density, std::uint64_t training_seed)
+{
+    util::Rng rng(training_seed ^ 0xA17C0F1E5EEDull);
+    const double jitter = rng.normal(0.0, 0.015);
+    return std::clamp(policyQuality(params, density) + jitter, 0.0, 1.0);
+}
+
+nn::PolicyHyperParams
+bestHyperParams(ObstacleDensity density)
+{
+    const nn::PolicySpace space;
+    nn::PolicyHyperParams best;
+    double best_quality = -1.0;
+    for (const nn::PolicyHyperParams &candidate : space.enumerate()) {
+        const double quality = policyQuality(candidate, density);
+        if (quality > best_quality) {
+            best_quality = quality;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+} // namespace autopilot::airlearning

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Trained-policy capability model (the training surrogate).
+ *
+ * The real Air Learning pipeline spends GPU-days running DDQN/PPO to turn
+ * (template hyperparameters, task) into network weights; downstream phases
+ * only ever consume the resulting *behaviour*. We therefore model a
+ * trained policy as a small set of behavioural parameters (perception
+ * range, detection reliability, steering noise) derived from a scalar
+ * policy quality q in [0, 1].
+ *
+ * q is a calibrated function of the hyperparameters and the task: each
+ * deployment scenario has an ideal capacity (the paper reports 5 layers /
+ * 32 filters for low obstacles, 4 / 48 for medium, 7 / 48 for dense -
+ * Section V-A) with an asymmetric penalty for under- and over-sized
+ * networks (undersized policies underfit; oversized ones train poorly on
+ * the same step budget). A per-seed jitter reproduces training variance.
+ * Success rates are then *measured* by Monte-Carlo rollouts
+ * (rollout.h), not asserted.
+ */
+
+#ifndef AUTOPILOT_AIRLEARNING_POLICY_H
+#define AUTOPILOT_AIRLEARNING_POLICY_H
+
+#include "airlearning/environment.h"
+#include "nn/e2e_template.h"
+
+namespace autopilot::airlearning
+{
+
+/** Behavioural parameters of a trained navigation policy. */
+struct PolicyCapability
+{
+    double quality = 0.5;          ///< Scalar policy quality in [0, 1].
+    double perceptionRangeM = 3.5; ///< Obstacle detection range.
+    double detectionProb = 0.8;    ///< Per-step detection reliability.
+    double headingNoiseRad = 0.2;  ///< Steering noise (1 sigma).
+
+    /** Derive the behavioural parameters from a quality scalar. */
+    static PolicyCapability fromQuality(double quality);
+};
+
+/**
+ * Deterministic policy quality for a hyperparameter/task combination.
+ *
+ * @param params  Template hyperparameters.
+ * @param density Deployment scenario.
+ */
+double policyQuality(const nn::PolicyHyperParams &params,
+                     ObstacleDensity density);
+
+/**
+ * Policy quality with per-training-run jitter (training variance).
+ *
+ * @param params        Template hyperparameters.
+ * @param density       Deployment scenario.
+ * @param training_seed Seed of the simulated training run.
+ */
+double trainedPolicyQuality(const nn::PolicyHyperParams &params,
+                            ObstacleDensity density,
+                            std::uint64_t training_seed);
+
+/** The hyperparameters with the highest deterministic quality. */
+nn::PolicyHyperParams bestHyperParams(ObstacleDensity density);
+
+} // namespace autopilot::airlearning
+
+#endif // AUTOPILOT_AIRLEARNING_POLICY_H

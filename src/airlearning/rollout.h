@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Episode rollout simulator: the "evaluate and validate" half of Phase 1.
+ *
+ * A point-mass UAV flies from start to goal in a generated environment.
+ * Each control step it senses nearby obstacles (range and reliability set
+ * by the policy capability), steers with a goal-attraction /
+ * obstacle-repulsion law perturbed by policy-dependent heading noise, and
+ * fails on collision or timeout. Success rates are the fraction of
+ * successful episodes over many domain-randomized environments - the same
+ * validation protocol Air Learning applies to its trained agents.
+ */
+
+#ifndef AUTOPILOT_AIRLEARNING_ROLLOUT_H
+#define AUTOPILOT_AIRLEARNING_ROLLOUT_H
+
+#include <cstdint>
+
+#include "airlearning/environment.h"
+#include "airlearning/policy.h"
+#include "util/rng.h"
+
+namespace autopilot::airlearning
+{
+
+/** Rollout physics and termination parameters. */
+struct RolloutConfig
+{
+    double speedMps = 3.0;      ///< Commanded forward speed.
+    double dtSeconds = 0.1;     ///< Control period.
+    int maxSteps = 900;         ///< Timeout budget.
+    double robotRadiusM = 0.3;  ///< Collision radius of the vehicle.
+    double goalToleranceM = 1.0;///< Arrival threshold.
+    double avoidMarginM = 1.3;  ///< Repulsion zone beyond the surface.
+    double repulsionGain = 2.2; ///< Strength of obstacle repulsion.
+    /// Maximum heading change per control step (vehicle dynamics): at
+    /// cruise speed a quarter turn takes several steps, so obstacles
+    /// detected late cannot always be dodged.
+    double maxTurnRadPerStep = 0.35;
+    /// Wind-gust position disturbance per step (1-sigma, meters); 0
+    /// disables. Used by robustness/failure-injection studies.
+    double windSigmaM = 0.0;
+};
+
+/** Outcome of one episode. */
+enum class EpisodeOutcome
+{
+    Success,
+    Collision,
+    Timeout,
+};
+
+/** Telemetry of one episode. */
+struct EpisodeResult
+{
+    EpisodeOutcome outcome = EpisodeOutcome::Timeout;
+    int steps = 0;
+    double pathLengthM = 0.0;
+    double minClearanceM = 0.0;
+};
+
+/**
+ * Run one episode.
+ *
+ * @param env        The generated environment.
+ * @param capability Trained-policy behavioural parameters.
+ * @param config     Rollout physics parameters.
+ * @param rng        Episode random stream (sensing + noise).
+ */
+EpisodeResult runEpisode(const Environment &env,
+                         const PolicyCapability &capability,
+                         const RolloutConfig &config, util::Rng &rng);
+
+/** Aggregate of many episodes. */
+struct EvaluationResult
+{
+    int episodes = 0;
+    int successes = 0;
+    int collisions = 0;
+    int timeouts = 0;
+    double meanPathLengthM = 0.0;
+
+    /** Task success rate in [0, 1]. */
+    double successRate() const
+    {
+        return episodes > 0
+                   ? static_cast<double>(successes) / episodes
+                   : 0.0;
+    }
+};
+
+/**
+ * Evaluate a policy capability over many randomized episodes.
+ *
+ * @param env_config Scenario configuration (regenerated per episode).
+ * @param capability Trained-policy behavioural parameters.
+ * @param episodes   Number of Monte-Carlo episodes.
+ * @param seed       Master seed; episodes fork deterministic streams.
+ * @param config     Rollout physics parameters.
+ */
+EvaluationResult evaluatePolicy(const EnvironmentConfig &env_config,
+                                const PolicyCapability &capability,
+                                int episodes, std::uint64_t seed,
+                                const RolloutConfig &config =
+                                    RolloutConfig());
+
+} // namespace autopilot::airlearning
+
+#endif // AUTOPILOT_AIRLEARNING_ROLLOUT_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Phase 1 trainer: produce validated policies for a task specification.
+ *
+ * For each hyperparameter combination the trainer "trains" a policy
+ * (capability surrogate with per-run variance), validates it over
+ * domain-randomized rollouts, and records the measured success rate in
+ * the Air Learning database. This mirrors the paper's Phase 1: many Air
+ * Learning training instances launched from the template, each validated
+ * before entering the database.
+ */
+
+#ifndef AUTOPILOT_AIRLEARNING_TRAINER_H
+#define AUTOPILOT_AIRLEARNING_TRAINER_H
+
+#include <cstdint>
+
+#include "airlearning/database.h"
+#include "airlearning/rollout.h"
+
+namespace autopilot::airlearning
+{
+
+/** Trainer configuration. */
+struct TrainerConfig
+{
+    int validationEpisodes = 200; ///< Rollouts per policy validation.
+    /// Independent training runs per hyperparameter combination; the
+    /// best-validating run enters the database (RL training variance is
+    /// real, and production pipelines train several seeds).
+    int trainingSeeds = 1;
+    std::uint64_t seed = 0xA1121;  ///< Master seed for the whole phase.
+    RolloutConfig rollout;        ///< Episode physics.
+};
+
+/** Phase 1 driver. */
+class Trainer
+{
+  public:
+    /** @param config Trainer configuration. */
+    explicit Trainer(const TrainerConfig &config = TrainerConfig());
+
+    /**
+     * Train and validate one policy; the record is not stored.
+     *
+     * @param params  Template hyperparameters.
+     * @param density Deployment scenario.
+     */
+    PolicyRecord trainOne(const nn::PolicyHyperParams &params,
+                          ObstacleDensity density) const;
+
+    /**
+     * Train @p seeds independent runs of one policy and return the
+     * best-validating record.
+     */
+    PolicyRecord trainBestOf(const nn::PolicyHyperParams &params,
+                             ObstacleDensity density, int seeds) const;
+
+    /**
+     * Train and validate every combination in @p space for a scenario,
+     * inserting all records into @p database.
+     *
+     * @return Number of policies added.
+     */
+    int trainAll(const nn::PolicySpace &space, ObstacleDensity density,
+                 PolicyDatabase &database) const;
+
+    const TrainerConfig &config() const { return cfg; }
+
+  private:
+    TrainerConfig cfg;
+};
+
+} // namespace autopilot::airlearning
+
+#endif // AUTOPILOT_AIRLEARNING_TRAINER_H

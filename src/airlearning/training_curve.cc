@@ -1,0 +1,59 @@
+#include "airlearning/training_curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autopilot::airlearning
+{
+
+LearningCurve::LearningCurve(double asymptote_quality,
+                             std::int64_t model_params,
+                             const LearningCurveParams &params)
+    : asymptote(asymptote_quality), curveParams(params)
+{
+    util::fatalIf(asymptote_quality < 0.0 || asymptote_quality > 1.0,
+                  "LearningCurve: asymptote outside [0, 1]");
+    util::fatalIf(model_params < 0,
+                  "LearningCurve: negative parameter count");
+    util::fatalIf(params.convergenceFraction <= 0.0 ||
+                      params.convergenceFraction >= 1.0,
+                  "LearningCurve: convergence fraction outside (0, 1)");
+    tau = params.tauBaseSteps +
+          params.tauPerMparamSteps * (model_params * 1e-6);
+}
+
+double
+LearningCurve::qualityAtStep(double steps) const
+{
+    util::fatalIf(steps < 0.0, "LearningCurve: negative steps");
+    return asymptote * (1.0 - std::exp(-steps / tau));
+}
+
+double
+LearningCurve::stepsToConverge() const
+{
+    // Solve q(t) = fraction * asymptote.
+    return -tau * std::log(1.0 - curveParams.convergenceFraction);
+}
+
+bool
+LearningCurve::convergesWithinBudget() const
+{
+    return stepsToConverge() <= curveParams.stepBudget;
+}
+
+double
+LearningCurve::trainingSteps() const
+{
+    return std::min(stepsToConverge(), curveParams.stepBudget);
+}
+
+double
+LearningCurve::achievedQuality() const
+{
+    return qualityAtStep(trainingSteps());
+}
+
+} // namespace autopilot::airlearning

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reinforcement-learning training-curve model.
+ *
+ * Section IV: "each E2E model is trained for one million steps or until
+ * convergence". We model the learning curve as a saturating exponential
+ * q(t) = q_inf * (1 - exp(-t / tau)) whose time constant grows with
+ * model capacity (bigger policies need more samples), and expose the
+ * two quantities Phase 1 records: the steps actually spent (converged
+ * early or capped at the budget) and whether the budget sufficed.
+ */
+
+#ifndef AUTOPILOT_AIRLEARNING_TRAINING_CURVE_H
+#define AUTOPILOT_AIRLEARNING_TRAINING_CURVE_H
+
+#include <cstdint>
+
+namespace autopilot::airlearning
+{
+
+/** Learning-curve shape parameters. */
+struct LearningCurveParams
+{
+    double tauBaseSteps = 1.5e5;    ///< Time constant of a tiny policy.
+    double tauPerMparamSteps = 8e3; ///< Extra tau per million params.
+    double convergenceFraction = 0.97; ///< "Converged" threshold.
+    double stepBudget = 1e6;        ///< Section IV's training budget.
+};
+
+/** Saturating-exponential learning curve for one policy. */
+class LearningCurve
+{
+  public:
+    /**
+     * @param asymptote_quality Final policy quality (the surrogate's q).
+     * @param model_params      Parameter count of the network.
+     * @param params            Curve shape parameters.
+     */
+    LearningCurve(double asymptote_quality, std::int64_t model_params,
+                  const LearningCurveParams &params =
+                      LearningCurveParams());
+
+    /** Time constant in environment steps. */
+    double tauSteps() const { return tau; }
+
+    /** Quality after @p steps of training. */
+    double qualityAtStep(double steps) const;
+
+    /** Steps to reach the convergence fraction of the asymptote. */
+    double stepsToConverge() const;
+
+    /** True when convergence happens within the step budget. */
+    bool convergesWithinBudget() const;
+
+    /**
+     * Steps Phase 1 actually spends: min(stepsToConverge, budget),
+     * matching "one million steps or until convergence".
+     */
+    double trainingSteps() const;
+
+    /** Quality actually reached after trainingSteps(). */
+    double achievedQuality() const;
+
+  private:
+    double asymptote;
+    double tau;
+    LearningCurveParams curveParams;
+};
+
+} // namespace autopilot::airlearning
+
+#endif // AUTOPILOT_AIRLEARNING_TRAINING_CURVE_H

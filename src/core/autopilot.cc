@@ -1,0 +1,178 @@
+#include "core/autopilot.h"
+
+#include <algorithm>
+
+#include "power/mass_model.h"
+#include "uav/f1_model.h"
+#include "util/logging.h"
+
+namespace autopilot::core
+{
+
+std::string
+strategyName(DesignStrategy strategy)
+{
+    switch (strategy) {
+      case DesignStrategy::HighThroughput: return "HT";
+      case DesignStrategy::LowPower:       return "LP";
+      case DesignStrategy::HighEfficiency: return "HE";
+      case DesignStrategy::AutoPilotPick:  return "AP";
+    }
+    return "?";
+}
+
+AutoPilot::AutoPilot(const TaskSpec &task) : taskSpec(task)
+{
+    util::fatalIf(taskSpec.validationEpisodes <= 0 ||
+                      taskSpec.dseBudget <= 0,
+                  "AutoPilot: budgets must be positive");
+    util::fatalIf(taskSpec.successTolerance < 0.0 ||
+                      taskSpec.successTolerance > 1.0,
+                  "AutoPilot: success tolerance outside [0, 1]");
+}
+
+const airlearning::PolicyDatabase &
+AutoPilot::phase1()
+{
+    if (!phase1Done) {
+        airlearning::TrainerConfig trainer_config;
+        trainer_config.validationEpisodes = taskSpec.validationEpisodes;
+        trainer_config.seed = taskSpec.seed;
+        const airlearning::Trainer trainer(trainer_config);
+        trainer.trainAll(nn::PolicySpace(), taskSpec.density, database);
+        phase1Done = true;
+    }
+    return database;
+}
+
+const dse::OptimizerResult &
+AutoPilot::phase2()
+{
+    if (!phase2Done) {
+        dse::DseEvaluator evaluator(phase1(), taskSpec.density);
+        dse::BayesOpt optimizer;
+        dse::OptimizerConfig config;
+        config.evaluationBudget = taskSpec.dseBudget;
+        config.seed = taskSpec.seed ^ 0xB0;
+        dseResult = optimizer.optimize(evaluator, config);
+        phase2Done = true;
+    }
+    return dseResult;
+}
+
+FullSystemDesign
+AutoPilot::mapToFullSystem(const dse::Evaluation &eval,
+                           const uav::UavSpec &uav)
+{
+    FullSystemDesign design;
+    design.eval = eval;
+    design.tdpW = eval.npuPowerW;
+
+    const power::MassModel mass_model;
+    design.payloadGrams = mass_model.computePayloadGrams(design.tdpW);
+
+    const uav::MissionModel mission_model(uav);
+    const uav::F1Model f1(uav, design.payloadGrams);
+    design.sensorFps =
+        mission_model.selectSensorFps(f1.kneeThroughputHz());
+
+    design.mission = mission_model.evaluate(
+        design.payloadGrams, eval.socPowerW, eval.fps,
+        static_cast<double>(design.sensorFps));
+    return design;
+}
+
+std::vector<FullSystemDesign>
+AutoPilot::candidatesFor(const uav::UavSpec &uav)
+{
+    const dse::OptimizerResult &result = phase2();
+    util::fatalIf(result.archive.empty(),
+                  "AutoPilot: Phase 2 produced no evaluations");
+
+    double best_success = 0.0;
+    for (const dse::Evaluation &eval : result.archive)
+        best_success = std::max(best_success, eval.successRate);
+
+    std::vector<FullSystemDesign> candidates;
+    std::vector<FullSystemDesign> latency_violators;
+    for (const dse::Evaluation &eval : result.archive) {
+        if (eval.successRate + taskSpec.successTolerance < best_success)
+            continue;
+        FullSystemDesign design = mapToFullSystem(eval, uav);
+        if (taskSpec.maxLatencyMs > 0.0 &&
+            eval.latencyMs > taskSpec.maxLatencyMs) {
+            latency_violators.push_back(std::move(design));
+            continue;
+        }
+        candidates.push_back(std::move(design));
+    }
+    if (candidates.empty() && !latency_violators.empty()) {
+        util::warn("AutoPilot: no candidate meets the " +
+                   std::to_string(taskSpec.maxLatencyMs) +
+                   " ms latency constraint; falling back to the "
+                   "unconstrained set");
+        return latency_violators;
+    }
+    return candidates;
+}
+
+FullSystemDesign
+AutoPilot::selectByStrategy(
+    const std::vector<FullSystemDesign> &candidates,
+    DesignStrategy strategy)
+{
+    util::fatalIf(candidates.empty(),
+                  "AutoPilot::selectByStrategy: no candidates");
+
+    auto pick = [&](auto better) {
+        const FullSystemDesign *best = &candidates.front();
+        for (const FullSystemDesign &candidate : candidates) {
+            if (better(candidate, *best))
+                best = &candidate;
+        }
+        return *best;
+    };
+
+    switch (strategy) {
+      case DesignStrategy::HighThroughput:
+        return pick([](const FullSystemDesign &a,
+                       const FullSystemDesign &b) {
+            return a.eval.fps > b.eval.fps;
+        });
+      case DesignStrategy::LowPower:
+        return pick([](const FullSystemDesign &a,
+                       const FullSystemDesign &b) {
+            return a.eval.socPowerW < b.eval.socPowerW;
+        });
+      case DesignStrategy::HighEfficiency:
+        return pick([](const FullSystemDesign &a,
+                       const FullSystemDesign &b) {
+            return a.eval.fps / a.eval.socPowerW >
+                   b.eval.fps / b.eval.socPowerW;
+        });
+      case DesignStrategy::AutoPilotPick:
+        return pick([](const FullSystemDesign &a,
+                       const FullSystemDesign &b) {
+            if (a.mission.numMissions != b.mission.numMissions)
+                return a.mission.numMissions > b.mission.numMissions;
+            // Tie-break toward lower power (lighter, cooler design).
+            return a.eval.socPowerW < b.eval.socPowerW;
+        });
+    }
+    util::panic("selectByStrategy: unknown strategy");
+}
+
+AutoPilotRun
+AutoPilot::designFor(const uav::UavSpec &uav)
+{
+    AutoPilotRun run;
+    run.uav = uav;
+    run.task = taskSpec;
+    run.dseResult = phase2();
+    run.candidates = candidatesFor(uav);
+    run.selected = selectByStrategy(run.candidates,
+                                    DesignStrategy::AutoPilotPick);
+    return run;
+}
+
+} // namespace autopilot::core

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The AutoPilot methodology facade: the three-phase pipeline of Fig. 1.
+ *
+ *  Phase 1 (domain-specific front end): train and validate E2E policies
+ *  for the task specification; fill the Air Learning database.
+ *
+ *  Phase 2 (domain-agnostic multi-objective DSE): Bayesian optimization
+ *  over the joint Table II space, optimizing {success rate, SoC power,
+ *  inference latency}.
+ *
+ *  Phase 3 (domain-specific back end): filter the candidates with the
+ *  highest success rates, map each through the compute-weight model onto
+ *  the F-1 model of the target vehicle, and select the combination that
+ *  maximizes the number of missions.
+ *
+ * Phases 1 and 2 depend only on the deployment scenario, not the vehicle,
+ * so one AutoPilot instance can lower the same Phase 2 result to several
+ * UAVs ("a bad design point for one UAV type can be a balanced design for
+ * another") - exactly why the methodology is split into three phases.
+ */
+
+#ifndef AUTOPILOT_CORE_AUTOPILOT_H
+#define AUTOPILOT_CORE_AUTOPILOT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "airlearning/database.h"
+#include "airlearning/trainer.h"
+#include "dse/bayesopt.h"
+#include "dse/optimizer.h"
+#include "uav/mission.h"
+#include "uav/uav_spec.h"
+
+namespace autopilot::core
+{
+
+/** High-level task specification (the user input of Fig. 1). */
+struct TaskSpec
+{
+    airlearning::ObstacleDensity density =
+        airlearning::ObstacleDensity::Low;
+    int validationEpisodes = 150;  ///< Phase 1 rollouts per policy.
+    int dseBudget = 110;           ///< Phase 2 evaluation budget.
+    double successTolerance = 0.02;///< Phase 3 filter band below best.
+    /// Hard real-time bound on policy inference (Section III-A's
+    /// "real-time latency constraints"); 0 disables the constraint.
+    /// Candidates violating it are dropped in Phase 3 (with a warning
+    /// fallback to the unconstrained set when nothing survives).
+    double maxLatencyMs = 0.0;
+    std::uint64_t seed = 0xA070D1; ///< Reproducibility seed.
+};
+
+/** A Phase 2 candidate lowered to a full UAV system (Phase 3 view). */
+struct FullSystemDesign
+{
+    dse::Evaluation eval;      ///< Compute-level metrics.
+    double tdpW = 0.0;         ///< NPU power driving heatsink sizing.
+    double payloadGrams = 0.0; ///< PCB + heatsink mass.
+    int sensorFps = 30;        ///< Selected sensor rate.
+    uav::MissionResult mission;///< Mission-level evaluation.
+};
+
+/** Traditional selection strategies of Section V-B. */
+enum class DesignStrategy
+{
+    HighThroughput, ///< Max compute FPS ("HT").
+    LowPower,       ///< Min SoC power ("LP").
+    HighEfficiency, ///< Max FPS/W ("HE").
+    AutoPilotPick,  ///< Phase 3 full-system selection ("AP").
+};
+
+/** Short strategy label ("HT", "LP", "HE", "AP"). */
+std::string strategyName(DesignStrategy strategy);
+
+/** Complete record of one AutoPilot run for one vehicle. */
+struct AutoPilotRun
+{
+    uav::UavSpec uav;
+    TaskSpec task;
+    dse::OptimizerResult dseResult;          ///< Phase 2 archive.
+    std::vector<FullSystemDesign> candidates;///< Phase 3 mapped set.
+    FullSystemDesign selected;               ///< The AP design.
+};
+
+/** The three-phase pipeline, with Phase 1/2 results cached for reuse. */
+class AutoPilot
+{
+  public:
+    /** @param task Task specification shared by every vehicle. */
+    explicit AutoPilot(const TaskSpec &task);
+
+    /** Phase 1: lazily train/validate all template policies. */
+    const airlearning::PolicyDatabase &phase1();
+
+    /** Phase 2: lazily run the multi-objective DSE (runs Phase 1). */
+    const dse::OptimizerResult &phase2();
+
+    /**
+     * Phase 3: lower the Phase 2 candidates to @p uav and select the
+     * design that maximizes the number of missions.
+     */
+    AutoPilotRun designFor(const uav::UavSpec &uav);
+
+    /**
+     * Map one Phase 2 evaluation to a full-system design on a vehicle
+     * (compute weight model + sensor selection + mission model).
+     */
+    static FullSystemDesign mapToFullSystem(const dse::Evaluation &eval,
+                                            const uav::UavSpec &uav);
+
+    /**
+     * The Phase 3 candidate set for a vehicle: Phase 2 archive entries
+     * whose success rate is within the tolerance of the best, each mapped
+     * to the full system.
+     */
+    std::vector<FullSystemDesign>
+    candidatesFor(const uav::UavSpec &uav);
+
+    /**
+     * Pick a design from a candidate set by a selection strategy; used by
+     * the Section V-B pitfall studies.
+     */
+    static FullSystemDesign
+    selectByStrategy(const std::vector<FullSystemDesign> &candidates,
+                     DesignStrategy strategy);
+
+    const TaskSpec &task() const { return taskSpec; }
+
+  private:
+    TaskSpec taskSpec;
+    bool phase1Done = false;
+    bool phase2Done = false;
+    airlearning::PolicyDatabase database;
+    dse::OptimizerResult dseResult;
+};
+
+} // namespace autopilot::core
+
+#endif // AUTOPILOT_CORE_AUTOPILOT_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Mission-level evaluation of baseline platforms on a target vehicle,
+ * used by the Fig. 5 and Table V comparisons.
+ */
+
+#ifndef AUTOPILOT_CORE_BASELINE_EVAL_H
+#define AUTOPILOT_CORE_BASELINE_EVAL_H
+
+#include <string>
+
+#include "core/baselines.h"
+#include "uav/mission.h"
+#include "uav/uav_spec.h"
+
+namespace autopilot::core
+{
+
+/** Full-system evaluation of one baseline platform on one vehicle. */
+struct BaselineMissionResult
+{
+    std::string platformName;
+    double fps = 0.0;        ///< Achieved policy inference rate.
+    double computePowerW = 0.0; ///< Board + sensor + interface power.
+    double payloadGrams = 0.0;
+    int sensorFps = 30;
+    uav::MissionResult mission;
+};
+
+/**
+ * Run a baseline platform through the same Phase 3 pipeline as AutoPilot
+ * candidates: board mass as the compute payload, board power plus the
+ * fixed sensor/interface power, sensor rate chosen against the vehicle's
+ * knee point.
+ *
+ * @param platform Baseline spec.
+ * @param model    Policy network the platform must run.
+ * @param uav      Target vehicle.
+ */
+BaselineMissionResult evaluateBaselineOnUav(
+    const BaselinePlatform &platform, const nn::Model &model,
+    const uav::UavSpec &uav);
+
+} // namespace autopilot::core
+
+#endif // AUTOPILOT_CORE_BASELINE_EVAL_H

@@ -1,0 +1,74 @@
+#include "core/baselines.h"
+
+#include "util/logging.h"
+
+namespace autopilot::core
+{
+
+double
+BaselinePlatform::framesPerSecond(const nn::Model &model) const
+{
+    if (fixedThroughput)
+        return fixedFps;
+    util::fatalIf(model.empty(),
+                  "BaselinePlatform::framesPerSecond: empty model");
+    const double gmacs =
+        static_cast<double>(model.totalMacs()) * 1e-9;
+    util::panicIf(gmacs <= 0.0, "BaselinePlatform: zero-MAC model");
+    return effectiveGmacPerS / gmacs;
+}
+
+BaselinePlatform
+jetsonTx2()
+{
+    BaselinePlatform platform;
+    platform.name = "Jetson TX2";
+    // Batch-1 FP16 policy inference achieves a small fraction of the
+    // 1.3 TFLOP/s peak: latency- and bandwidth-bound.
+    platform.effectiveGmacPerS = 55.0;
+    platform.runPowerW = 12.0;
+    platform.massGrams = 85.0;
+    return platform;
+}
+
+BaselinePlatform
+xavierNx()
+{
+    BaselinePlatform platform;
+    platform.name = "Xavier NX";
+    platform.effectiveGmacPerS = 110.0;
+    platform.runPowerW = 10.0;
+    platform.massGrams = 75.0;
+    return platform;
+}
+
+BaselinePlatform
+intelNcs()
+{
+    BaselinePlatform platform;
+    platform.name = "Intel NCS";
+    platform.effectiveGmacPerS = 15.0;
+    platform.runPowerW = 1.5;
+    platform.massGrams = 40.0; // Stick plus a host microcontroller board.
+    return platform;
+}
+
+BaselinePlatform
+pulpDronet()
+{
+    BaselinePlatform platform;
+    platform.name = "P-DroNet";
+    platform.fixedThroughput = true;
+    platform.fixedFps = 6.0;   // Reported numbers, used "as is".
+    platform.runPowerW = 0.064;
+    platform.massGrams = 5.0;  // No heatsink; minimal carrier.
+    return platform;
+}
+
+std::vector<BaselinePlatform>
+figure5Baselines()
+{
+    return {jetsonTx2(), xavierNx(), pulpDronet()};
+}
+
+} // namespace autopilot::core

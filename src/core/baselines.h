@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Baseline compute platforms (Section V-A / Table V).
+ *
+ * The paper compares AutoPilot-generated DSSoCs against general-purpose
+ * boards (Jetson TX2, Xavier NX, Intel NCS) and the PULP-DroNet chip.
+ * These are modelled at spec level - achieved effective GMAC/s on
+ * batch-1 INT8/FP16 policy inference, board power while running, and
+ * board mass (module + carrier, heatsink included) - which is exactly how
+ * the paper treats them (PULP's 6 FPS @ 64 mW is taken from its paper
+ * "as is", an optimistic assumption the comparison keeps).
+ */
+
+#ifndef AUTOPILOT_CORE_BASELINES_H
+#define AUTOPILOT_CORE_BASELINES_H
+
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace autopilot::core
+{
+
+/** Spec-level model of an off-the-shelf compute platform. */
+struct BaselinePlatform
+{
+    std::string name;
+    double effectiveGmacPerS = 0.0; ///< Achieved batch-1 throughput.
+    double runPowerW = 0.0;         ///< Board power while inferring.
+    double massGrams = 0.0;         ///< Board + heatsink mass.
+    bool fixedThroughput = false;   ///< True: fps is model-independent.
+    double fixedFps = 0.0;          ///< Used when fixedThroughput.
+
+    /** Inference rate for a given policy network, frames/s. */
+    double framesPerSecond(const nn::Model &model) const;
+};
+
+/** NVIDIA Jetson TX2 (general purpose). */
+BaselinePlatform jetsonTx2();
+
+/** NVIDIA Xavier NX (general purpose). */
+BaselinePlatform xavierNx();
+
+/** Intel Neural Compute Stick (general purpose, Table V). */
+BaselinePlatform intelNcs();
+
+/**
+ * PULP / GAP8 running DroNet [60]: the paper's optimistic assumption of
+ * 6 FPS at 64 mW even for the 109x larger AutoPilot policies.
+ */
+BaselinePlatform pulpDronet();
+
+/** The Fig. 5 comparison set: TX2, Xavier NX, PULP. */
+std::vector<BaselinePlatform> figure5Baselines();
+
+} // namespace autopilot::core
+
+#endif // AUTOPILOT_CORE_BASELINES_H

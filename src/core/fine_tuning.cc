@@ -1,0 +1,71 @@
+#include "core/fine_tuning.h"
+
+#include <algorithm>
+
+#include "power/npu_power.h"
+#include "power/soc_power.h"
+#include "power/technology.h"
+#include "systolic/engine.h"
+#include "util/logging.h"
+
+namespace autopilot::core
+{
+
+dse::Evaluation
+ArchitecturalTuner::reevaluate(const dse::DesignPoint &point,
+                               double success_rate, int technology_nm)
+{
+    util::fatalIf(success_rate < 0.0 || success_rate > 1.0,
+                  "ArchitecturalTuner: success rate outside [0, 1]");
+
+    dse::Evaluation eval;
+    eval.point = point;
+    eval.successRate = success_rate;
+
+    const nn::Model model = nn::buildE2EModel(point.policy);
+    const systolic::AnalyticalEngine engine(point.accel);
+    const systolic::RunResult run = engine.run(model);
+
+    const power::TechnologyNode node =
+        power::technologyNode(technology_nm);
+    const power::NpuPowerModel npu(point.accel, node);
+    eval.npuPowerW = npu.averagePowerW(run);
+    eval.socPowerW = power::socPower(eval.npuPowerW).totalW();
+    eval.latencyMs = run.runtimeSeconds(point.accel.clockGhz) * 1e3;
+    eval.fps = run.framesPerSecond(point.accel.clockGhz);
+    eval.objectives = {1.0 - eval.successRate, eval.socPowerW,
+                       eval.latencyMs};
+    return eval;
+}
+
+dse::Evaluation
+ArchitecturalTuner::scaleFrequency(const dse::Evaluation &eval,
+                                   double target_fps, double min_ghz,
+                                   double max_ghz)
+{
+    util::fatalIf(target_fps <= 0.0,
+                  "scaleFrequency: target fps must be positive");
+    util::fatalIf(min_ghz <= 0.0 || max_ghz < min_ghz,
+                  "scaleFrequency: bad clock window");
+    util::fatalIf(eval.fps <= 0.0,
+                  "scaleFrequency: evaluation has no throughput");
+
+    dse::DesignPoint tuned = eval.point;
+    const double ratio = target_fps / eval.fps;
+    tuned.accel.clockGhz =
+        std::clamp(tuned.accel.clockGhz * ratio, min_ghz, max_ghz);
+    return reevaluate(tuned, eval.successRate);
+}
+
+dse::Evaluation
+ArchitecturalTuner::scaleTechnology(const dse::Evaluation &eval,
+                                    int technology_nm)
+{
+    const power::TechnologyNode node =
+        power::technologyNode(technology_nm);
+    dse::DesignPoint tuned = eval.point;
+    tuned.accel.clockGhz *= node.frequencyScale;
+    return reevaluate(tuned, eval.successRate, technology_nm);
+}
+
+} // namespace autopilot::core

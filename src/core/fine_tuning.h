@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Architectural fine-tuning (Section III-C).
+ *
+ * When no Phase 2 candidate sits on the F-1 knee point, AutoPilot can
+ * shift a design toward it with frequency scaling and technology-node
+ * scaling before final selection. Both knobs re-run the performance and
+ * power models rather than applying ad-hoc factors: frequency changes the
+ * cycle-time (and therefore the dynamic-power density), a node change
+ * rescales every energy/leakage constant and the achievable clock.
+ */
+
+#ifndef AUTOPILOT_CORE_FINE_TUNING_H
+#define AUTOPILOT_CORE_FINE_TUNING_H
+
+#include "dse/evaluator.h"
+
+namespace autopilot::core
+{
+
+/** Re-evaluation and tuning of individual design points. */
+class ArchitecturalTuner
+{
+  public:
+    /**
+     * Re-run the performance/power models for a design point.
+     *
+     * @param point        Design to evaluate (its clockGhz is honoured).
+     * @param success_rate Phase 1 success rate to carry through.
+     * @param technology_nm Process node (40/28/16/7).
+     */
+    static dse::Evaluation reevaluate(const dse::DesignPoint &point,
+                                      double success_rate,
+                                      int technology_nm = 28);
+
+    /**
+     * Scale the NPU clock so the design's inference rate approaches
+     * @p target_fps (e.g., the F-1 knee point); clamped to a plausible
+     * frequency window.
+     */
+    static dse::Evaluation scaleFrequency(const dse::Evaluation &eval,
+                                          double target_fps,
+                                          double min_ghz = 0.05,
+                                          double max_ghz = 1.2);
+
+    /**
+     * Port the design to another technology node; the clock is scaled by
+     * the node's frequency headroom.
+     */
+    static dse::Evaluation scaleTechnology(const dse::Evaluation &eval,
+                                           int technology_nm);
+};
+
+} // namespace autopilot::core
+
+#endif // AUTOPILOT_CORE_FINE_TUNING_H

@@ -1,0 +1,181 @@
+#include "core/portfolio.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/fine_tuning.h"
+#include "util/logging.h"
+
+namespace autopilot::core
+{
+
+std::string
+PortfolioCell::name() const
+{
+    return uav::uavClassName(vehicle.uavClass) + "/" +
+           airlearning::densityName(density);
+}
+
+double
+PortfolioResult::meanDegradationPct() const
+{
+    if (assignments.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const CellAssignment &assignment : assignments)
+        sum += assignment.degradationPct;
+    return sum / assignments.size();
+}
+
+double
+PortfolioResult::maxDegradationPct() const
+{
+    double worst = 0.0;
+    for (const CellAssignment &assignment : assignments)
+        worst = std::max(worst, assignment.degradationPct);
+    return worst;
+}
+
+PortfolioSelector::PortfolioSelector(const TaskSpec &base_task)
+    : baseTask(base_task)
+{
+    for (airlearning::ObstacleDensity density :
+         airlearning::allDensities()) {
+        TaskSpec task = baseTask;
+        task.density = density;
+        pilots.emplace(density, AutoPilot(task));
+        for (const uav::UavSpec &vehicle : uav::allUavs())
+            cellList.push_back({vehicle, density});
+    }
+}
+
+double
+PortfolioSelector::cellValue(const systolic::AcceleratorConfig &config,
+                             const PortfolioCell &cell,
+                             double *missions_out, double *success_out)
+{
+    const std::string key = config.name() + "@" + cell.name();
+    const auto cached = valueCache.find(key);
+    double missions = 0.0;
+    double success = 0.0;
+    if (cached != valueCache.end()) {
+        missions = cached->second.first;
+        success = cached->second.second;
+    } else {
+        AutoPilot &pilot = pilots.at(cell.density);
+        const auto best =
+            pilot.phase1().best(cell.density);
+        util::panicIf(!best.has_value(),
+                      "PortfolioSelector: empty policy database");
+
+        dse::DesignPoint point;
+        point.policy = best->params;
+        point.accel = config;
+        const dse::Evaluation eval =
+            ArchitecturalTuner::reevaluate(point, best->successRate);
+        const FullSystemDesign design =
+            AutoPilot::mapToFullSystem(eval, cell.vehicle);
+        missions = design.mission.numMissions;
+        success = best->successRate;
+        valueCache.emplace(key, std::make_pair(missions, success));
+    }
+    if (missions_out)
+        *missions_out = missions;
+    if (success_out)
+        *success_out = success;
+    return missions * success;
+}
+
+PortfolioResult
+PortfolioSelector::select(int max_designs)
+{
+    util::fatalIf(max_designs <= 0,
+                  "PortfolioSelector: max_designs must be positive");
+
+    // Candidate pool: distinct accelerator configurations from every
+    // scenario's Phase 3 candidate set (evaluated on that scenario's
+    // reference vehicle set inside candidatesFor).
+    std::vector<systolic::AcceleratorConfig> pool;
+    std::set<std::string> seen;
+    for (airlearning::ObstacleDensity density :
+         airlearning::allDensities()) {
+        AutoPilot &pilot = pilots.at(density);
+        for (const FullSystemDesign &candidate :
+             pilot.candidatesFor(uav::zhangNano())) {
+            const systolic::AcceleratorConfig &config =
+                candidate.eval.point.accel;
+            if (seen.insert(config.name()).second)
+                pool.push_back(config);
+        }
+    }
+    util::fatalIf(pool.empty(), "PortfolioSelector: empty design pool");
+
+    // Per-cell optimum over the whole pool (the "custom silicon
+    // everywhere" reference).
+    std::vector<double> cell_optimal(cellList.size(), 0.0);
+    for (std::size_t c = 0; c < cellList.size(); ++c) {
+        for (const systolic::AcceleratorConfig &config : pool) {
+            double missions = 0.0;
+            cellValue(config, cellList[c], &missions, nullptr);
+            cell_optimal[c] = std::max(cell_optimal[c], missions);
+        }
+    }
+
+    // Greedy cover: each round add the configuration with the largest
+    // marginal fleet value.
+    PortfolioResult result;
+    std::vector<double> best_value(cellList.size(), 0.0);
+    for (int round = 0; round < max_designs; ++round) {
+        double best_gain = 0.0;
+        const systolic::AcceleratorConfig *best_config = nullptr;
+        for (const systolic::AcceleratorConfig &config : pool) {
+            double gain = 0.0;
+            for (std::size_t c = 0; c < cellList.size(); ++c) {
+                const double value =
+                    cellValue(config, cellList[c], nullptr, nullptr);
+                gain += std::max(0.0, value - best_value[c]);
+            }
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_config = &config;
+            }
+        }
+        if (best_config == nullptr || best_gain <= 1e-9)
+            break; // No configuration improves any cell.
+        result.accelerators.push_back(*best_config);
+        for (std::size_t c = 0; c < cellList.size(); ++c) {
+            best_value[c] = std::max(
+                best_value[c],
+                cellValue(*best_config, cellList[c], nullptr, nullptr));
+        }
+    }
+
+    // Final assignment: each cell served by its best portfolio member.
+    for (std::size_t c = 0; c < cellList.size(); ++c) {
+        CellAssignment assignment;
+        assignment.cellName = cellList[c].name();
+        double best = -1.0;
+        for (std::size_t d = 0; d < result.accelerators.size(); ++d) {
+            double missions = 0.0;
+            double success = 0.0;
+            const double value = cellValue(result.accelerators[d],
+                                           cellList[c], &missions,
+                                           &success);
+            if (value > best) {
+                best = value;
+                assignment.designIndex = d;
+                assignment.missions = missions;
+                assignment.successRate = success;
+            }
+        }
+        assignment.cellOptimalMissions = cell_optimal[c];
+        assignment.degradationPct =
+            cell_optimal[c] > 0.0
+                ? 100.0 * (1.0 - assignment.missions / cell_optimal[c])
+                : 0.0;
+        result.assignments.push_back(assignment);
+    }
+    return result;
+}
+
+} // namespace autopilot::core

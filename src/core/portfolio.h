@@ -1,0 +1,101 @@
+/**
+ * @file
+ * DSSoC portfolio selection: Section VI turned into an algorithm.
+ *
+ * Table V shows that reusing one DSSoC across deployment scenarios costs
+ * missions, while a design per scenario costs silicon. A fleet operator
+ * covering several vehicles and scenarios therefore faces a set-cover
+ * question: how few distinct accelerator configurations cover all
+ * (vehicle, scenario) cells with acceptable degradation?
+ *
+ * The selector pools the accelerator configurations AutoPilot's Phase 2
+ * produces for each scenario, evaluates every configuration on every
+ * cell (the policy is retrained per scenario - software is free, silicon
+ * is not - so a cell runs its scenario-best policy on the shared
+ * hardware), and greedily picks configurations that maximize fleet-wide
+ * success-weighted missions. The output quantifies the marginal value of
+ * each additional tape-out.
+ */
+
+#ifndef AUTOPILOT_CORE_PORTFOLIO_H
+#define AUTOPILOT_CORE_PORTFOLIO_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/autopilot.h"
+
+namespace autopilot::core
+{
+
+/** One (vehicle, scenario) deployment cell. */
+struct PortfolioCell
+{
+    uav::UavSpec vehicle;
+    airlearning::ObstacleDensity density =
+        airlearning::ObstacleDensity::Low;
+
+    /** Label like "nano/dense". */
+    std::string name() const;
+};
+
+/** Assignment of one portfolio member to a cell. */
+struct CellAssignment
+{
+    std::string cellName;
+    std::size_t designIndex = 0;  ///< Into PortfolioResult::accelerators.
+    double missions = 0.0;        ///< Achieved on this cell.
+    double successRate = 0.0;     ///< Of the retrained policy.
+    double cellOptimalMissions = 0.0; ///< Per-cell custom design.
+    double degradationPct = 0.0;  ///< vs. the per-cell optimum.
+};
+
+/** Result of a portfolio selection. */
+struct PortfolioResult
+{
+    std::vector<systolic::AcceleratorConfig> accelerators;
+    std::vector<CellAssignment> assignments;
+
+    /** Mean degradation across cells vs. per-cell custom designs. */
+    double meanDegradationPct() const;
+
+    /** Worst-cell degradation. */
+    double maxDegradationPct() const;
+};
+
+/** Greedy portfolio selector over the nine Table IV cells. */
+class PortfolioSelector
+{
+  public:
+    /**
+     * @param base_task Budgets/seed template; the density field is
+     *                  overridden per scenario.
+     */
+    explicit PortfolioSelector(const TaskSpec &base_task);
+
+    /**
+     * Pick up to @p max_designs accelerator configurations covering all
+     * (vehicle, scenario) cells.
+     */
+    PortfolioResult select(int max_designs);
+
+    /** The deployment cells (3 vehicles x 3 scenarios). */
+    const std::vector<PortfolioCell> &cells() const { return cellList; }
+
+  private:
+    TaskSpec baseTask;
+    std::vector<PortfolioCell> cellList;
+    std::map<airlearning::ObstacleDensity, AutoPilot> pilots;
+
+    /** Missions x success of a configuration on a cell (memoized). */
+    double cellValue(const systolic::AcceleratorConfig &config,
+                     const PortfolioCell &cell, double *missions_out,
+                     double *success_out);
+
+    std::map<std::string, std::pair<double, double>> valueCache;
+};
+
+} // namespace autopilot::core
+
+#endif // AUTOPILOT_CORE_PORTFOLIO_H

@@ -1,0 +1,88 @@
+#include "core/report.h"
+
+#include "util/table.h"
+
+namespace autopilot::core
+{
+
+using util::formatDouble;
+using util::formatRatio;
+
+void
+printDesignReport(const FullSystemDesign &design, std::ostream &os)
+{
+    util::Table table({"property", "value"});
+    table.addRow({"policy", nn::policyName(design.eval.point.policy)});
+    table.addRow({"accelerator", design.eval.point.accel.name()});
+    table.addRow({"success rate",
+                  formatDouble(design.eval.successRate * 100, 1) +
+                      " %"});
+    table.addRow({"inference rate",
+                  formatDouble(design.eval.fps, 1) + " FPS"});
+    table.addRow({"latency",
+                  formatDouble(design.eval.latencyMs, 1) + " ms"});
+    table.addRow({"NPU power",
+                  formatDouble(design.eval.npuPowerW, 2) + " W"});
+    table.addRow({"SoC power",
+                  formatDouble(design.eval.socPowerW, 2) + " W"});
+    table.addRow({"compute payload",
+                  formatDouble(design.payloadGrams, 1) + " g"});
+    table.addRow({"sensor", std::to_string(design.sensorFps) + " FPS"});
+    table.addRow({"action throughput",
+                  formatDouble(design.mission.actionThroughputHz, 1) +
+                      " Hz"});
+    table.addRow({"knee point",
+                  formatDouble(design.mission.kneeThroughputHz, 1) +
+                      " Hz"});
+    table.addRow(
+        {"provisioning",
+         uav::provisioningName(design.mission.provisioning)});
+    table.addRow({"safe velocity",
+                  formatDouble(design.mission.safeVelocityMps, 1) +
+                      " m/s"});
+    table.addRow({"missions / charge",
+                  formatDouble(design.mission.numMissions, 1)});
+    table.print(os);
+}
+
+void
+printRunReport(const AutoPilotRun &run, std::ostream &os)
+{
+    os << "AutoPilot run: " << run.uav.name << ", "
+       << airlearning::densityName(run.task.density)
+       << " obstacles\n";
+    os << "Phase 2 archive: " << run.dseResult.archive.size()
+       << " designs (" << run.dseResult.front().size()
+       << " Pareto-optimal); Phase 3 candidates: "
+       << run.candidates.size() << "\n\n";
+    os << "Selected design:\n";
+    printDesignReport(run.selected, os);
+}
+
+void
+printStrategyComparison(const std::vector<FullSystemDesign> &candidates,
+                        std::ostream &os)
+{
+    util::Table table({"strategy", "design", "FPS", "SoC W", "FPS/W",
+                       "payload g", "v_safe m/s", "missions"});
+    for (DesignStrategy strategy :
+         {DesignStrategy::HighThroughput, DesignStrategy::LowPower,
+          DesignStrategy::HighEfficiency,
+          DesignStrategy::AutoPilotPick}) {
+        const FullSystemDesign design =
+            AutoPilot::selectByStrategy(candidates, strategy);
+        table.addRow(
+            {strategyName(strategy),
+             nn::policyName(design.eval.point.policy) + " / " +
+                 design.eval.point.accel.name(),
+             formatDouble(design.eval.fps, 1),
+             formatDouble(design.eval.socPowerW, 2),
+             formatDouble(design.eval.fps / design.eval.socPowerW, 1),
+             formatDouble(design.payloadGrams, 1),
+             formatDouble(design.mission.safeVelocityMps, 1),
+             formatDouble(design.mission.numMissions, 1)});
+    }
+    table.print(os);
+}
+
+} // namespace autopilot::core

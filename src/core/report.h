@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Textual reports for AutoPilot runs: one place that renders designs,
+ * candidate sets and comparisons so examples and downstream tools agree
+ * on the format.
+ */
+
+#ifndef AUTOPILOT_CORE_REPORT_H
+#define AUTOPILOT_CORE_REPORT_H
+
+#include <ostream>
+
+#include "core/autopilot.h"
+
+namespace autopilot::core
+{
+
+/** Print one full-system design as a two-column property table. */
+void printDesignReport(const FullSystemDesign &design, std::ostream &os);
+
+/**
+ * Print the whole run: task, Phase 2 statistics, the candidate set and
+ * the selected design with its mission metrics.
+ */
+void printRunReport(const AutoPilotRun &run, std::ostream &os);
+
+/**
+ * Print the four strategy picks (HT/LP/HE/AP) from a candidate set side
+ * by side - the Section V-B comparison view.
+ */
+void printStrategyComparison(
+    const std::vector<FullSystemDesign> &candidates, std::ostream &os);
+
+} // namespace autopilot::core
+
+#endif // AUTOPILOT_CORE_REPORT_H

@@ -1,0 +1,173 @@
+#include "core/taxonomy.h"
+
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace autopilot::core
+{
+
+std::string
+domainName(Domain domain)
+{
+    switch (domain) {
+      case Domain::Uav:              return "UAV";
+      case Domain::SelfDrivingCar:   return "Self-Driving Car";
+      case Domain::ArticulatedRobot: return "Articulated Robot";
+    }
+    return "?";
+}
+
+std::string
+paradigmName(Paradigm paradigm)
+{
+    switch (paradigm) {
+      case Paradigm::EndToEnd:     return "E2E";
+      case Paradigm::SensePlanAct: return "SPA";
+      case Paradigm::Hybrid:       return "Hybrid (PPC+NN)";
+    }
+    return "?";
+}
+
+std::string
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::DomainSpecificFrontEnd:
+        return "Domain-Specific Front End";
+      case Phase::MultiObjectiveDse:
+        return "Domain-Agnostic Multi-Objective DSE";
+      case Phase::DomainSpecificBackEnd:
+        return "Domain-Specific Back End";
+    }
+    return "?";
+}
+
+const std::vector<TaxonomyEntry> &
+taxonomyTable()
+{
+    static const std::vector<TaxonomyEntry> table = {
+        // --- This work: UAV / E2E (highlighted in the paper) ---
+        {Domain::Uav, Paradigm::EndToEnd,
+         Phase::DomainSpecificFrontEnd,
+         {"Air Learning"},
+         true},
+        {Domain::Uav, Paradigm::EndToEnd, Phase::MultiObjectiveDse,
+         {"Systolic Arrays (SCALE-Sim)", "Bayesian Optimization"},
+         true},
+        {Domain::Uav, Paradigm::EndToEnd, Phase::DomainSpecificBackEnd,
+         {"F-1 Model"},
+         true},
+
+        // --- UAV generalizations ---
+        {Domain::Uav, Paradigm::EndToEnd,
+         Phase::DomainSpecificFrontEnd,
+         {"PEDRA", "AirSim", "Gym-FC"},
+         false},
+        {Domain::Uav, Paradigm::EndToEnd, Phase::MultiObjectiveDse,
+         {"Gemmini", "Simba", "Edge-TPU", "Eyeriss",
+          "Mind Mappings", "MAESTRO", "Movidius", "MCU", "PULP",
+          "MAGNet", "BO", "RL", "GA", "SA"},
+         false},
+        {Domain::Uav, Paradigm::SensePlanAct,
+         Phase::DomainSpecificFrontEnd,
+         {"MAVBench"},
+         false},
+        {Domain::Uav, Paradigm::SensePlanAct, Phase::MultiObjectiveDse,
+         {"Navion (SLAM/VIO)", "OctoMap/OMU (mapping)",
+          "RoboX (motion planning)", "BO", "RL", "GA", "SA"},
+         false},
+        {Domain::Uav, Paradigm::SensePlanAct,
+         Phase::DomainSpecificBackEnd,
+         {"F-1 Model"},
+         false},
+
+        // --- Self-driving cars ---
+        {Domain::SelfDrivingCar, Paradigm::Hybrid,
+         Phase::DomainSpecificFrontEnd,
+         {"CARLA", "Apollo", "AirSim"},
+         false},
+        {Domain::SelfDrivingCar, Paradigm::Hybrid,
+         Phase::MultiObjectiveDse,
+         {"Systolic Arrays", "Simba", "Eyeriss", "EyeQ", "Tesla FSD",
+          "MAGNet", "BO", "RL", "GA", "SA"},
+         false},
+        {Domain::SelfDrivingCar, Paradigm::Hybrid,
+         Phase::DomainSpecificBackEnd,
+         {"Intel RSS", "Nvidia SFF"},
+         false},
+
+        // --- Articulated robots ---
+        {Domain::ArticulatedRobot, Paradigm::EndToEnd,
+         Phase::DomainSpecificFrontEnd,
+         {"Robot Farms (QT-Opt)", "Gazebo"},
+         false},
+        {Domain::ArticulatedRobot, Paradigm::EndToEnd,
+         Phase::MultiObjectiveDse,
+         {"Systolic Arrays", "Simba", "Eyeriss", "MAGNet", "BO", "RL",
+          "GA", "SA"},
+         false},
+        {Domain::ArticulatedRobot, Paradigm::SensePlanAct,
+         Phase::DomainSpecificFrontEnd,
+         {"Gazebo"},
+         false},
+        {Domain::ArticulatedRobot, Paradigm::SensePlanAct,
+         Phase::MultiObjectiveDse,
+         {"SLAM accelerators", "OctoMap", "Murray et al.",
+          "Robomorphic Computing", "RACOD", "BO", "RL", "GA", "SA"},
+         false},
+        {Domain::ArticulatedRobot, Paradigm::EndToEnd,
+         Phase::DomainSpecificBackEnd,
+         {"ANYpulator safety model"},
+         false},
+    };
+    return table;
+}
+
+std::vector<std::string>
+componentsFor(Domain domain, Paradigm paradigm, Phase phase)
+{
+    std::vector<std::string> components;
+    for (const TaxonomyEntry &entry : taxonomyTable()) {
+        if (entry.domain == domain && entry.paradigm == paradigm &&
+            entry.phase == phase) {
+            components.insert(components.end(),
+                              entry.components.begin(),
+                              entry.components.end());
+        }
+    }
+    return components;
+}
+
+bool
+implementedHere(Domain domain, Paradigm paradigm)
+{
+    for (const TaxonomyEntry &entry : taxonomyTable()) {
+        if (entry.domain == domain && entry.paradigm == paradigm &&
+            entry.thisWork) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+printTaxonomy(std::ostream &os)
+{
+    util::Table table({"domain", "paradigm", "phase", "components",
+                       "this work"});
+    for (const TaxonomyEntry &entry : taxonomyTable()) {
+        std::string components;
+        for (const std::string &component : entry.components) {
+            if (!components.empty())
+                components += ", ";
+            components += component;
+        }
+        table.addRow({domainName(entry.domain),
+                      paradigmName(entry.paradigm),
+                      phaseName(entry.phase), components,
+                      entry.thisWork ? "*" : ""});
+    }
+    table.print(os);
+}
+
+} // namespace autopilot::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The AutoPilot generalization taxonomy (Table VI): for each autonomous
+ * vehicle domain and autonomy paradigm, the components that can fill
+ * each of the three methodology phases. Encoded as queryable data so
+ * tools can enumerate, filter and print it; the paper's own UAV/E2E row
+ * (the configuration this library implements) is marked.
+ */
+
+#ifndef AUTOPILOT_CORE_TAXONOMY_H
+#define AUTOPILOT_CORE_TAXONOMY_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace autopilot::core
+{
+
+/** Autonomous-vehicle domain (Table VI rows). */
+enum class Domain
+{
+    Uav,
+    SelfDrivingCar,
+    ArticulatedRobot,
+};
+
+/** Autonomy algorithm paradigm. */
+enum class Paradigm
+{
+    EndToEnd,
+    SensePlanAct,
+    Hybrid, ///< PPC + NN (self-driving).
+};
+
+/** Methodology phase (Fig. 1 / Table VI columns). */
+enum class Phase
+{
+    DomainSpecificFrontEnd,
+    MultiObjectiveDse,
+    DomainSpecificBackEnd,
+};
+
+std::string domainName(Domain domain);
+std::string paradigmName(Paradigm paradigm);
+std::string phaseName(Phase phase);
+
+/** One Table VI entry. */
+struct TaxonomyEntry
+{
+    Domain domain = Domain::Uav;
+    Paradigm paradigm = Paradigm::EndToEnd;
+    Phase phase = Phase::DomainSpecificFrontEnd;
+    std::vector<std::string> components;
+    bool thisWork = false; ///< Highlighted (green) in the paper.
+};
+
+/** The full Table VI content. */
+const std::vector<TaxonomyEntry> &taxonomyTable();
+
+/** Entries for one (domain, paradigm, phase) cell. */
+std::vector<std::string> componentsFor(Domain domain, Paradigm paradigm,
+                                       Phase phase);
+
+/** True when the library implements this (domain, paradigm) row. */
+bool implementedHere(Domain domain, Paradigm paradigm);
+
+/** Print the taxonomy as the paper's Table VI layout. */
+void printTaxonomy(std::ostream &os);
+
+} // namespace autopilot::core
+
+#endif // AUTOPILOT_CORE_TAXONOMY_H

@@ -1,0 +1,120 @@
+#include "dse/annealing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace autopilot::dse
+{
+
+SimulatedAnnealing::SimulatedAnnealing()
+    : SimulatedAnnealing(Settings())
+{
+}
+
+SimulatedAnnealing::SimulatedAnnealing(const Settings &settings)
+    : cfg(settings)
+{
+    util::fatalIf(cfg.initialTemperature <= 0.0 || cfg.coolingRate <= 0.0 ||
+                      cfg.coolingRate >= 1.0,
+                  "SimulatedAnnealing: bad schedule parameters");
+    util::fatalIf(cfg.weightResamplePeriod < 1,
+                  "SimulatedAnnealing: bad weight resample period");
+}
+
+OptimizerResult
+SimulatedAnnealing::optimize(DseEvaluator &evaluator,
+                             const OptimizerConfig &config)
+{
+    util::Rng rng(config.seed);
+    const DesignSpace &space = evaluator.space();
+
+    OptimizerResult result;
+    int evaluated = 0;
+
+    // Objective scales for the Chebyshev scalarization: use the reference
+    // point as a per-objective normalizer.
+    const Objectives &reference = config.referencePoint;
+    auto scalarize = [&](const Objectives &objectives,
+                         const std::vector<double> &weights) {
+        double worst = 0.0;
+        for (std::size_t d = 0; d < objectives.size(); ++d) {
+            const double normalized = objectives[d] / reference[d];
+            worst = std::max(worst, weights[d] * normalized);
+        }
+        return worst;
+    };
+
+    auto random_weights = [&](std::size_t dims) {
+        std::vector<double> weights(dims, 0.0);
+        double sum = 0.0;
+        for (double &w : weights) {
+            w = -std::log(std::max(rng.uniform(), 1e-12));
+            sum += w;
+        }
+        for (double &w : weights)
+            w /= sum;
+        return weights;
+    };
+
+    Encoding current = space.randomEncoding(rng);
+    if (recordEvaluation(evaluator, current, config, result))
+        ++evaluated;
+    Objectives current_objectives =
+        evaluator.evaluate(current).objectives;
+
+    std::vector<double> weights =
+        random_weights(current_objectives.size());
+    double temperature = cfg.initialTemperature;
+    int steps_since_resample = 0;
+    int stagnant = 0;
+
+    while (evaluated < config.evaluationBudget && stagnant < 2000) {
+        if (++steps_since_resample >= cfg.weightResamplePeriod) {
+            weights = random_weights(current_objectives.size());
+            steps_since_resample = 0;
+        }
+
+        const Encoding proposal = space.neighbor(current, rng);
+        const bool fresh =
+            recordEvaluation(evaluator, proposal, config, result);
+        if (fresh)
+            ++evaluated;
+        else
+            ++stagnant;
+        const Objectives &proposal_objectives =
+            evaluator.evaluate(proposal).objectives;
+
+        const double current_energy =
+            scalarize(current_objectives, weights);
+        const double proposal_energy =
+            scalarize(proposal_objectives, weights);
+        const double delta = proposal_energy - current_energy;
+        const bool accept =
+            delta <= 0.0 ||
+            rng.uniform() < std::exp(-delta / std::max(temperature, 1e-9));
+        if (accept) {
+            current = proposal;
+            current_objectives = proposal_objectives;
+            if (fresh)
+                stagnant = 0;
+        }
+        temperature *= cfg.coolingRate;
+
+        // Occasional restart keeps the chain from freezing in a corner of
+        // the discrete lattice once the temperature is tiny.
+        if (temperature < 1e-3) {
+            temperature = cfg.initialTemperature * 0.5;
+            current = space.randomEncoding(rng);
+            if (recordEvaluation(evaluator, current, config, result))
+                ++evaluated;
+            current_objectives = evaluator.evaluate(current).objectives;
+        }
+    }
+
+    return result;
+}
+
+} // namespace autopilot::dse

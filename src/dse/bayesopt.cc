@@ -1,0 +1,146 @@
+#include "dse/bayesopt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "dse/hypervolume.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace autopilot::dse
+{
+
+BayesOpt::BayesOpt() : BayesOpt(Settings())
+{
+}
+
+BayesOpt::BayesOpt(const Settings &settings) : cfg(settings)
+{
+    util::fatalIf(cfg.initialSamples < 2,
+                  "BayesOpt: need at least 2 initial samples");
+    util::fatalIf(cfg.candidatePool < 1,
+                  "BayesOpt: candidate pool must be positive");
+}
+
+OptimizerResult
+BayesOpt::optimize(DseEvaluator &evaluator, const OptimizerConfig &config)
+{
+    util::Rng rng(config.seed);
+    const DesignSpace &space = evaluator.space();
+
+    OptimizerResult result;
+    std::set<Encoding> visited;
+
+    auto record = [&](const Encoding &encoding) {
+        const bool fresh =
+            recordEvaluation(evaluator, encoding, config, result);
+        visited.insert(encoding);
+        return fresh;
+    };
+
+    // --- Initial random design ---
+    int evaluated = 0;
+    long attempts = 0;
+    const int initial =
+        std::min(cfg.initialSamples, config.evaluationBudget);
+    while (evaluated < initial && attempts < 100000) {
+        ++attempts;
+        if (record(space.randomEncoding(rng)))
+            ++evaluated;
+    }
+
+    // --- Model-guided iterations ---
+    while (evaluated < config.evaluationBudget) {
+        // Fit one GP per objective on the full archive.
+        std::vector<std::vector<double>> inputs;
+        inputs.reserve(result.archive.size());
+        for (const Evaluation &evaluation : result.archive)
+            inputs.push_back(space.features(evaluation.encoding));
+
+        const std::size_t num_objectives =
+            result.archive.front().objectives.size();
+        std::vector<GaussianProcess> models;
+        models.reserve(num_objectives);
+        for (std::size_t d = 0; d < num_objectives; ++d) {
+            std::vector<double> targets;
+            targets.reserve(result.archive.size());
+            for (const Evaluation &evaluation : result.archive)
+                targets.push_back(evaluation.objectives[d]);
+            GaussianProcess gp(cfg.gp);
+            gp.fit(inputs, targets);
+            models.push_back(std::move(gp));
+        }
+
+        // Current front and reference for the S-metric.
+        std::vector<Objectives> archive_points;
+        archive_points.reserve(result.archive.size());
+        for (const Evaluation &evaluation : result.archive)
+            archive_points.push_back(evaluation.objectives);
+        const std::vector<Objectives> front = paretoFront(archive_points);
+        const Objectives reference = config.referencePoint;
+
+        // Candidate pool: random unvisited encodings plus neighbours of
+        // the front (local refinement).
+        std::vector<Encoding> pool;
+        for (int c = 0; c < cfg.candidatePool; ++c) {
+            const Encoding candidate = space.randomEncoding(rng);
+            if (!visited.count(candidate))
+                pool.push_back(candidate);
+        }
+        for (const Evaluation &evaluation : result.archive) {
+            const Encoding candidate =
+                space.neighbor(evaluation.encoding, rng);
+            if (!visited.count(candidate))
+                pool.push_back(candidate);
+        }
+        if (pool.empty())
+            break; // Space exhausted around the archive.
+
+        // Score the pool with the SMS-EGO acquisition.
+        double best_score = -std::numeric_limits<double>::infinity();
+        const Encoding *best_candidate = nullptr;
+        for (const Encoding &candidate : pool) {
+            const std::vector<double> features = space.features(candidate);
+            Objectives lcb(num_objectives, 0.0);
+            for (std::size_t d = 0; d < num_objectives; ++d) {
+                const GpPrediction prediction =
+                    models[d].predict(features);
+                lcb[d] = prediction.mean -
+                         cfg.confidenceGain * prediction.stddev();
+            }
+
+            double score =
+                hypervolumeContribution(front, lcb, reference);
+            if (score <= 0.0) {
+                // Epsilon-dominated candidate: penalty grows with how far
+                // inside the dominated region the LCB point lies.
+                double worst_excess = 0.0;
+                for (const Objectives &member : front) {
+                    if (!epsilonDominates(member, lcb, cfg.epsilon))
+                        continue;
+                    double excess = 0.0;
+                    for (std::size_t d = 0; d < num_objectives; ++d)
+                        excess += std::max(0.0, lcb[d] - member[d]);
+                    worst_excess = std::max(worst_excess, excess);
+                }
+                score = -worst_excess;
+            }
+
+            if (score > best_score) {
+                best_score = score;
+                best_candidate = &candidate;
+            }
+        }
+
+        if (best_candidate == nullptr)
+            break;
+        if (record(*best_candidate))
+            ++evaluated;
+    }
+
+    return result;
+}
+
+} // namespace autopilot::dse

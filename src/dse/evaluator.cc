@@ -1,0 +1,69 @@
+#include "dse/evaluator.h"
+
+#include "power/npu_power.h"
+#include "power/soc_power.h"
+#include "systolic/engine.h"
+#include "util/logging.h"
+
+namespace autopilot::dse
+{
+
+DseEvaluator::DseEvaluator(const airlearning::PolicyDatabase &database,
+                           airlearning::ObstacleDensity density)
+    : policyDb(database), scenario(density)
+{
+}
+
+const Evaluation &
+DseEvaluator::evaluate(const Encoding &encoding)
+{
+    auto it = cache.find(encoding);
+    if (it == cache.end())
+        it = cache.emplace(encoding, compute(encoding)).first;
+    return it->second;
+}
+
+std::vector<Evaluation>
+DseEvaluator::allEvaluations() const
+{
+    std::vector<Evaluation> all;
+    all.reserve(cache.size());
+    for (const auto &[encoding, evaluation] : cache)
+        all.push_back(evaluation);
+    return all;
+}
+
+Evaluation
+DseEvaluator::compute(const Encoding &encoding) const
+{
+    Evaluation evaluation;
+    evaluation.encoding = encoding;
+    evaluation.point = designSpace.decode(encoding);
+
+    const auto record =
+        policyDb.find(evaluation.point.policy, scenario);
+    util::fatalIf(!record.has_value(),
+                  "DseEvaluator: no Phase 1 record for policy " +
+                      nn::policyName(evaluation.point.policy) +
+                      " - run the trainer first");
+    evaluation.successRate = record->successRate;
+
+    const nn::Model model = nn::buildE2EModel(evaluation.point.policy);
+    const systolic::AnalyticalEngine engine(evaluation.point.accel);
+    const systolic::RunResult run = engine.run(model);
+
+    const power::NpuPowerModel npu(evaluation.point.accel);
+    evaluation.npuPowerW = npu.averagePowerW(run);
+    evaluation.socPowerW =
+        power::socPower(evaluation.npuPowerW).totalW();
+
+    const double clock = evaluation.point.accel.clockGhz;
+    evaluation.latencyMs = run.runtimeSeconds(clock) * 1e3;
+    evaluation.fps = run.framesPerSecond(clock);
+
+    evaluation.objectives = {1.0 - evaluation.successRate,
+                             evaluation.socPowerW, evaluation.latencyMs};
+    return evaluation;
+}
+
+} // namespace autopilot::dse

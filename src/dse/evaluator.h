@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The Phase 2 black-box objective function.
+ *
+ * Given a design point, produce the three objectives the paper optimizes
+ * (Section III-B): task success rate (from the Air Learning database),
+ * full-SoC power, and inference latency (both from the systolic simulator
+ * plus the power models). All objectives are returned in minimization
+ * form: {1 - success, SoC watts, latency ms}.
+ *
+ * Evaluations are memoized: architectural simulation is the expensive step
+ * the paper's Bayesian optimization is designed to conserve, and the
+ * optimizers must never pay twice for the same point.
+ */
+
+#ifndef AUTOPILOT_DSE_EVALUATOR_H
+#define AUTOPILOT_DSE_EVALUATOR_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "airlearning/database.h"
+#include "dse/design_space.h"
+#include "dse/pareto.h"
+
+namespace autopilot::dse
+{
+
+/** Full evaluation of one design point. */
+struct Evaluation
+{
+    Encoding encoding{};
+    DesignPoint point;
+    double successRate = 0.0;
+    double npuPowerW = 0.0;
+    double socPowerW = 0.0;
+    double latencyMs = 0.0;
+    double fps = 0.0;
+    Objectives objectives; ///< {1 - success, socPowerW, latencyMs}.
+};
+
+/** Memoizing evaluator bound to one deployment scenario. */
+class DseEvaluator
+{
+  public:
+    /**
+     * @param database Phase 1 policy database; must contain a record for
+     *                 every hyperparameter combination of the space.
+     * @param density  Deployment scenario being designed for.
+     */
+    DseEvaluator(const airlearning::PolicyDatabase &database,
+                 airlearning::ObstacleDensity density);
+
+    /** Evaluate (or return the memoized result for) an encoding. */
+    const Evaluation &evaluate(const Encoding &encoding);
+
+    /** Number of distinct points evaluated so far. */
+    std::size_t evaluationCount() const { return cache.size(); }
+
+    /** All distinct evaluations so far (unspecified order). */
+    std::vector<Evaluation> allEvaluations() const;
+
+    const DesignSpace &space() const { return designSpace; }
+    airlearning::ObstacleDensity density() const { return scenario; }
+
+  private:
+    const airlearning::PolicyDatabase &policyDb;
+    airlearning::ObstacleDensity scenario;
+    DesignSpace designSpace;
+    std::map<Encoding, Evaluation> cache;
+
+    Evaluation compute(const Encoding &encoding) const;
+};
+
+} // namespace autopilot::dse
+
+#endif // AUTOPILOT_DSE_EVALUATOR_H

@@ -1,0 +1,106 @@
+#include "dse/gaussian_process.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace autopilot::dse
+{
+
+using util::fatalIf;
+
+double
+GpPrediction::stddev() const
+{
+    return std::sqrt(std::max(0.0, variance));
+}
+
+GaussianProcess::GaussianProcess() : GaussianProcess(Params())
+{
+}
+
+GaussianProcess::GaussianProcess(const Params &params)
+    : kernelParams(params)
+{
+    fatalIf(params.lengthScale <= 0.0 || params.signalVariance <= 0.0 ||
+                params.noiseVariance < 0.0,
+            "GaussianProcess: bad kernel parameters");
+}
+
+double
+GaussianProcess::kernel(const std::vector<double> &a,
+                        const std::vector<double> &b) const
+{
+    util::panicIf(a.size() != b.size(),
+                  "GaussianProcess::kernel: dimension mismatch");
+    double sq = 0.0;
+    for (std::size_t d = 0; d < a.size(); ++d) {
+        const double diff = (a[d] - b[d]) / kernelParams.lengthScale;
+        sq += diff * diff;
+    }
+    return kernelParams.signalVariance * std::exp(-0.5 * sq);
+}
+
+void
+GaussianProcess::fit(const std::vector<std::vector<double>> &inputs,
+                     const std::vector<double> &targets)
+{
+    fatalIf(inputs.empty() || inputs.size() != targets.size(),
+            "GaussianProcess::fit: empty or mismatched training data");
+
+    trainInputs = inputs;
+
+    // Standardize targets.
+    targetMean = util::mean(targets);
+    targetStd = util::stddev(targets);
+    if (targetStd < 1e-12)
+        targetStd = 1.0;
+    std::vector<double> standardized(targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i)
+        standardized[i] = (targets[i] - targetMean) / targetStd;
+
+    const std::size_t n = inputs.size();
+    util::Matrix gram(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            const double k = kernel(inputs[i], inputs[j]);
+            gram(i, j) = k;
+            gram(j, i) = k;
+        }
+        gram(i, i) += kernelParams.noiseVariance;
+    }
+
+    factor = std::make_unique<util::CholeskyFactor>(gram, 1e-9);
+    alpha = factor->solve(standardized);
+}
+
+GpPrediction
+GaussianProcess::predict(const std::vector<double> &query) const
+{
+    fatalIf(!fitted(), "GaussianProcess::predict: model not fitted");
+
+    const std::size_t n = trainInputs.size();
+    std::vector<double> kstar(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        kstar[i] = kernel(trainInputs[i], query);
+
+    double mean_std = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        mean_std += kstar[i] * alpha[i];
+
+    // Variance: k(x,x) - k*^T K^{-1} k*.
+    const std::vector<double> v = factor->solveLower(kstar);
+    double reduction = 0.0;
+    for (double value : v)
+        reduction += value * value;
+    const double var_std =
+        std::max(0.0, kernelParams.signalVariance - reduction);
+
+    GpPrediction prediction;
+    prediction.mean = mean_std * targetStd + targetMean;
+    prediction.variance = var_std * targetStd * targetStd;
+    return prediction;
+}
+
+} // namespace autopilot::dse

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Gaussian-process regression with a squared-exponential kernel.
+ *
+ * This is the Bayesian statistical model of Section III-B: one GP is fit
+ * per objective function; its posterior mean/variance feed the SMS-EGO
+ * acquisition. The SE kernel is used "due to its simplicity, leading to
+ * fast computation" [65], exactly as in the paper.
+ *
+ * Targets are standardized internally (zero mean, unit variance) so one
+ * set of kernel hyperparameters works across objectives with very
+ * different scales (success fraction vs. watts vs. milliseconds).
+ */
+
+#ifndef AUTOPILOT_DSE_GAUSSIAN_PROCESS_H
+#define AUTOPILOT_DSE_GAUSSIAN_PROCESS_H
+
+#include <memory>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace autopilot::dse
+{
+
+/** GP posterior at one query point. */
+struct GpPrediction
+{
+    double mean = 0.0;
+    double variance = 0.0;
+
+    /** Posterior standard deviation. */
+    double stddev() const;
+};
+
+/** Squared-exponential-kernel GP regressor. */
+class GaussianProcess
+{
+  public:
+    /** Kernel hyperparameters. */
+    struct Params
+    {
+        double lengthScale = 0.25; ///< Shared isotropic length scale.
+        double signalVariance = 1.0;
+        double noiseVariance = 1e-4;
+    };
+
+    /** Construct with default kernel parameters. */
+    GaussianProcess();
+
+    explicit GaussianProcess(const Params &params);
+
+    /**
+     * Fit to training data.
+     *
+     * @param inputs  Feature vectors (all the same dimension, non-empty).
+     * @param targets One target per input.
+     */
+    void fit(const std::vector<std::vector<double>> &inputs,
+             const std::vector<double> &targets);
+
+    /** True after a successful fit(). */
+    bool fitted() const { return factor != nullptr; }
+
+    /** Posterior mean and variance at a query point. */
+    GpPrediction predict(const std::vector<double> &query) const;
+
+    const Params &params() const { return kernelParams; }
+
+  private:
+    Params kernelParams;
+    std::vector<std::vector<double>> trainInputs;
+    std::vector<double> alpha; ///< K^{-1} (y - mean), standardized.
+    std::unique_ptr<util::CholeskyFactor> factor;
+    double targetMean = 0.0;
+    double targetStd = 1.0;
+
+    double kernel(const std::vector<double> &a,
+                  const std::vector<double> &b) const;
+};
+
+} // namespace autopilot::dse
+
+#endif // AUTOPILOT_DSE_GAUSSIAN_PROCESS_H

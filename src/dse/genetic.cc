@@ -1,0 +1,160 @@
+#include "dse/genetic.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace autopilot::dse
+{
+
+namespace
+{
+
+/** Individual: encoding plus cached objectives. */
+struct Individual
+{
+    Encoding genes{};
+    Objectives objectives;
+};
+
+} // namespace
+
+GeneticAlgorithm::GeneticAlgorithm() : GeneticAlgorithm(Settings())
+{
+}
+
+GeneticAlgorithm::GeneticAlgorithm(const Settings &settings) : cfg(settings)
+{
+    util::fatalIf(cfg.populationSize < 4,
+                  "GeneticAlgorithm: population too small");
+    util::fatalIf(cfg.crossoverProb < 0.0 || cfg.crossoverProb > 1.0 ||
+                      cfg.mutationProbPerGene < 0.0 ||
+                      cfg.mutationProbPerGene > 1.0,
+                  "GeneticAlgorithm: probabilities outside [0, 1]");
+}
+
+OptimizerResult
+GeneticAlgorithm::optimize(DseEvaluator &evaluator,
+                           const OptimizerConfig &config)
+{
+    util::Rng rng(config.seed);
+    const DesignSpace &space = evaluator.space();
+
+    OptimizerResult result;
+    int evaluated = 0;
+
+    auto evaluate_individual = [&](const Encoding &genes) {
+        if (evaluated < config.evaluationBudget &&
+            recordEvaluation(evaluator, genes, config, result)) {
+            ++evaluated;
+        }
+        Individual individual;
+        individual.genes = genes;
+        individual.objectives = evaluator.evaluate(genes).objectives;
+        return individual;
+    };
+
+    // Initial population.
+    std::vector<Individual> population;
+    population.reserve(cfg.populationSize);
+    for (int i = 0; i < cfg.populationSize &&
+                    evaluated < config.evaluationBudget;
+         ++i) {
+        population.push_back(
+            evaluate_individual(space.randomEncoding(rng)));
+    }
+    if (population.size() < 4)
+        return result;
+
+    // Rank + crowding of the current population.
+    auto rank_population = [&](const std::vector<Individual> &pop,
+                               std::vector<int> &rank,
+                               std::vector<double> &crowding) {
+        std::vector<Objectives> points;
+        points.reserve(pop.size());
+        for (const Individual &individual : pop)
+            points.push_back(individual.objectives);
+        const auto fronts = nonDominatedSort(points);
+        rank.assign(pop.size(), 0);
+        crowding.assign(pop.size(), 0.0);
+        for (std::size_t f = 0; f < fronts.size(); ++f) {
+            const std::vector<double> dist =
+                crowdingDistance(points, fronts[f]);
+            for (std::size_t i = 0; i < fronts[f].size(); ++i) {
+                rank[fronts[f][i]] = static_cast<int>(f);
+                crowding[fronts[f][i]] = dist[i];
+            }
+        }
+    };
+
+    while (evaluated < config.evaluationBudget) {
+        const int evaluated_before_generation = evaluated;
+        std::vector<int> rank;
+        std::vector<double> crowding;
+        rank_population(population, rank, crowding);
+
+        auto tournament = [&]() -> const Individual & {
+            const std::size_t a = rng.index(population.size());
+            const std::size_t b = rng.index(population.size());
+            if (rank[a] != rank[b])
+                return population[rank[a] < rank[b] ? a : b];
+            return population[crowding[a] > crowding[b] ? a : b];
+        };
+
+        // Offspring generation.
+        std::vector<Individual> offspring;
+        offspring.reserve(cfg.populationSize);
+        while (static_cast<int>(offspring.size()) < cfg.populationSize &&
+               evaluated < config.evaluationBudget) {
+            const Individual &parent_a = tournament();
+            const Individual &parent_b = tournament();
+            Encoding child = parent_a.genes;
+            if (rng.bernoulli(cfg.crossoverProb)) {
+                for (std::size_t g = 0; g < designDims; ++g) {
+                    if (rng.bernoulli(0.5))
+                        child[g] = parent_b.genes[g];
+                }
+            }
+            for (std::size_t g = 0; g < designDims; ++g) {
+                if (rng.bernoulli(cfg.mutationProbPerGene)) {
+                    child[g] = rng.uniformInt(
+                        0, space.dimensionSizes()[g] - 1);
+                }
+            }
+            offspring.push_back(evaluate_individual(child));
+        }
+
+        // Environmental selection over parents + offspring.
+        std::vector<Individual> combined = population;
+        combined.insert(combined.end(), offspring.begin(),
+                        offspring.end());
+        std::vector<int> combined_rank;
+        std::vector<double> combined_crowding;
+        rank_population(combined, combined_rank, combined_crowding);
+
+        std::vector<std::size_t> order(combined.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      if (combined_rank[a] != combined_rank[b])
+                          return combined_rank[a] < combined_rank[b];
+                      return combined_crowding[a] > combined_crowding[b];
+                  });
+
+        std::vector<Individual> next;
+        next.reserve(cfg.populationSize);
+        for (int i = 0; i < cfg.populationSize; ++i)
+            next.push_back(combined[order[i]]);
+        population = std::move(next);
+
+        if (evaluated == evaluated_before_generation)
+            break; // Converged: a whole generation of memoized repeats.
+    }
+
+    return result;
+}
+
+} // namespace autopilot::dse

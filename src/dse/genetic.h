@@ -1,0 +1,46 @@
+/**
+ * @file
+ * NSGA-II genetic algorithm over the design-space encoding.
+ *
+ * The alternative optimizer the paper names for Phase 2 [88]: tournament
+ * selection on (rank, crowding distance), uniform crossover over the seven
+ * choice genes, and per-gene reset mutation.
+ */
+
+#ifndef AUTOPILOT_DSE_GENETIC_H
+#define AUTOPILOT_DSE_GENETIC_H
+
+#include "dse/optimizer.h"
+
+namespace autopilot::dse
+{
+
+/** NSGA-II optimizer. */
+class GeneticAlgorithm : public Optimizer
+{
+  public:
+    /** Algorithm-specific settings. */
+    struct Settings
+    {
+        int populationSize = 24;
+        double crossoverProb = 0.9;
+        double mutationProbPerGene = 0.15;
+    };
+
+    /** Construct with default settings. */
+    GeneticAlgorithm();
+
+    explicit GeneticAlgorithm(const Settings &settings);
+
+    std::string name() const override { return "nsga2"; }
+
+    OptimizerResult optimize(DseEvaluator &evaluator,
+                             const OptimizerConfig &config) override;
+
+  private:
+    Settings cfg;
+};
+
+} // namespace autopilot::dse
+
+#endif // AUTOPILOT_DSE_GENETIC_H

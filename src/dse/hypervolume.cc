@@ -1,0 +1,149 @@
+#include "dse/hypervolume.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autopilot::dse
+{
+
+namespace
+{
+
+using util::panicIf;
+
+/** Clip points into the reference box; drop points with no volume. */
+std::vector<Objectives>
+clipToReference(const std::vector<Objectives> &points,
+                const Objectives &reference)
+{
+    std::vector<Objectives> clipped;
+    for (const Objectives &point : points) {
+        panicIf(point.size() != reference.size(),
+                "hypervolume: dimension mismatch");
+        bool has_volume = true;
+        for (std::size_t d = 0; d < point.size(); ++d) {
+            if (point[d] >= reference[d]) {
+                has_volume = false;
+                break;
+            }
+        }
+        if (has_volume)
+            clipped.push_back(point);
+    }
+    return clipped;
+}
+
+double
+hv1(const std::vector<Objectives> &points, const Objectives &reference)
+{
+    double best = reference[0];
+    for (const Objectives &point : points)
+        best = std::min(best, point[0]);
+    return reference[0] - best;
+}
+
+/** 2-D sweep: sort by first objective ascending, accumulate strips. */
+double
+hv2(std::vector<Objectives> points, const Objectives &reference)
+{
+    std::sort(points.begin(), points.end(),
+              [](const Objectives &a, const Objectives &b) {
+                  if (a[0] != b[0])
+                      return a[0] < b[0];
+                  return a[1] < b[1];
+              });
+    double volume = 0.0;
+    double prev_y = reference[1];
+    for (const Objectives &point : points) {
+        if (point[1] < prev_y) {
+            volume += (reference[0] - point[0]) * (prev_y - point[1]);
+            prev_y = point[1];
+        }
+    }
+    return volume;
+}
+
+/**
+ * 3-D slicing: sweep the third objective; each slab's cross-section is the
+ * 2-D hypervolume of the points already "active" at that depth.
+ */
+double
+hv3(std::vector<Objectives> points, const Objectives &reference)
+{
+    std::sort(points.begin(), points.end(),
+              [](const Objectives &a, const Objectives &b) {
+                  return a[2] < b[2];
+              });
+    double volume = 0.0;
+    std::vector<Objectives> active;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        active.push_back({points[i][0], points[i][1]});
+        const double z_lo = points[i][2];
+        const double z_hi =
+            (i + 1 < points.size()) ? points[i + 1][2] : reference[2];
+        if (z_hi > z_lo) {
+            volume += hv2(active, {reference[0], reference[1]}) *
+                      (z_hi - z_lo);
+        }
+    }
+    return volume;
+}
+
+} // namespace
+
+double
+hypervolume(const std::vector<Objectives> &points,
+            const Objectives &reference)
+{
+    panicIf(reference.empty(), "hypervolume: empty reference");
+    const std::vector<Objectives> clipped =
+        clipToReference(points, reference);
+    if (clipped.empty())
+        return 0.0;
+    switch (reference.size()) {
+      case 1: return hv1(clipped, reference);
+      case 2: return hv2(clipped, reference);
+      case 3: return hv3(clipped, reference);
+      default:
+        util::fatal("hypervolume: only 1-3 objectives supported");
+    }
+}
+
+double
+hypervolumeContribution(const std::vector<Objectives> &points,
+                        const Objectives &candidate,
+                        const Objectives &reference)
+{
+    const double base = hypervolume(points, reference);
+    std::vector<Objectives> extended = points;
+    extended.push_back(candidate);
+    const double grown = hypervolume(extended, reference);
+    return std::max(0.0, grown - base);
+}
+
+Objectives
+defaultReference(const std::vector<Objectives> &points, double margin)
+{
+    panicIf(points.empty(), "defaultReference: empty point set");
+    const std::size_t dims = points.front().size();
+    Objectives lo = points.front();
+    Objectives hi = points.front();
+    for (const Objectives &point : points) {
+        panicIf(point.size() != dims, "defaultReference: ragged points");
+        for (std::size_t d = 0; d < dims; ++d) {
+            lo[d] = std::min(lo[d], point[d]);
+            hi[d] = std::max(hi[d], point[d]);
+        }
+    }
+    Objectives reference(dims, 0.0);
+    for (std::size_t d = 0; d < dims; ++d) {
+        const double range = hi[d] - lo[d];
+        const double pad = std::max(range * margin, 1e-6);
+        reference[d] = hi[d] + pad;
+    }
+    return reference;
+}
+
+} // namespace autopilot::dse

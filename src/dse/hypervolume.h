@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Exact hypervolume computation for minimization problems.
+ *
+ * The hypervolume of a point set against a reference point is the measure
+ * of the objective-space region dominated by the set and bounded by the
+ * reference. SMS-EGO [64] uses hypervolume gain as its acquisition value.
+ *
+ * Supports 1, 2 and 3 objectives exactly (AutoPilot optimizes exactly
+ * three: success rate, power, latency). Fatal for higher dimensions.
+ */
+
+#ifndef AUTOPILOT_DSE_HYPERVOLUME_H
+#define AUTOPILOT_DSE_HYPERVOLUME_H
+
+#include "dse/pareto.h"
+
+namespace autopilot::dse
+{
+
+/**
+ * Hypervolume of @p points against @p reference (all minimized).
+ *
+ * Points outside the reference box contribute only their clipped part;
+ * fully dominated-by-reference-complement points contribute nothing.
+ *
+ * @param points    Objective vectors (need not be mutually non-dominated).
+ * @param reference Reference point; must weakly exceed every coordinate of
+ *                  interest (points beyond it are clipped out).
+ */
+double hypervolume(const std::vector<Objectives> &points,
+                   const Objectives &reference);
+
+/**
+ * Hypervolume gained by adding @p candidate to @p points.
+ *
+ * Non-negative; zero when the candidate is dominated.
+ */
+double hypervolumeContribution(const std::vector<Objectives> &points,
+                               const Objectives &candidate,
+                               const Objectives &reference);
+
+/**
+ * A reference point for a point set: the componentwise maximum plus a
+ * @p margin fraction of the per-component range (at least an absolute
+ * floor to keep extreme points contributing).
+ */
+Objectives defaultReference(const std::vector<Objectives> &points,
+                            double margin = 0.1);
+
+} // namespace autopilot::dse
+
+#endif // AUTOPILOT_DSE_HYPERVOLUME_H

@@ -1,0 +1,52 @@
+#include "dse/optimizer.h"
+
+#include "dse/hypervolume.h"
+
+namespace autopilot::dse
+{
+
+std::vector<std::size_t>
+OptimizerResult::frontIndices() const
+{
+    std::vector<Objectives> points;
+    points.reserve(archive.size());
+    for (const Evaluation &evaluation : archive)
+        points.push_back(evaluation.objectives);
+    return paretoFrontIndices(points);
+}
+
+std::vector<Evaluation>
+OptimizerResult::front() const
+{
+    std::vector<Evaluation> out;
+    for (std::size_t index : frontIndices())
+        out.push_back(archive[index]);
+    return out;
+}
+
+double
+OptimizerResult::finalHypervolume(const Objectives &reference) const
+{
+    std::vector<Objectives> points;
+    points.reserve(archive.size());
+    for (const Evaluation &evaluation : archive)
+        points.push_back(evaluation.objectives);
+    return hypervolume(points, reference);
+}
+
+bool
+recordEvaluation(DseEvaluator &evaluator, const Encoding &encoding,
+                 const OptimizerConfig &config, OptimizerResult &result)
+{
+    const std::size_t before = evaluator.evaluationCount();
+    const Evaluation &evaluation = evaluator.evaluate(encoding);
+    if (evaluator.evaluationCount() == before)
+        return false; // Memoized repeat.
+
+    result.archive.push_back(evaluation);
+    result.hypervolumeHistory.push_back(
+        result.finalHypervolume(config.referencePoint));
+    return true;
+}
+
+} // namespace autopilot::dse

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Common interface of the Phase 2 multi-objective optimizers.
+ *
+ * The paper uses Bayesian optimization but notes (Sections III-B, VII)
+ * that it can be swapped for reinforcement learning, genetic algorithms or
+ * simulated annealing; the library therefore ships BO, NSGA-II, SA and
+ * random search behind one interface so the swap is a one-line change
+ * (and the ablation bench compares them).
+ */
+
+#ifndef AUTOPILOT_DSE_OPTIMIZER_H
+#define AUTOPILOT_DSE_OPTIMIZER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/evaluator.h"
+#include "dse/pareto.h"
+
+namespace autopilot::dse
+{
+
+/** Budget and reproducibility settings shared by all optimizers. */
+struct OptimizerConfig
+{
+    int evaluationBudget = 120; ///< Distinct design points to evaluate.
+    std::uint64_t seed = 0xD5E;
+    /// Fixed hypervolume reference {1 - success, watts, ms} used for the
+    /// convergence history, so different optimizers are comparable. The
+    /// bounds encode domain knowledge: designs hotter than ~12 W or
+    /// slower than ~120 ms are useless on any Table IV vehicle, so they
+    /// earn no hypervolume credit.
+    Objectives referencePoint = {1.0, 12.0, 120.0};
+};
+
+/** Outcome of one optimization run. */
+struct OptimizerResult
+{
+    std::vector<Evaluation> archive; ///< In evaluation order (distinct).
+    std::vector<double> hypervolumeHistory; ///< After each evaluation.
+
+    /** Indices of the Pareto-optimal archive entries. */
+    std::vector<std::size_t> frontIndices() const;
+
+    /** The Pareto-optimal evaluations. */
+    std::vector<Evaluation> front() const;
+
+    /** Hypervolume of the final archive against @p reference. */
+    double finalHypervolume(const Objectives &reference) const;
+};
+
+/** Abstract multi-objective optimizer. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /** Short name for reports ("bo", "nsga2", "sa", "random"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Run the search.
+     *
+     * Implementations must evaluate at most config.evaluationBudget
+     * distinct points (memoized repeats are free) and record the
+     * hypervolume history against config.referencePoint.
+     */
+    virtual OptimizerResult optimize(DseEvaluator &evaluator,
+                                     const OptimizerConfig &config) = 0;
+};
+
+/**
+ * Shared bookkeeping helper: evaluate @p encoding through @p evaluator,
+ * append to @p result if it is a new distinct point, and extend the
+ * hypervolume history.
+ *
+ * @return True when the point was new (counts against the budget).
+ */
+bool recordEvaluation(DseEvaluator &evaluator, const Encoding &encoding,
+                      const OptimizerConfig &config,
+                      OptimizerResult &result);
+
+} // namespace autopilot::dse
+
+#endif // AUTOPILOT_DSE_OPTIMIZER_H

@@ -1,0 +1,139 @@
+#include "dse/pareto.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace autopilot::dse
+{
+
+using util::panicIf;
+
+bool
+dominates(const Objectives &a, const Objectives &b)
+{
+    panicIf(a.size() != b.size() || a.empty(),
+            "dominates: mismatched or empty objective vectors");
+    bool strictly_better = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] > b[i])
+            return false;
+        if (a[i] < b[i])
+            strictly_better = true;
+    }
+    return strictly_better;
+}
+
+bool
+epsilonDominates(const Objectives &a, const Objectives &b, double epsilon)
+{
+    panicIf(a.size() != b.size() || a.empty(),
+            "epsilonDominates: mismatched or empty objective vectors");
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] - epsilon > b[i])
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::size_t>
+paretoFrontIndices(const std::vector<Objectives> &points)
+{
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool is_dominated = false;
+        for (std::size_t j = 0; j < points.size(); ++j) {
+            if (i != j && dominates(points[j], points[i])) {
+                is_dominated = true;
+                break;
+            }
+        }
+        if (!is_dominated)
+            front.push_back(i);
+    }
+    return front;
+}
+
+std::vector<Objectives>
+paretoFront(const std::vector<Objectives> &points)
+{
+    std::vector<Objectives> front;
+    for (std::size_t index : paretoFrontIndices(points))
+        front.push_back(points[index]);
+    return front;
+}
+
+std::vector<std::vector<std::size_t>>
+nonDominatedSort(const std::vector<Objectives> &points)
+{
+    const std::size_t n = points.size();
+    std::vector<int> domination_count(n, 0);
+    std::vector<std::vector<std::size_t>> dominated_by(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            if (dominates(points[i], points[j]))
+                dominated_by[i].push_back(j);
+            else if (dominates(points[j], points[i]))
+                ++domination_count[i];
+        }
+    }
+
+    std::vector<std::vector<std::size_t>> fronts;
+    std::vector<std::size_t> current;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (domination_count[i] == 0)
+            current.push_back(i);
+    }
+    while (!current.empty()) {
+        fronts.push_back(current);
+        std::vector<std::size_t> next;
+        for (std::size_t i : current) {
+            for (std::size_t j : dominated_by[i]) {
+                if (--domination_count[j] == 0)
+                    next.push_back(j);
+            }
+        }
+        current = std::move(next);
+    }
+    return fronts;
+}
+
+std::vector<double>
+crowdingDistance(const std::vector<Objectives> &points,
+                 const std::vector<std::size_t> &front)
+{
+    const std::size_t n = front.size();
+    std::vector<double> distance(n, 0.0);
+    if (n == 0)
+        return distance;
+    const std::size_t dims = points[front[0]].size();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    for (std::size_t d = 0; d < dims; ++d) {
+        std::vector<std::size_t> order(n);
+        for (std::size_t i = 0; i < n; ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return points[front[a]][d] < points[front[b]][d];
+                  });
+        distance[order.front()] = inf;
+        distance[order.back()] = inf;
+        const double span = points[front[order.back()]][d] -
+                            points[front[order.front()]][d];
+        if (span <= 0.0)
+            continue;
+        for (std::size_t i = 1; i + 1 < n; ++i) {
+            const double gap = points[front[order[i + 1]]][d] -
+                               points[front[order[i - 1]]][d];
+            distance[order[i]] += gap / span;
+        }
+    }
+    return distance;
+}
+
+} // namespace autopilot::dse

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Pareto-dominance utilities over minimization objective vectors.
+ *
+ * Throughout the DSE library every objective is minimized; success rate is
+ * folded in as (1 - success).
+ */
+
+#ifndef AUTOPILOT_DSE_PARETO_H
+#define AUTOPILOT_DSE_PARETO_H
+
+#include <cstddef>
+#include <vector>
+
+namespace autopilot::dse
+{
+
+/** Objective vector (all components minimized). */
+using Objectives = std::vector<double>;
+
+/**
+ * True when @p a Pareto-dominates @p b: a is no worse in every component
+ * and strictly better in at least one.
+ *
+ * @pre a.size() == b.size() (panic otherwise).
+ */
+bool dominates(const Objectives &a, const Objectives &b);
+
+/**
+ * True when @p a weakly epsilon-dominates @p b: a - epsilon is no worse
+ * than b in every component. Used by the SMS-EGO penalty test.
+ */
+bool epsilonDominates(const Objectives &a, const Objectives &b,
+                      double epsilon);
+
+/**
+ * Indices of the non-dominated points in @p points.
+ *
+ * Ties (duplicate vectors) are all retained.
+ */
+std::vector<std::size_t> paretoFrontIndices(
+    const std::vector<Objectives> &points);
+
+/** The non-dominated subset of @p points. */
+std::vector<Objectives> paretoFront(const std::vector<Objectives> &points);
+
+/**
+ * Fast non-dominated sorting (NSGA-II): partition points into fronts.
+ *
+ * @return fronts[0] is the Pareto front; fronts[k] is dominated only by
+ *         members of earlier fronts.
+ */
+std::vector<std::vector<std::size_t>> nonDominatedSort(
+    const std::vector<Objectives> &points);
+
+/**
+ * NSGA-II crowding distance of each member of one front.
+ *
+ * @param points All objective vectors.
+ * @param front  Indices of one front within @p points.
+ * @return Crowding distance per front member (same order as @p front);
+ *         boundary points get +infinity.
+ */
+std::vector<double> crowdingDistance(const std::vector<Objectives> &points,
+                                     const std::vector<std::size_t> &front);
+
+} // namespace autopilot::dse
+
+#endif // AUTOPILOT_DSE_PARETO_H

@@ -1,0 +1,30 @@
+#include "dse/random_search.h"
+
+#include "util/rng.h"
+
+namespace autopilot::dse
+{
+
+OptimizerResult
+RandomSearch::optimize(DseEvaluator &evaluator,
+                       const OptimizerConfig &config)
+{
+    util::Rng rng(config.seed);
+    OptimizerResult result;
+    int evaluated = 0;
+    // Distinct-point budget; cap proposal attempts so a tiny space cannot
+    // loop forever.
+    long attempts = 0;
+    const long max_attempts = 1000L * config.evaluationBudget + 1000;
+    while (evaluated < config.evaluationBudget &&
+           attempts < max_attempts) {
+        ++attempts;
+        const Encoding encoding =
+            evaluator.space().randomEncoding(rng);
+        if (recordEvaluation(evaluator, encoding, config, result))
+            ++evaluated;
+    }
+    return result;
+}
+
+} // namespace autopilot::dse

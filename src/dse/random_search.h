@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Uniform random search baseline for the optimizer ablation.
+ */
+
+#ifndef AUTOPILOT_DSE_RANDOM_SEARCH_H
+#define AUTOPILOT_DSE_RANDOM_SEARCH_H
+
+#include "dse/optimizer.h"
+
+namespace autopilot::dse
+{
+
+/** Samples distinct uniform-random design points until the budget. */
+class RandomSearch : public Optimizer
+{
+  public:
+    std::string name() const override { return "random"; }
+
+    OptimizerResult optimize(DseEvaluator &evaluator,
+                             const OptimizerConfig &config) override;
+};
+
+} // namespace autopilot::dse
+
+#endif // AUTOPILOT_DSE_RANDOM_SEARCH_H

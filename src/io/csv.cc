@@ -1,0 +1,77 @@
+#include "io/csv.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace autopilot::io
+{
+
+using util::fatalIf;
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream stream(line);
+    while (std::getline(stream, field, ','))
+        fields.push_back(field);
+    if (!line.empty() && line.back() == ',')
+        fields.emplace_back();
+    return fields;
+}
+
+std::vector<std::vector<std::string>>
+readCsv(std::istream &is, const std::vector<std::string> &expected_header)
+{
+    std::string line;
+    fatalIf(!std::getline(is, line), "readCsv: empty stream");
+    const std::vector<std::string> header = splitCsvLine(line);
+    fatalIf(header != expected_header,
+            "readCsv: unexpected header '" + line + "'");
+
+    std::vector<std::vector<std::string>> rows;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::vector<std::string> fields = splitCsvLine(line);
+        fatalIf(fields.size() != expected_header.size(),
+                "readCsv: ragged row '" + line + "'");
+        rows.push_back(std::move(fields));
+    }
+    return rows;
+}
+
+double
+parseDouble(const std::string &text)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    fatalIf(end == text.c_str() || *end != '\0',
+            "parseDouble: bad number '" + text + "'");
+    return value;
+}
+
+int
+parseInt(const std::string &text)
+{
+    char *end = nullptr;
+    const long value = std::strtol(text.c_str(), &end, 10);
+    fatalIf(end == text.c_str() || *end != '\0',
+            "parseInt: bad integer '" + text + "'");
+    return static_cast<int>(value);
+}
+
+long long
+parseInt64(const std::string &text)
+{
+    char *end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 10);
+    fatalIf(end == text.c_str() || *end != '\0',
+            "parseInt64: bad integer '" + text + "'");
+    return value;
+}
+
+} // namespace autopilot::io

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal CSV reading helpers for the persistence layer. Our files are
+ * machine-written numeric tables, so no quoting/escaping is needed; the
+ * parser is strict and fails loudly on malformed input.
+ */
+
+#ifndef AUTOPILOT_IO_CSV_H
+#define AUTOPILOT_IO_CSV_H
+
+#include <istream>
+#include <string>
+#include <vector>
+
+namespace autopilot::io
+{
+
+/** Split one CSV line on commas (no quoting). */
+std::vector<std::string> splitCsvLine(const std::string &line);
+
+/**
+ * Read a CSV stream: first line is the header, remaining lines are rows.
+ *
+ * @param is              Input stream.
+ * @param expected_header Exact header fields required (fatal otherwise).
+ * @return Rows, each with exactly expected_header.size() fields (fatal
+ *         on ragged rows). Empty lines are skipped.
+ */
+std::vector<std::vector<std::string>> readCsv(
+    std::istream &is, const std::vector<std::string> &expected_header);
+
+/** Parse helpers that fail via fatal() with the offending text. */
+double parseDouble(const std::string &text);
+int parseInt(const std::string &text);
+long long parseInt64(const std::string &text);
+
+} // namespace autopilot::io
+
+#endif // AUTOPILOT_IO_CSV_H

@@ -1,0 +1,127 @@
+#include "io/persistence.h"
+
+#include <sstream>
+
+#include "io/csv.h"
+#include "util/logging.h"
+
+namespace autopilot::io
+{
+
+namespace
+{
+
+const std::vector<std::string> databaseHeader = {
+    "policy_id",    "layers",       "filters",
+    "density",      "success_rate", "model_params",
+    "model_macs",   "training_steps", "converged"};
+
+const std::vector<std::string> archiveHeader = {
+    "layers_idx",  "filters_idx", "pe_rows_idx", "pe_cols_idx",
+    "ifmap_idx",   "filter_idx",  "ofmap_idx",   "success_rate",
+    "npu_power_w", "soc_power_w", "latency_ms",  "fps"};
+
+airlearning::ObstacleDensity
+densityFromName(const std::string &name)
+{
+    for (airlearning::ObstacleDensity density :
+         airlearning::allDensities()) {
+        if (airlearning::densityName(density) == name)
+            return density;
+    }
+    util::fatal("densityFromName: unknown density '" + name + "'");
+}
+
+std::string
+formatDouble(double value)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return os.str();
+}
+
+} // namespace
+
+void
+writePolicyDatabase(const airlearning::PolicyDatabase &db,
+                    std::ostream &os)
+{
+    for (std::size_t i = 0; i < databaseHeader.size(); ++i)
+        os << databaseHeader[i]
+           << (i + 1 == databaseHeader.size() ? "\n" : ",");
+    for (const airlearning::PolicyRecord &record : db.all()) {
+        os << record.policyId << ',' << record.params.numConvLayers
+           << ',' << record.params.numFilters << ','
+           << airlearning::densityName(record.density) << ','
+           << formatDouble(record.successRate) << ','
+           << record.modelParams << ',' << record.modelMacs << ','
+           << record.trainingSteps << ','
+           << (record.converged ? 1 : 0) << '\n';
+    }
+}
+
+airlearning::PolicyDatabase
+readPolicyDatabase(std::istream &is)
+{
+    airlearning::PolicyDatabase db;
+    for (const auto &row : readCsv(is, databaseHeader)) {
+        airlearning::PolicyRecord record;
+        record.policyId = row[0];
+        record.params.numConvLayers = parseInt(row[1]);
+        record.params.numFilters = parseInt(row[2]);
+        record.density = densityFromName(row[3]);
+        record.successRate = parseDouble(row[4]);
+        util::fatalIf(record.successRate < 0.0 ||
+                          record.successRate > 1.0,
+                      "readPolicyDatabase: success rate outside [0, 1]");
+        record.modelParams = parseInt64(row[5]);
+        record.modelMacs = parseInt64(row[6]);
+        record.trainingSteps = parseInt64(row[7]);
+        record.converged = parseInt(row[8]) != 0;
+        db.upsert(record);
+    }
+    return db;
+}
+
+void
+writeDseArchive(const std::vector<dse::Evaluation> &archive,
+                std::ostream &os)
+{
+    for (std::size_t i = 0; i < archiveHeader.size(); ++i)
+        os << archiveHeader[i]
+           << (i + 1 == archiveHeader.size() ? "\n" : ",");
+    for (const dse::Evaluation &eval : archive) {
+        for (int index : eval.encoding)
+            os << index << ',';
+        os << formatDouble(eval.successRate) << ','
+           << formatDouble(eval.npuPowerW) << ','
+           << formatDouble(eval.socPowerW) << ','
+           << formatDouble(eval.latencyMs) << ','
+           << formatDouble(eval.fps) << '\n';
+    }
+}
+
+std::vector<dse::Evaluation>
+readDseArchive(std::istream &is)
+{
+    const dse::DesignSpace space;
+    std::vector<dse::Evaluation> archive;
+    for (const auto &row : readCsv(is, archiveHeader)) {
+        dse::Evaluation eval;
+        for (std::size_t d = 0; d < dse::designDims; ++d)
+            eval.encoding[d] = parseInt(row[d]);
+        eval.point = space.decode(eval.encoding);
+        eval.successRate = parseDouble(row[7]);
+        eval.npuPowerW = parseDouble(row[8]);
+        eval.socPowerW = parseDouble(row[9]);
+        eval.latencyMs = parseDouble(row[10]);
+        eval.fps = parseDouble(row[11]);
+        eval.objectives = {1.0 - eval.successRate, eval.socPowerW,
+                           eval.latencyMs};
+        archive.push_back(std::move(eval));
+    }
+    return archive;
+}
+
+} // namespace autopilot::io

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CSV persistence for the two expensive artifacts of an AutoPilot run:
+ * the Phase 1 policy database and the Phase 2 DSE archive. The paper's
+ * three-phase split exists precisely so these can be computed once and
+ * reused ("Phase 1 and 2 take the most time; Phase 3 is negligible");
+ * persistence makes the reuse survive process boundaries.
+ */
+
+#ifndef AUTOPILOT_IO_PERSISTENCE_H
+#define AUTOPILOT_IO_PERSISTENCE_H
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "airlearning/database.h"
+#include "dse/evaluator.h"
+
+namespace autopilot::io
+{
+
+/** Write the policy database as CSV. */
+void writePolicyDatabase(const airlearning::PolicyDatabase &db,
+                         std::ostream &os);
+
+/** Read a policy database written by writePolicyDatabase (fatal on
+ * malformed input). */
+airlearning::PolicyDatabase readPolicyDatabase(std::istream &is);
+
+/** Write a Phase 2 evaluation archive as CSV. */
+void writeDseArchive(const std::vector<dse::Evaluation> &archive,
+                     std::ostream &os);
+
+/**
+ * Read an archive written by writeDseArchive. Design points are decoded
+ * through the default DesignSpace; objective vectors are rebuilt from
+ * the stored metrics.
+ */
+std::vector<dse::Evaluation> readDseArchive(std::istream &is);
+
+} // namespace autopilot::io
+
+#endif // AUTOPILOT_IO_PERSISTENCE_H

@@ -1,0 +1,102 @@
+#include "nn/e2e_template.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.h"
+
+namespace autopilot::nn
+{
+
+using util::fatalIf;
+
+std::vector<PolicyHyperParams>
+PolicySpace::enumerate() const
+{
+    std::vector<PolicyHyperParams> all;
+    all.reserve(layerChoices.size() * filterChoices.size());
+    for (int layers : layerChoices) {
+        for (int filters : filterChoices) {
+            PolicyHyperParams p;
+            p.numConvLayers = layers;
+            p.numFilters = filters;
+            all.push_back(p);
+        }
+    }
+    return all;
+}
+
+bool
+PolicySpace::contains(const PolicyHyperParams &params) const
+{
+    const bool layers_ok =
+        std::find(layerChoices.begin(), layerChoices.end(),
+                  params.numConvLayers) != layerChoices.end();
+    const bool filters_ok =
+        std::find(filterChoices.begin(), filterChoices.end(),
+                  params.numFilters) != filterChoices.end();
+    return layers_ok && filters_ok;
+}
+
+Model
+buildE2EModel(const PolicyHyperParams &params, const TemplateSpec &spec)
+{
+    fatalIf(params.numConvLayers < 2 || params.numConvLayers > 10,
+            "buildE2EModel: numConvLayers outside [2, 10]");
+    fatalIf(params.numFilters <= 0,
+            "buildE2EModel: numFilters must be positive");
+
+    Model model(policyName(params));
+
+    // Image trunk: strided convolutions until the map is small enough.
+    std::int64_t height = spec.inputHeight;
+    std::int64_t width = spec.inputWidth;
+    std::int64_t channels = spec.inputChannels;
+    std::int64_t out_channels = params.numFilters;
+    const std::int64_t max_channels =
+        params.numFilters * spec.channelGrowthCap;
+    for (int i = 0; i < params.numConvLayers; ++i) {
+        const bool first = (i == 0);
+        const std::int64_t kernel = first ? spec.firstKernel
+                                          : spec.laterKernel;
+        const bool shrink = std::min(height, width) / 2 >= spec.minSpatial;
+        const std::int64_t stride = shrink ? 2 : 1;
+        Layer conv = conv2d("conv" + std::to_string(i), height, width,
+                            channels, kernel, stride, out_channels);
+        model.append(conv);
+        height = conv.outHeight;
+        width = conv.outWidth;
+        channels = conv.filters;
+        if (stride == 2)
+            out_channels = std::min(out_channels * 2, max_channels);
+    }
+
+    // Trunk head: average-pool to a fixed spatial size, then flatten into
+    // a wide dense layer. The pool is not a MAC workload, so it enters the
+    // model as a branch root with the pooled feature count.
+    const std::int64_t pooled = std::min({spec.poolTo, height, width});
+    const std::int64_t flat = pooled * pooled * channels;
+    model.appendBranchRoot(dense("fc_trunk", flat, spec.trunkHidden));
+
+    // State-vector side branch (velocity + goal), merged at the next layer.
+    model.appendBranchRoot(
+        dense("fc_state0", spec.stateFeatures, spec.stateHidden));
+    model.append(dense("fc_state1", spec.stateHidden, spec.stateHidden));
+
+    // Merge: the concat of trunkHidden and stateHidden feeds the head.
+    model.appendBranchRoot(dense("fc_merge",
+                                 spec.trunkHidden + spec.stateHidden,
+                                 spec.headHidden));
+    model.append(dense("fc_policy", spec.headHidden, spec.numActions));
+
+    return model;
+}
+
+std::string
+policyName(const PolicyHyperParams &params)
+{
+    return "e2e_l" + std::to_string(params.numConvLayers) + "_f" +
+           std::to_string(params.numFilters);
+}
+
+} // namespace autopilot::nn

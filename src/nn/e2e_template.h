@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The parameterized multi-modal E2E model template of Fig. 2a.
+ *
+ * AutoPilot does not search arbitrary network graphs; it starts from the
+ * Air Learning multi-modal template (an RGB image trunk plus a small state
+ * vector branch, merged before the policy head) and varies only the number
+ * of convolution layers and the filter width (Table II). This file builds a
+ * concrete Model from those two hyperparameters.
+ *
+ * Geometry choices (documented in DESIGN.md):
+ *  - RGB input of 256 x 256 x 3, downsampled from the OV9755 720p sensor.
+ *  - First conv is 5x5 stride 2; subsequent convs are 3x3, stride 2 until
+ *    the spatial size reaches 16, stride 1 afterwards.
+ *  - Channels double after each strided conv (capped at 4x the base
+ *    filter count), the standard CNN progression; average pooling to 8x8
+ *    before the head. Total parameters therefore grow monotonically with
+ *    both hyperparameters (as in Fig. 2b).
+ *  - State branch: 16 -> 64 -> 64 dense layers (velocity + goal vector).
+ *  - Head: pool/flatten -> 4096 -> (concat 64) -> 512 -> 25 discrete
+ *    actions, matching Air Learning's 25-action space.
+ *
+ * With 7 layers and 48 filters this yields tens of millions of
+ * parameters, i.e., the "orders of magnitude larger than DroNet" scale
+ * the paper reports (109x-121x).
+ */
+
+#ifndef AUTOPILOT_NN_E2E_TEMPLATE_H
+#define AUTOPILOT_NN_E2E_TEMPLATE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace autopilot::nn
+{
+
+/** Hyperparameters searched for the E2E policy (Table II, top half). */
+struct PolicyHyperParams
+{
+    int numConvLayers = 5; ///< In [2, 10].
+    int numFilters = 32;   ///< In {32, 48, 64}.
+
+    bool operator==(const PolicyHyperParams &other) const = default;
+};
+
+/** Fixed geometry of the multi-modal template. */
+struct TemplateSpec
+{
+    std::int64_t inputHeight = 256;
+    std::int64_t inputWidth = 256;
+    std::int64_t inputChannels = 3;
+    std::int64_t firstKernel = 5;
+    std::int64_t laterKernel = 3;
+    std::int64_t minSpatial = 16;  ///< Stop striding below this size.
+    std::int64_t poolTo = 8;       ///< Average-pool the trunk to NxN.
+    std::int64_t channelGrowthCap = 4; ///< Channels double up to cap*f.
+    std::int64_t stateFeatures = 16;
+    std::int64_t stateHidden = 64;
+    std::int64_t trunkHidden = 2048;
+    std::int64_t headHidden = 512;
+    std::int64_t numActions = 25;
+};
+
+/** Legal hyperparameter values per Table II. */
+struct PolicySpace
+{
+    std::vector<int> layerChoices = {2, 3, 4, 5, 6, 7, 8, 9, 10};
+    std::vector<int> filterChoices = {32, 48, 64};
+
+    /** All layer x filter combinations, in row-major order. */
+    std::vector<PolicyHyperParams> enumerate() const;
+
+    /** True when @p params is one of the legal combinations. */
+    bool contains(const PolicyHyperParams &params) const;
+};
+
+/**
+ * Instantiate the multi-modal template for given hyperparameters.
+ *
+ * @param params Hyperparameters; validated against the default PolicySpace
+ *               ranges (fatal on out-of-range values).
+ * @param spec   Template geometry (defaults to the paper configuration).
+ */
+Model buildE2EModel(const PolicyHyperParams &params,
+                    const TemplateSpec &spec = TemplateSpec());
+
+/** Canonical name for a hyperparameter combination, e.g. "e2e_l7_f48". */
+std::string policyName(const PolicyHyperParams &params);
+
+} // namespace autopilot::nn
+
+#endif // AUTOPILOT_NN_E2E_TEMPLATE_H

@@ -1,0 +1,111 @@
+#include "nn/layer.h"
+
+#include "util/logging.h"
+
+namespace autopilot::nn
+{
+
+using util::fatalIf;
+
+std::int64_t
+Layer::params() const
+{
+    if (kind == LayerKind::Conv2D)
+        return kernel * kernel * inChannels * filters + filters;
+    return inChannels * filters + filters;
+}
+
+std::int64_t
+Layer::macs() const
+{
+    return gemm().macs();
+}
+
+std::int64_t
+Layer::ifmapElems() const
+{
+    if (kind == LayerKind::Conv2D)
+        return inHeight * inWidth * inChannels;
+    return inChannels;
+}
+
+std::int64_t
+Layer::ofmapElems() const
+{
+    if (kind == LayerKind::Conv2D)
+        return outHeight * outWidth * filters;
+    return filters;
+}
+
+std::int64_t
+Layer::filterElems() const
+{
+    if (kind == LayerKind::Conv2D)
+        return kernel * kernel * inChannels * filters;
+    return inChannels * filters;
+}
+
+GemmShape
+Layer::gemm() const
+{
+    GemmShape shape;
+    if (kind == LayerKind::Conv2D) {
+        shape.m = outHeight * outWidth;
+        shape.n = filters;
+        shape.k = kernel * kernel * inChannels;
+    } else {
+        shape.m = 1;
+        shape.n = filters;
+        shape.k = inChannels;
+    }
+    return shape;
+}
+
+Layer
+conv2d(const std::string &name, std::int64_t in_height, std::int64_t in_width,
+       std::int64_t in_channels, std::int64_t kernel, std::int64_t stride,
+       std::int64_t filters)
+{
+    fatalIf(in_height <= 0 || in_width <= 0 || in_channels <= 0,
+            "conv2d: input dimensions must be positive (" + name + ")");
+    fatalIf(kernel <= 0 || stride <= 0 || filters <= 0,
+            "conv2d: kernel/stride/filters must be positive (" + name + ")");
+    fatalIf(kernel > in_height || kernel > in_width,
+            "conv2d: kernel larger than input (" + name + ")");
+
+    Layer layer;
+    layer.kind = LayerKind::Conv2D;
+    layer.name = name;
+    layer.inHeight = in_height;
+    layer.inWidth = in_width;
+    layer.inChannels = in_channels;
+    layer.kernel = kernel;
+    layer.stride = stride;
+    layer.filters = filters;
+    layer.outHeight = (in_height - kernel) / stride + 1;
+    layer.outWidth = (in_width - kernel) / stride + 1;
+    return layer;
+}
+
+Layer
+dense(const std::string &name, std::int64_t in_features,
+      std::int64_t out_features)
+{
+    fatalIf(in_features <= 0 || out_features <= 0,
+            "dense: feature counts must be positive (" + name + ")");
+
+    Layer layer;
+    layer.kind = LayerKind::Dense;
+    layer.name = name;
+    layer.inHeight = 1;
+    layer.inWidth = 1;
+    layer.inChannels = in_features;
+    layer.kernel = 1;
+    layer.stride = 1;
+    layer.filters = out_features;
+    layer.outHeight = 1;
+    layer.outWidth = 1;
+    return layer;
+}
+
+} // namespace autopilot::nn

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Neural-network layer descriptions for the E2E autonomy policies.
+ *
+ * AutoPilot's Phase 2 never executes a network numerically; it only needs
+ * each layer's shape to (a) count parameters and MACs for the Phase 1
+ * capacity model and (b) lower the layer to a GEMM that the systolic-array
+ * simulator schedules. Layers therefore carry dimensions, not weights.
+ */
+
+#ifndef AUTOPILOT_NN_LAYER_H
+#define AUTOPILOT_NN_LAYER_H
+
+#include <cstdint>
+#include <string>
+
+namespace autopilot::nn
+{
+
+/** Kind of a policy-network layer. */
+enum class LayerKind
+{
+    Conv2D, ///< 2-D convolution over an H x W x C feature map.
+    Dense,  ///< Fully connected layer (includes the flatten of its input).
+};
+
+/**
+ * GEMM view of a layer after im2col lowering.
+ *
+ * A convolution becomes an (M x K) * (K x N) product with M output pixels,
+ * N filters and K-deep windows; a dense layer is the M = 1 special case.
+ */
+struct GemmShape
+{
+    std::int64_t m = 0; ///< Output rows (output pixels; 1 for Dense).
+    std::int64_t n = 0; ///< Output columns (filter / neuron count).
+    std::int64_t k = 0; ///< Reduction depth (window size / input features).
+
+    /** Total multiply-accumulate operations: m * n * k. */
+    std::int64_t macs() const { return m * n * k; }
+};
+
+/**
+ * One layer of an E2E policy network.
+ *
+ * Construct via the factory functions conv2d() / dense(), which validate
+ * parameters and derive output dimensions.
+ */
+struct Layer
+{
+    LayerKind kind = LayerKind::Conv2D;
+    std::string name;
+
+    // Convolution geometry (unused for Dense).
+    std::int64_t inHeight = 0;   ///< Input feature-map height.
+    std::int64_t inWidth = 0;    ///< Input feature-map width.
+    std::int64_t inChannels = 0; ///< Input channels (or input features).
+    std::int64_t kernel = 0;     ///< Square kernel side R = S.
+    std::int64_t stride = 1;     ///< Stride in both dimensions.
+    std::int64_t filters = 0;    ///< Output channels (or output features).
+    std::int64_t outHeight = 0;  ///< Derived output height (1 for Dense).
+    std::int64_t outWidth = 0;   ///< Derived output width (1 for Dense).
+
+    /** Weight (+bias) parameter count. */
+    std::int64_t params() const;
+
+    /** Multiply-accumulate count for one inference. */
+    std::int64_t macs() const;
+
+    /** Number of input activation elements consumed. */
+    std::int64_t ifmapElems() const;
+
+    /** Number of output activation elements produced. */
+    std::int64_t ofmapElems() const;
+
+    /** Number of weight elements (excluding bias). */
+    std::int64_t filterElems() const;
+
+    /** Lower to the GEMM executed by the accelerator. */
+    GemmShape gemm() const;
+};
+
+/**
+ * Build a 2-D convolution layer with 'same'-style floor division output
+ * size: out = (in - kernel) / stride + 1 after implicit padding to keep the
+ * kernel inside (we use valid convolution on a pre-padded map, which is the
+ * SCALE-Sim convention).
+ *
+ * @param name        Layer label used in traces and reports.
+ * @param in_height   Input height in pixels.
+ * @param in_width    Input width in pixels.
+ * @param in_channels Input channel count.
+ * @param kernel      Square kernel side.
+ * @param stride      Stride; must divide the traversal sensibly (>= 1).
+ * @param filters     Number of output channels.
+ */
+Layer conv2d(const std::string &name, std::int64_t in_height,
+             std::int64_t in_width, std::int64_t in_channels,
+             std::int64_t kernel, std::int64_t stride, std::int64_t filters);
+
+/**
+ * Build a dense (fully connected) layer.
+ *
+ * @param name        Layer label.
+ * @param in_features Input feature count (flattened).
+ * @param out_features Output neuron count.
+ */
+Layer dense(const std::string &name, std::int64_t in_features,
+            std::int64_t out_features);
+
+} // namespace autopilot::nn
+
+#endif // AUTOPILOT_NN_LAYER_H

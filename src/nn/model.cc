@@ -1,0 +1,67 @@
+#include "nn/model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace autopilot::nn
+{
+
+using util::fatalIf;
+
+void
+Model::append(const Layer &layer, std::int64_t extra_features)
+{
+    if (!layerList.empty()) {
+        const Layer &prev = layerList.back();
+        const std::int64_t expected = prev.ofmapElems() + extra_features;
+        fatalIf(layer.ifmapElems() != expected,
+                "Model::append: layer '" + layer.name +
+                "' input size does not chain from '" + prev.name + "'");
+    }
+    layerList.push_back(layer);
+}
+
+void
+Model::appendBranchRoot(const Layer &layer)
+{
+    layerList.push_back(layer);
+}
+
+std::int64_t
+Model::totalParams() const
+{
+    std::int64_t total = 0;
+    for (const Layer &layer : layerList)
+        total += layer.params();
+    return total;
+}
+
+std::int64_t
+Model::totalMacs() const
+{
+    std::int64_t total = 0;
+    for (const Layer &layer : layerList)
+        total += layer.macs();
+    return total;
+}
+
+std::int64_t
+Model::totalFilterElems() const
+{
+    std::int64_t total = 0;
+    for (const Layer &layer : layerList)
+        total += layer.filterElems();
+    return total;
+}
+
+std::int64_t
+Model::peakIfmapElems() const
+{
+    std::int64_t peak = 0;
+    for (const Layer &layer : layerList)
+        peak = std::max(peak, layer.ifmapElems());
+    return peak;
+}
+
+} // namespace autopilot::nn

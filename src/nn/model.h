@@ -1,0 +1,71 @@
+/**
+ * @file
+ * An E2E policy model: an ordered list of layers with aggregate accounting.
+ */
+
+#ifndef AUTOPILOT_NN_MODEL_H
+#define AUTOPILOT_NN_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace autopilot::nn
+{
+
+/**
+ * An end-to-end policy network.
+ *
+ * The model is a feed-forward chain; chaining consistency (each layer's
+ * input element count equals the previous layer's output element count,
+ * modulo explicit flatten/concat boundaries) is validated on append.
+ */
+class Model
+{
+  public:
+    /** @param name Identifier used in the policy database and reports. */
+    explicit Model(std::string name) : modelName(std::move(name)) {}
+
+    /**
+     * Append a layer.
+     *
+     * @param layer           Layer to append.
+     * @param extra_features  Additional input features concatenated from a
+     *                        side branch (e.g., the IMU/goal state vector of
+     *                        the multi-modal template) before this layer.
+     */
+    void append(const Layer &layer, std::int64_t extra_features = 0);
+
+    /**
+     * Append a layer that starts a new branch (e.g., the state-vector side
+     * input of the multi-modal template); no chaining check is applied.
+     */
+    void appendBranchRoot(const Layer &layer);
+
+    const std::string &name() const { return modelName; }
+    const std::vector<Layer> &layers() const { return layerList; }
+    bool empty() const { return layerList.empty(); }
+    std::size_t size() const { return layerList.size(); }
+
+    /** Total trainable parameters across all layers. */
+    std::int64_t totalParams() const;
+
+    /** Total multiply-accumulates for one inference. */
+    std::int64_t totalMacs() const;
+
+    /** Total weight elements (excluding biases). */
+    std::int64_t totalFilterElems() const;
+
+    /** Largest single-layer ifmap, in elements. */
+    std::int64_t peakIfmapElems() const;
+
+  private:
+    std::string modelName;
+    std::vector<Layer> layerList;
+};
+
+} // namespace autopilot::nn
+
+#endif // AUTOPILOT_NN_MODEL_H

@@ -1,0 +1,80 @@
+#include "nn/summary.h"
+
+#include <string>
+
+#include "util/table.h"
+
+namespace autopilot::nn
+{
+
+double
+ModelStats::denseParamFraction() const
+{
+    if (totalParams <= 0)
+        return 0.0;
+    return static_cast<double>(denseParams) /
+           static_cast<double>(totalParams);
+}
+
+double
+ModelStats::macsPerParam() const
+{
+    if (totalParams <= 0)
+        return 0.0;
+    return static_cast<double>(totalMacs) /
+           static_cast<double>(totalParams);
+}
+
+ModelStats
+computeStats(const Model &model)
+{
+    ModelStats stats;
+    for (const Layer &layer : model.layers()) {
+        stats.totalParams += layer.params();
+        stats.totalMacs += layer.macs();
+        if (layer.kind == LayerKind::Conv2D) {
+            stats.convParams += layer.params();
+            stats.convMacs += layer.macs();
+        } else {
+            stats.denseParams += layer.params();
+            stats.denseMacs += layer.macs();
+        }
+    }
+    return stats;
+}
+
+void
+printSummary(const Model &model, std::ostream &os)
+{
+    os << "Model: " << model.name() << "\n";
+    util::Table table({"layer", "type", "output", "params", "MACs",
+                       "GEMM MxNxK"});
+    for (const Layer &layer : model.layers()) {
+        const GemmShape gemm = layer.gemm();
+        std::string output;
+        if (layer.kind == LayerKind::Conv2D) {
+            output = std::to_string(layer.outHeight) + "x" +
+                     std::to_string(layer.outWidth) + "x" +
+                     std::to_string(layer.filters);
+        } else {
+            output = std::to_string(layer.filters);
+        }
+        table.addRow(
+            {layer.name,
+             layer.kind == LayerKind::Conv2D ? "conv2d" : "dense",
+             output, std::to_string(layer.params()),
+             std::to_string(layer.macs()),
+             std::to_string(gemm.m) + "x" + std::to_string(gemm.n) +
+                 "x" + std::to_string(gemm.k)});
+    }
+    table.print(os);
+
+    const ModelStats stats = computeStats(model);
+    os << "total params: " << stats.totalParams
+       << "  total MACs: " << stats.totalMacs << "  dense fraction: "
+       << util::formatDouble(stats.denseParamFraction() * 100, 1)
+       << "%  MACs/param: "
+       << util::formatDouble(stats.macsPerParam(), 1) << "\n";
+}
+
+} // namespace autopilot::nn

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Human-readable model summaries (the "model.summary()" convenience):
+ * per-layer shapes, parameters and MACs, plus aggregate statistics.
+ */
+
+#ifndef AUTOPILOT_NN_SUMMARY_H
+#define AUTOPILOT_NN_SUMMARY_H
+
+#include <ostream>
+
+#include "nn/model.h"
+
+namespace autopilot::nn
+{
+
+/** Aggregate statistics of a model. */
+struct ModelStats
+{
+    std::int64_t totalParams = 0;
+    std::int64_t totalMacs = 0;
+    std::int64_t convParams = 0;  ///< Parameters in conv layers.
+    std::int64_t denseParams = 0; ///< Parameters in dense layers.
+    std::int64_t convMacs = 0;
+    std::int64_t denseMacs = 0;
+
+    /** Fraction of parameters in dense layers (weight-heaviness). */
+    double denseParamFraction() const;
+
+    /** Arithmetic intensity proxy: MACs per weight element. */
+    double macsPerParam() const;
+};
+
+/** Compute aggregate statistics. */
+ModelStats computeStats(const Model &model);
+
+/**
+ * Print a per-layer summary table:
+ * name, type, output shape, params, MACs, GEMM (M x N x K).
+ */
+void printSummary(const Model &model, std::ostream &os);
+
+} // namespace autopilot::nn
+
+#endif // AUTOPILOT_NN_SUMMARY_H

@@ -1,0 +1,28 @@
+#include "power/dram_model.h"
+
+#include "util/logging.h"
+
+namespace autopilot::power
+{
+
+DramModel::DramModel(double energy_pj_per_byte, double background_mw)
+    : pjPerByte(energy_pj_per_byte), backgroundPowerMw(background_mw)
+{
+    util::fatalIf(energy_pj_per_byte < 0.0 || background_mw < 0.0,
+                  "DramModel: negative parameters");
+}
+
+double
+DramModel::transferEnergyPj(std::int64_t bytes) const
+{
+    return pjPerByte * static_cast<double>(bytes);
+}
+
+double
+DramModel::averagePowerMw(double bytes_per_second) const
+{
+    // pJ/B * B/s = pW; convert to mW.
+    return backgroundPowerMw + pjPerByte * bytes_per_second * 1e-9;
+}
+
+} // namespace autopilot::power

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Micron-style DRAM power model.
+ *
+ * The paper feeds SCALE-Sim DRAM traces into the Micron DDR4 power
+ * calculator [9]; we reproduce its two dominant terms for an LPDDR-class
+ * part: energy proportional to bytes moved (activate + read/write + I/O)
+ * and a background/standby power floor.
+ */
+
+#ifndef AUTOPILOT_POWER_DRAM_MODEL_H
+#define AUTOPILOT_POWER_DRAM_MODEL_H
+
+#include <cstdint>
+
+namespace autopilot::power
+{
+
+/** LPDDR-class external-memory power model. */
+class DramModel
+{
+  public:
+    DramModel() = default;
+
+    /**
+     * @param energy_pj_per_byte Transfer energy including I/O.
+     * @param background_mw      Standby + refresh power floor.
+     */
+    DramModel(double energy_pj_per_byte, double background_mw);
+
+    /** Energy to move @p bytes, picojoules. */
+    double transferEnergyPj(std::int64_t bytes) const;
+
+    /** Average power for a sustained traffic rate, milliwatts. */
+    double averagePowerMw(double bytes_per_second) const;
+
+    double energyPjPerByte() const { return pjPerByte; }
+    double backgroundMw() const { return backgroundPowerMw; }
+
+  private:
+    // LPDDR4-class defaults at 28 nm-era controllers.
+    double pjPerByte = 120.0;
+    double backgroundPowerMw = 40.0;
+};
+
+} // namespace autopilot::power
+
+#endif // AUTOPILOT_POWER_DRAM_MODEL_H

@@ -1,0 +1,34 @@
+#include "power/mass_model.h"
+
+#include "util/logging.h"
+
+namespace autopilot::power
+{
+
+MassModel::MassModel(const MassModelParams &params) : p(params)
+{
+    util::fatalIf(p.deltaTKelvin <= 0.0 || p.volumetricWPerCm3K <= 0.0,
+                  "MassModel: thermal parameters must be positive");
+    util::fatalIf(p.finFillFactor <= 0.0 || p.finFillFactor > 1.0,
+                  "MassModel: fill factor must be in (0, 1]");
+}
+
+double
+MassModel::heatsinkGrams(double tdp_w) const
+{
+    util::fatalIf(tdp_w < 0.0, "MassModel::heatsinkGrams: negative TDP");
+    if (tdp_w <= p.heatsinkFreeW)
+        return 0.0;
+    // Volume (cm^3) needed to dissipate tdp_w at the allowed rise.
+    const double volume_cm3 =
+        tdp_w / (p.volumetricWPerCm3K * p.deltaTKelvin);
+    return volume_cm3 * p.aluminumGPerCm3 * p.finFillFactor;
+}
+
+double
+MassModel::computePayloadGrams(double tdp_w) const
+{
+    return p.motherboardGrams + heatsinkGrams(tdp_w);
+}
+
+} // namespace autopilot::power

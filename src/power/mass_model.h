@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Compute payload weight model (Section III-C, "Compute Weight Modelling").
+ *
+ * The onboard computer's mass has two parts: a motherboard/PCB carrying
+ * the SoC (a fixed ~20 g for Raspberry-Pi / Coral-class boards) and a
+ * passive aluminum heatsink sized from the SoC's TDP. Heatsink sizing
+ * follows the natural-convection volume calculators the paper cites [7]:
+ * required volume scales linearly with dissipated power at a fixed
+ * allowable temperature rise, and mass follows from aluminum density and
+ * a fin fill factor. Very low-power SoCs (PULP-class) need no heatsink.
+ */
+
+#ifndef AUTOPILOT_POWER_MASS_MODEL_H
+#define AUTOPILOT_POWER_MASS_MODEL_H
+
+namespace autopilot::power
+{
+
+/** Parameters of the heatsink/motherboard mass model. */
+struct MassModelParams
+{
+    double motherboardGrams = 20.0; ///< PCB + connectors + regulators.
+    double deltaTKelvin = 40.0;     ///< Allowed rise over ambient.
+    /// Natural-convection volumetric dissipation, W per cm^3 per K.
+    /// 0.0031 W/(cm^3 K) reproduces the celsiainc.com calculator's
+    /// mid-range "natural convection" sizing.
+    double volumetricWPerCm3K = 0.0031;
+    double aluminumGPerCm3 = 2.70;  ///< Heatsink material density.
+    double finFillFactor = 0.25;    ///< Metal fraction of the envelope.
+    double heatsinkFreeW = 0.25;    ///< TDP below which no heatsink fits.
+};
+
+/** Compute payload mass estimator. */
+class MassModel
+{
+  public:
+    explicit MassModel(const MassModelParams &params = MassModelParams());
+
+    /** Heatsink mass in grams for a given TDP in watts. */
+    double heatsinkGrams(double tdp_w) const;
+
+    /** Total compute payload (motherboard + heatsink), grams. */
+    double computePayloadGrams(double tdp_w) const;
+
+    const MassModelParams &params() const { return p; }
+
+  private:
+    MassModelParams p;
+};
+
+} // namespace autopilot::power
+
+#endif // AUTOPILOT_POWER_MASS_MODEL_H

@@ -1,0 +1,71 @@
+#include "power/npu_power.h"
+
+#include "util/logging.h"
+
+namespace autopilot::power
+{
+
+NpuPowerModel::NpuPowerModel(const systolic::AcceleratorConfig &config,
+                             const TechnologyNode &node)
+    : cfg(config), tech(node), peModel(node),
+      ifmapSram(config.ifmapSramKb, node),
+      filterSram(config.filterSramKb, node),
+      ofmapSram(config.ofmapSramKb, node)
+{
+    cfg.validate();
+}
+
+NpuPowerBreakdown
+NpuPowerModel::estimate(const systolic::RunResult &run) const
+{
+    util::fatalIf(run.totalCycles <= 0,
+                  "NpuPowerModel::estimate: empty run result");
+
+    const double seconds = run.runtimeSeconds(cfg.clockGhz);
+    const double pj_to_w = 1e-12 / seconds;
+
+    NpuPowerBreakdown breakdown;
+
+    breakdown.peDynamicW = static_cast<double>(run.totalMacs) *
+                           peModel.macEnergyPj() * pj_to_w;
+    breakdown.peLeakageW = peModel.arrayLeakageMw(cfg.peCount()) * 1e-3;
+
+    const systolic::LayerTraffic &traffic = run.traffic;
+    double sram_pj = 0.0;
+    sram_pj += static_cast<double>(traffic.ifmapSramReads) *
+               ifmapSram.readEnergyPj();
+    sram_pj += static_cast<double>(traffic.filterSramReads) *
+               filterSram.readEnergyPj();
+    sram_pj += static_cast<double>(traffic.ofmapSramWrites) *
+               ofmapSram.writeEnergyPj();
+    sram_pj += static_cast<double>(traffic.psumSramReads) *
+               ofmapSram.readEnergyPj();
+    sram_pj += static_cast<double>(traffic.psumSramWrites) *
+               ofmapSram.writeEnergyPj();
+    breakdown.sramDynamicW = sram_pj * pj_to_w;
+
+    breakdown.sramLeakageW =
+        (ifmapSram.leakageMw() + filterSram.leakageMw() +
+         ofmapSram.leakageMw()) *
+        1e-3;
+
+    const double bytes_per_second =
+        static_cast<double>(traffic.totalDramBytes()) / seconds;
+    breakdown.dramW = dramModel.averagePowerMw(bytes_per_second) * 1e-3;
+
+    breakdown.controllerW = controllerBaseW * tech.leakageScale;
+
+    // Apply the glue margin to the dynamic components.
+    breakdown.peDynamicW *= glueMargin;
+    breakdown.sramDynamicW *= glueMargin;
+
+    return breakdown;
+}
+
+double
+NpuPowerModel::averagePowerW(const systolic::RunResult &run) const
+{
+    return estimate(run).totalW();
+}
+
+} // namespace autopilot::power

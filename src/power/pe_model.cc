@@ -1,0 +1,31 @@
+#include "power/pe_model.h"
+
+#include "util/logging.h"
+
+namespace autopilot::power
+{
+
+PeModel::PeModel(const TechnologyNode &node) : tech(node)
+{
+}
+
+double
+PeModel::macEnergyPj() const
+{
+    return baseMacPj * tech.dynamicScale;
+}
+
+double
+PeModel::leakagePerPeMw() const
+{
+    return baseLeakMwPerPe * tech.leakageScale;
+}
+
+double
+PeModel::arrayLeakageMw(std::int64_t pe_count) const
+{
+    util::panicIf(pe_count < 0, "PeModel::arrayLeakageMw: negative count");
+    return leakagePerPeMw() * static_cast<double>(pe_count);
+}
+
+} // namespace autopilot::power

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Processing-element energy model.
+ *
+ * Per-MAC dynamic energy and per-PE leakage follow the on-chip-memory /
+ * datapath numbers of Li et al., DAC 2019 [48] for an INT8 MAC with its
+ * operand registers and forwarding links at 28 nm.
+ */
+
+#ifndef AUTOPILOT_POWER_PE_MODEL_H
+#define AUTOPILOT_POWER_PE_MODEL_H
+
+#include <cstdint>
+
+#include "power/technology.h"
+
+namespace autopilot::power
+{
+
+/** Energy/leakage model for the systolic PE array. */
+class PeModel
+{
+  public:
+    /** @param node Process node; defaults to the 28 nm reference. */
+    explicit PeModel(const TechnologyNode &node = referenceNode());
+
+    /** Dynamic energy of one INT8 MAC (with operand movement), pJ. */
+    double macEnergyPj() const;
+
+    /** Leakage of one PE (MAC + registers + control), milliwatts. */
+    double leakagePerPeMw() const;
+
+    /** Total array leakage for @p pe_count PEs, milliwatts. */
+    double arrayLeakageMw(std::int64_t pe_count) const;
+
+  private:
+    TechnologyNode tech;
+
+    // 28 nm reference constants.
+    static constexpr double baseMacPj = 2.0;
+    static constexpr double baseLeakMwPerPe = 0.30;
+};
+
+} // namespace autopilot::power
+
+#endif // AUTOPILOT_POWER_PE_MODEL_H

@@ -1,0 +1,20 @@
+#include "power/soc_power.h"
+
+#include "util/logging.h"
+
+namespace autopilot::power
+{
+
+SocPowerBreakdown
+socPower(double npu_w, const FixedSocComponents &fixed)
+{
+    util::fatalIf(npu_w < 0.0, "socPower: negative NPU power");
+    SocPowerBreakdown breakdown;
+    breakdown.npuW = npu_w;
+    breakdown.mcuW = fixed.mcuCores * fixed.mcuCoreW;
+    breakdown.sensorW = fixed.sensorW;
+    breakdown.mipiW = fixed.mipiW;
+    return breakdown;
+}
+
+} // namespace autopilot::power

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Full-SoC power: the fixed components of Table III plus the variable NPU.
+ *
+ * The DSSoC template (Fig. 3a) fixes an ultra-low-power MCU pair running
+ * the PID flight-controller stack, an OV9755-class RGB sensor and a MIPI
+ * camera interface; only the NPU varies during the DSE.
+ */
+
+#ifndef AUTOPILOT_POWER_SOC_POWER_H
+#define AUTOPILOT_POWER_SOC_POWER_H
+
+namespace autopilot::power
+{
+
+/** Fixed SoC components per Table III. */
+struct FixedSocComponents
+{
+    int mcuCores = 2;           ///< ARMv8-M cores for the flight stack.
+    double mcuCoreW = 0.00038;  ///< 0.38 mW per core at 100 MHz, 28 nm.
+    double sensorW = 0.100;     ///< OV9755 RGB sensor.
+    double mipiW = 0.022;       ///< MIPI CSI receiver.
+
+    /** Total fixed power in watts. */
+    double totalW() const
+    {
+        return mcuCores * mcuCoreW + sensorW + mipiW;
+    }
+};
+
+/** Breakdown of SoC power in watts. */
+struct SocPowerBreakdown
+{
+    double npuW = 0.0;
+    double mcuW = 0.0;
+    double sensorW = 0.0;
+    double mipiW = 0.0;
+
+    double totalW() const { return npuW + mcuW + sensorW + mipiW; }
+};
+
+/**
+ * Combine the variable NPU power with the fixed components.
+ *
+ * @param npu_w  Average NPU power in watts.
+ * @param fixed  Fixed component spec (defaults to Table III).
+ */
+SocPowerBreakdown socPower(double npu_w,
+                           const FixedSocComponents &fixed =
+                               FixedSocComponents());
+
+} // namespace autopilot::power
+
+#endif // AUTOPILOT_POWER_SOC_POWER_H

@@ -1,0 +1,37 @@
+#include "power/sram_model.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autopilot::power
+{
+
+SramModel::SramModel(int capacity_kb, const TechnologyNode &node)
+    : kb(capacity_kb), tech(node)
+{
+    util::fatalIf(capacity_kb <= 0,
+                  "SramModel: capacity must be positive");
+}
+
+double
+SramModel::readEnergyPj() const
+{
+    return baseReadPj * std::sqrt(static_cast<double>(kb) /
+                                  baseCapacityKb) *
+           tech.dynamicScale;
+}
+
+double
+SramModel::writeEnergyPj() const
+{
+    return readEnergyPj() * writeFactor;
+}
+
+double
+SramModel::leakageMw() const
+{
+    return leakMwPerKb * static_cast<double>(kb) * tech.leakageScale;
+}
+
+} // namespace autopilot::power

@@ -1,0 +1,30 @@
+#include "power/technology.h"
+
+#include <string>
+
+#include "util/logging.h"
+
+namespace autopilot::power
+{
+
+TechnologyNode
+referenceNode()
+{
+    return TechnologyNode{28, 1.0, 1.0, 1.0};
+}
+
+TechnologyNode
+technologyNode(int nm)
+{
+    switch (nm) {
+      case 40: return TechnologyNode{40, 1.60, 1.40, 0.80};
+      case 28: return referenceNode();
+      case 16: return TechnologyNode{16, 0.55, 0.70, 1.30};
+      case 7:  return TechnologyNode{7, 0.25, 0.45, 1.80};
+      default:
+        util::fatal("technologyNode: unsupported node " +
+                    std::to_string(nm) + " nm (use 40/28/16/7)");
+    }
+}
+
+} // namespace autopilot::power

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Process-technology scaling factors.
+ *
+ * All energy/leakage constants in the power models are referenced to a
+ * 28 nm planar process (the node of the Cortex-M33 numbers in Table III).
+ * Technology-node scaling is one of the two "architectural fine-tuning"
+ * knobs of Phase 3 (Section III-C), so the factors are exposed as data.
+ */
+
+#ifndef AUTOPILOT_POWER_TECHNOLOGY_H
+#define AUTOPILOT_POWER_TECHNOLOGY_H
+
+namespace autopilot::power
+{
+
+/** Scaling factors of a process node relative to the 28 nm reference. */
+struct TechnologyNode
+{
+    int nm = 28;                 ///< Feature size label.
+    double dynamicScale = 1.0;   ///< Dynamic energy per op vs. 28 nm.
+    double leakageScale = 1.0;   ///< Static power per device vs. 28 nm.
+    double frequencyScale = 1.0; ///< Achievable clock vs. 28 nm.
+};
+
+/** The 28 nm reference node. */
+TechnologyNode referenceNode();
+
+/**
+ * Look up a supported node (40, 28, 16, 7 nm).
+ *
+ * Factors follow published full-node scaling trends (roughly 0.5x dynamic
+ * energy and 1.3x frequency per full node).
+ *
+ * Fatal on unsupported nodes.
+ */
+TechnologyNode technologyNode(int nm);
+
+} // namespace autopilot::power
+
+#endif // AUTOPILOT_POWER_TECHNOLOGY_H

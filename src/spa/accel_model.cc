@@ -1,0 +1,86 @@
+#include "spa/accel_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace autopilot::spa
+{
+
+using util::fatalIf;
+
+std::string
+SpaAcceleratorConfig::name() const
+{
+    return "spa_v" + std::to_string(vioLanes) + "_m" +
+           std::to_string(mappingBanks) + "_p" +
+           std::to_string(planningCores);
+}
+
+void
+SpaAcceleratorConfig::validate() const
+{
+    fatalIf(vioLanes <= 0 || mappingBanks <= 0 || planningCores <= 0,
+            "SpaAcceleratorConfig: unit counts must be positive");
+    fatalIf(clockGhz <= 0.0,
+            "SpaAcceleratorConfig: clock must be positive");
+}
+
+std::vector<SpaAcceleratorConfig>
+SpaHardwareSpace::enumerate() const
+{
+    std::vector<SpaAcceleratorConfig> all;
+    all.reserve(laneChoices.size() * bankChoices.size() *
+                coreChoices.size());
+    for (int lanes : laneChoices) {
+        for (int banks : bankChoices) {
+            for (int cores : coreChoices) {
+                SpaAcceleratorConfig config;
+                config.vioLanes = lanes;
+                config.mappingBanks = banks;
+                config.planningCores = cores;
+                all.push_back(config);
+            }
+        }
+    }
+    return all;
+}
+
+SpaComputeModel::SpaComputeModel(const SpaWorkload &workload)
+    : work(workload)
+{
+    fatalIf(work.vioGop <= 0.0 || work.mappingGop <= 0.0 ||
+                work.planningGop <= 0.0,
+            "SpaComputeModel: stage work must be positive");
+}
+
+SpaComputeEstimate
+SpaComputeModel::estimate(const SpaAcceleratorConfig &config) const
+{
+    config.validate();
+    const double cycles_per_second = config.clockGhz * 1e9;
+
+    auto latency_ms = [&](double gop, int units,
+                          double ops_per_unit_cycle) {
+        const double ops_per_second =
+            cycles_per_second * units * ops_per_unit_cycle;
+        return gop * 1e9 / ops_per_second * 1e3;
+    };
+
+    SpaComputeEstimate estimate;
+    estimate.vioLatencyMs =
+        latency_ms(work.vioGop, config.vioLanes, opsPerLaneCycle);
+    estimate.mappingLatencyMs = latency_ms(
+        work.mappingGop, config.mappingBanks, opsPerBankCycle);
+    estimate.planningLatencyMs = latency_ms(
+        work.planningGop, config.planningCores, opsPerCoreCycle);
+
+    const double clock_scale = config.clockGhz / 0.2;
+    estimate.powerW =
+        baseWatts + clock_scale * (laneWatts * config.vioLanes +
+                                   bankWatts * config.mappingBanks +
+                                   coreWatts * config.planningCores);
+    return estimate;
+}
+
+} // namespace autopilot::spa

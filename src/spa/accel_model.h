@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Parameterizable hardware templates for the SPA pipeline stages
+ * (Section VII / VIII: AutoPilot "can be adapted to the SPA paradigm -
+ * the only requirement is that the algorithm and hardware templates be
+ * parameterizable").
+ *
+ * Three stage accelerators, modelled at the same spec level as the
+ * paper's taxonomy entries:
+ *  - a Navion-style [80] visual-odometry / perception front end
+ *    (parallel feature lanes),
+ *  - an OMU-style [37] occupancy-map update engine (parallel banks),
+ *  - a RoboX-style [70] planning engine (parallel expansion cores).
+ *
+ * The SPA decision rate is the reciprocal of the summed stage latencies
+ * (the stages run back to back per frame, MAVBench-style), and the NPU
+ * power is the sum of stage powers - which plugs straight into the same
+ * Phase 3 machinery (heatsink mass, F-1, missions) as the E2E designs.
+ */
+
+#ifndef AUTOPILOT_SPA_ACCEL_MODEL_H
+#define AUTOPILOT_SPA_ACCEL_MODEL_H
+
+#include <string>
+#include <vector>
+
+namespace autopilot::spa
+{
+
+/**
+ * Per-frame work of the three stages, giga-operations.
+ *
+ * SPA is markedly heavier per decision than an E2E forward pass (the
+ * paper's Section II: E2E methods "are computationally faster compared
+ * to the SPA paradigm"): a visual-inertial front end plus map update
+ * plus (re)planning totals several GOP per frame vs. the E2E policies'
+ * ~1-2 GMAC.
+ */
+struct SpaWorkload
+{
+    double vioGop = 2.5;      ///< Feature extraction + tracking + BA.
+    double mappingGop = 0.8;  ///< Occupancy-map ray/disk updates.
+    double planningGop = 1.2; ///< Amortized A*/RRT expansions.
+};
+
+/** Hardware knobs of the SPA accelerator template. */
+struct SpaAcceleratorConfig
+{
+    int vioLanes = 4;      ///< In {1, 2, 4, 8, 16, 32}.
+    int mappingBanks = 2;  ///< In {1, 2, 4, 8, 16}.
+    int planningCores = 2; ///< In {1, 2, 4, 8, 16}.
+    double clockGhz = 0.2;
+
+    /** Short identifier, e.g. "spa_v4_m2_p2". */
+    std::string name() const;
+
+    /** Abort via fatal() on out-of-range knobs. */
+    void validate() const;
+};
+
+/** Legal knob values for the SPA design space. */
+struct SpaHardwareSpace
+{
+    std::vector<int> laneChoices = {1, 2, 4, 8, 16, 32};
+    std::vector<int> bankChoices = {1, 2, 4, 8, 16};
+    std::vector<int> coreChoices = {1, 2, 4, 8, 16};
+
+    /** All configurations (lanes x banks x cores). */
+    std::vector<SpaAcceleratorConfig> enumerate() const;
+};
+
+/** Performance/power estimate of one SPA accelerator configuration. */
+struct SpaComputeEstimate
+{
+    double vioLatencyMs = 0.0;
+    double mappingLatencyMs = 0.0;
+    double planningLatencyMs = 0.0;
+    double powerW = 0.0; ///< Accelerator subsystem power.
+
+    /** End-to-end stage latency per decision, milliseconds. */
+    double totalLatencyMs() const
+    {
+        return vioLatencyMs + mappingLatencyMs + planningLatencyMs;
+    }
+
+    /** Decision (action) rate, Hz. */
+    double decisionRateHz() const
+    {
+        return 1000.0 / totalLatencyMs();
+    }
+};
+
+/** Analytic performance/power model of the SPA stage accelerators. */
+class SpaComputeModel
+{
+  public:
+    /** @param workload Per-frame stage work (defaults from telemetry). */
+    explicit SpaComputeModel(const SpaWorkload &workload = SpaWorkload());
+
+    /** Estimate latency and power for a configuration. */
+    SpaComputeEstimate estimate(const SpaAcceleratorConfig &config) const;
+
+    const SpaWorkload &workload() const { return work; }
+
+  private:
+    SpaWorkload work;
+
+    // Per-unit throughput and power at 28 nm, 0.2 GHz reference (wide
+    // SIMD datapaths per lane/bank/core).
+    static constexpr double opsPerLaneCycle = 64.0;
+    static constexpr double opsPerBankCycle = 32.0;
+    static constexpr double opsPerCoreCycle = 32.0;
+    static constexpr double laneWatts = 0.030;
+    static constexpr double bankWatts = 0.020;
+    static constexpr double coreWatts = 0.040;
+    static constexpr double baseWatts = 0.060; ///< Sequencer + NoC.
+};
+
+} // namespace autopilot::spa
+
+#endif // AUTOPILOT_SPA_ACCEL_MODEL_H

@@ -1,0 +1,133 @@
+#include "spa/occupancy_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autopilot::spa
+{
+
+using util::fatalIf;
+using util::panicIf;
+
+OccupancyGrid::OccupancyGrid(double world_size, double resolution)
+    : cellSize(resolution)
+{
+    fatalIf(world_size <= 0.0 || resolution <= 0.0,
+            "OccupancyGrid: size and resolution must be positive");
+    cells = static_cast<int>(std::ceil(world_size / resolution));
+    fatalIf(cells <= 0 || cells > 4096,
+            "OccupancyGrid: unreasonable grid dimension");
+    data.assign(static_cast<std::size_t>(cells) * cells,
+                CellState::Unknown);
+}
+
+std::size_t
+OccupancyGrid::index(const Cell &cell) const
+{
+    panicIf(!inBounds(cell), "OccupancyGrid: cell out of bounds");
+    return static_cast<std::size_t>(cell.y) * cells + cell.x;
+}
+
+Cell
+OccupancyGrid::worldToCell(double x, double y) const
+{
+    Cell cell;
+    cell.x = std::clamp(static_cast<int>(x / cellSize), 0, cells - 1);
+    cell.y = std::clamp(static_cast<int>(y / cellSize), 0, cells - 1);
+    return cell;
+}
+
+void
+OccupancyGrid::cellToWorld(const Cell &cell, double &x, double &y) const
+{
+    x = (cell.x + 0.5) * cellSize;
+    y = (cell.y + 0.5) * cellSize;
+}
+
+bool
+OccupancyGrid::inBounds(const Cell &cell) const
+{
+    return cell.x >= 0 && cell.x < cells && cell.y >= 0 &&
+           cell.y < cells;
+}
+
+CellState
+OccupancyGrid::at(const Cell &cell) const
+{
+    return data[index(cell)];
+}
+
+void
+OccupancyGrid::set(const Cell &cell, CellState state)
+{
+    data[index(cell)] = state;
+}
+
+void
+OccupancyGrid::markOccupiedDisk(double x, double y, double radius)
+{
+    const int span = static_cast<int>(std::ceil(radius / cellSize)) + 1;
+    const Cell center = worldToCell(x, y);
+    for (int dy = -span; dy <= span; ++dy) {
+        for (int dx = -span; dx <= span; ++dx) {
+            const Cell cell{center.x + dx, center.y + dy};
+            if (!inBounds(cell))
+                continue;
+            double cx = 0.0, cy = 0.0;
+            cellToWorld(cell, cx, cy);
+            const double dist = std::hypot(cx - x, cy - y);
+            if (dist <= radius)
+                set(cell, CellState::Occupied);
+        }
+    }
+}
+
+void
+OccupancyGrid::markFreeDisk(double x, double y, double radius)
+{
+    const int span = static_cast<int>(std::ceil(radius / cellSize)) + 1;
+    const Cell center = worldToCell(x, y);
+    for (int dy = -span; dy <= span; ++dy) {
+        for (int dx = -span; dx <= span; ++dx) {
+            const Cell cell{center.x + dx, center.y + dy};
+            if (!inBounds(cell))
+                continue;
+            double cx = 0.0, cy = 0.0;
+            cellToWorld(cell, cx, cy);
+            if (std::hypot(cx - x, cy - y) <= radius &&
+                at(cell) != CellState::Occupied) {
+                set(cell, CellState::Free);
+            }
+        }
+    }
+}
+
+bool
+OccupancyGrid::blocked(const Cell &cell, double inflate_m) const
+{
+    const int span =
+        static_cast<int>(std::ceil(inflate_m / cellSize));
+    for (int dy = -span; dy <= span; ++dy) {
+        for (int dx = -span; dx <= span; ++dx) {
+            const Cell probe{cell.x + dx, cell.y + dy};
+            if (!inBounds(probe))
+                continue;
+            if (std::hypot(double(dx), double(dy)) * cellSize >
+                inflate_m)
+                continue;
+            if (at(probe) == CellState::Occupied)
+                return true;
+        }
+    }
+    return false;
+}
+
+std::int64_t
+OccupancyGrid::countState(CellState state) const
+{
+    return std::count(data.begin(), data.end(), state);
+}
+
+} // namespace autopilot::spa

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * 2-D occupancy grid for the Sense-Plan-Act autonomy pipeline
+ * (Section VII: the SPA "mapping" stage, OctoMap-style [37] but in 2-D).
+ *
+ * Cells are unknown until observed; sensing marks free space around the
+ * vehicle and occupied disks at detected obstacles. The planner treats
+ * unknown space as traversable (optimistic exploration, the standard
+ * choice for goal-directed navigation) and occupied space, inflated by
+ * the vehicle radius, as blocked.
+ */
+
+#ifndef AUTOPILOT_SPA_OCCUPANCY_GRID_H
+#define AUTOPILOT_SPA_OCCUPANCY_GRID_H
+
+#include <cstdint>
+#include <vector>
+
+namespace autopilot::spa
+{
+
+/** Occupancy state of one cell. */
+enum class CellState : std::uint8_t
+{
+    Unknown,
+    Free,
+    Occupied,
+};
+
+/** Integer cell coordinate. */
+struct Cell
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Cell &other) const = default;
+};
+
+/** Square 2-D occupancy grid over a [0, size] x [0, size] world. */
+class OccupancyGrid
+{
+  public:
+    /**
+     * @param world_size  World side length in meters.
+     * @param resolution  Cell side length in meters (> 0).
+     */
+    OccupancyGrid(double world_size, double resolution);
+
+    int widthCells() const { return cells; }
+    double resolution() const { return cellSize; }
+
+    /** Convert a world position to a (clamped) cell coordinate. */
+    Cell worldToCell(double x, double y) const;
+
+    /** World-space center of a cell. */
+    void cellToWorld(const Cell &cell, double &x, double &y) const;
+
+    /** True when the cell lies inside the grid. */
+    bool inBounds(const Cell &cell) const;
+
+    /** State of a cell (panic when out of bounds). */
+    CellState at(const Cell &cell) const;
+
+    /** Set a cell's state (panic when out of bounds). */
+    void set(const Cell &cell, CellState state);
+
+    /**
+     * Mark the disk around (x, y) of radius @p radius as occupied.
+     * Occupied never reverts to free (conservative mapping).
+     */
+    void markOccupiedDisk(double x, double y, double radius);
+
+    /**
+     * Mark the disk around (x, y) as free, without overwriting occupied
+     * cells.
+     */
+    void markFreeDisk(double x, double y, double radius);
+
+    /**
+     * True when the cell (or any cell within @p inflate_m of it) is
+     * occupied - the planner's collision predicate.
+     */
+    bool blocked(const Cell &cell, double inflate_m) const;
+
+    /** Number of cells in the given state (diagnostics / tests). */
+    std::int64_t countState(CellState state) const;
+
+  private:
+    int cells = 0;
+    double cellSize = 0.0;
+    std::vector<CellState> data;
+
+    std::size_t index(const Cell &cell) const;
+};
+
+} // namespace autopilot::spa
+
+#endif // AUTOPILOT_SPA_OCCUPANCY_GRID_H

@@ -1,0 +1,192 @@
+#include "spa/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace autopilot::spa
+{
+
+using airlearning::EpisodeOutcome;
+using airlearning::EpisodeResult;
+
+EpisodeResult
+runSpaEpisode(const airlearning::Environment &env, const SpaConfig &config,
+              util::Rng &rng, SpaEpisodeStats *stats,
+              std::vector<TrajectoryPoint> *trajectory)
+{
+    util::fatalIf(config.decisionRateHz <= 0.0 || config.speedMps <= 0.0,
+                  "runSpaEpisode: rates must be positive");
+
+    OccupancyGrid grid(env.arenaSize, config.gridResolutionM);
+    const AStarPlanner planner(config.inflationM);
+
+    double x = env.start.x;
+    double y = env.start.y;
+    double heading = std::atan2(env.goal.y - y, env.goal.x - x);
+    std::vector<bool> detected(env.obstacles.size(), false);
+    std::vector<Cell> path;
+    std::size_t waypoint = 0;
+
+    // Decision cadence in physics steps (at least every step).
+    const int steps_per_decision = std::max(
+        1, static_cast<int>(std::round(
+               1.0 / (config.decisionRateHz * config.dtSeconds))));
+
+    EpisodeResult result;
+    result.minClearanceM = std::numeric_limits<double>::max();
+    SpaEpisodeStats local_stats;
+
+    for (int step = 0; step < config.maxSteps; ++step) {
+        result.steps = step + 1;
+
+        if (step % steps_per_decision == 0) {
+            ++local_stats.decisions;
+
+            // --- Sense + map ---
+            bool map_changed = false;
+            grid.markFreeDisk(x, y, config.sensorRangeM);
+            ++local_stats.mapUpdates;
+            for (std::size_t i = 0; i < env.obstacles.size(); ++i) {
+                const airlearning::Obstacle &obstacle =
+                    env.obstacles[i];
+                const double surface =
+                    std::hypot(x - obstacle.x, y - obstacle.y) -
+                    obstacle.radius;
+                const double effective_range =
+                    obstacle.camouflaged
+                        ? std::min(config.camoRangeM,
+                                   config.sensorRangeM)
+                        : config.sensorRangeM;
+                if (!detected[i] && surface <= effective_range &&
+                    rng.bernoulli(config.detectionProb)) {
+                    detected[i] = true;
+                    grid.markOccupiedDisk(obstacle.x, obstacle.y,
+                                          obstacle.radius);
+                    ++local_stats.mapUpdates;
+                    map_changed = true;
+                }
+            }
+
+            // --- Plan (replan when invalidated or finished) ---
+            const Cell here = grid.worldToCell(x, y);
+            const Cell goal_cell =
+                grid.worldToCell(env.goal.x, env.goal.y);
+            const bool need_replan =
+                path.empty() || waypoint >= path.size() ||
+                (map_changed &&
+                 !pathStillValid(grid, path, config.inflationM));
+            if (need_replan) {
+                const PlanResult plan =
+                    planner.plan(grid, here, goal_cell);
+                ++local_stats.replans;
+                local_stats.expandedNodes += plan.expandedNodes;
+                if (plan.found) {
+                    path = plan.path;
+                    waypoint = std::min<std::size_t>(1, path.size() - 1);
+                } else {
+                    path.clear();
+                    waypoint = 0;
+                }
+            }
+        }
+
+        // --- Act: steer toward the current waypoint (or the goal) ---
+        double tx = env.goal.x;
+        double ty = env.goal.y;
+        if (!path.empty() && waypoint < path.size()) {
+            grid.cellToWorld(path[waypoint], tx, ty);
+            if (std::hypot(tx - x, ty - y) < config.gridResolutionM &&
+                waypoint + 1 < path.size()) {
+                ++waypoint;
+                grid.cellToWorld(path[waypoint], tx, ty);
+            }
+        }
+        const double desired = std::atan2(ty - y, tx - x);
+        double delta = desired - heading;
+        while (delta > M_PI)
+            delta -= 2.0 * M_PI;
+        while (delta < -M_PI)
+            delta += 2.0 * M_PI;
+        delta = std::clamp(delta, -config.maxTurnRadPerStep,
+                           config.maxTurnRadPerStep);
+        heading += delta;
+
+        const double step_len = config.speedMps * config.dtSeconds;
+        x += step_len * std::cos(heading);
+        y += step_len * std::sin(heading);
+        x = std::clamp(x, 0.0, env.arenaSize);
+        y = std::clamp(y, 0.0, env.arenaSize);
+        result.pathLengthM += step_len;
+        if (trajectory)
+            trajectory->push_back({x, y});
+
+        // --- Terminate ---
+        const double clearance = env.obstacles.empty()
+                                     ? env.arenaSize
+                                     : env.clearance(x, y);
+        result.minClearanceM = std::min(result.minClearanceM, clearance);
+        if (clearance < config.robotRadiusM) {
+            result.outcome = EpisodeOutcome::Collision;
+            break;
+        }
+        if (std::hypot(x - env.goal.x, y - env.goal.y) <=
+            config.goalToleranceM) {
+            result.outcome = EpisodeOutcome::Success;
+            break;
+        }
+        if (step + 1 == config.maxSteps)
+            result.outcome = EpisodeOutcome::Timeout;
+    }
+
+    if (stats) {
+        stats->decisions += local_stats.decisions;
+        stats->replans += local_stats.replans;
+        stats->expandedNodes += local_stats.expandedNodes;
+        stats->mapUpdates += local_stats.mapUpdates;
+    }
+    return result;
+}
+
+airlearning::EvaluationResult
+evaluateSpa(const airlearning::EnvironmentConfig &env_config,
+            const SpaConfig &config, int episodes, std::uint64_t seed,
+            SpaEpisodeStats *total_stats)
+{
+    util::fatalIf(episodes <= 0, "evaluateSpa: episodes must be > 0");
+
+    const airlearning::EnvironmentGenerator generator(env_config);
+    util::Rng master(seed);
+
+    airlearning::EvaluationResult aggregate;
+    aggregate.episodes = episodes;
+    double path_sum = 0.0;
+    for (int episode = 0; episode < episodes; ++episode) {
+        util::Rng env_rng =
+            master.fork(static_cast<std::uint64_t>(episode) * 2);
+        util::Rng episode_rng =
+            master.fork(static_cast<std::uint64_t>(episode) * 2 + 1);
+        const airlearning::Environment env =
+            generator.generate(env_rng);
+        const EpisodeResult result =
+            runSpaEpisode(env, config, episode_rng, total_stats);
+        switch (result.outcome) {
+          case EpisodeOutcome::Success:
+            ++aggregate.successes;
+            break;
+          case EpisodeOutcome::Collision:
+            ++aggregate.collisions;
+            break;
+          case EpisodeOutcome::Timeout:
+            ++aggregate.timeouts;
+            break;
+        }
+        path_sum += result.pathLengthM;
+    }
+    aggregate.meanPathLengthM = path_sum / episodes;
+    return aggregate;
+}
+
+} // namespace autopilot::spa

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The Sense-Plan-Act navigation pipeline, runnable inside the same
+ * domain-randomized episodes as the E2E policies.
+ *
+ * Per decision tick: sense (range-limited, probabilistic detection),
+ * update the occupancy map, replan with A* when the current path is
+ * invalidated, and steer toward the next waypoint. Between decision
+ * ticks the vehicle flies blind on its last heading - which is exactly
+ * how compute latency converts into collision risk, and what couples the
+ * SPA accelerator design (decision rate) to task success.
+ */
+
+#ifndef AUTOPILOT_SPA_PIPELINE_H
+#define AUTOPILOT_SPA_PIPELINE_H
+
+#include <cstdint>
+
+#include "airlearning/environment.h"
+#include "airlearning/rollout.h"
+#include "spa/occupancy_grid.h"
+#include "spa/planner.h"
+#include "util/rng.h"
+
+namespace autopilot::spa
+{
+
+/** SPA pipeline parameters (perception + mapping + planning). */
+struct SpaConfig
+{
+    double sensorRangeM = 2.6;    ///< Depth-sensor range.
+    double detectionProb = 0.85;  ///< Per-tick detection reliability.
+    double camoRangeM = 0.6;      ///< Range for camouflaged obstacles.
+    double gridResolutionM = 0.5; ///< Occupancy-grid cell size.
+    double inflationM = 0.6;      ///< Planner obstacle inflation.
+    double decisionRateHz = 10.0; ///< Sense-plan-act rate (from compute).
+    double speedMps = 3.0;        ///< Commanded speed.
+    double dtSeconds = 0.1;       ///< Physics step.
+    int maxSteps = 900;           ///< Timeout budget.
+    double robotRadiusM = 0.3;
+    double goalToleranceM = 1.0;
+    double maxTurnRadPerStep = 0.35;
+};
+
+/** Compute-cost telemetry of one SPA episode. */
+struct SpaEpisodeStats
+{
+    int decisions = 0;       ///< Sense-plan-act ticks executed.
+    int replans = 0;         ///< A* invocations.
+    std::int64_t expandedNodes = 0; ///< Total A* expansions.
+    std::int64_t mapUpdates = 0;    ///< Occupied/free disk updates.
+};
+
+/** World-space position sample of a flown trajectory. */
+struct TrajectoryPoint
+{
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/**
+ * Run one SPA episode in a generated environment.
+ *
+ * @param env        Episode environment.
+ * @param config     Pipeline parameters.
+ * @param rng        Episode random stream.
+ * @param stats      Optional compute-cost telemetry (may be null).
+ * @param trajectory Optional per-step position log (may be null).
+ */
+airlearning::EpisodeResult runSpaEpisode(
+    const airlearning::Environment &env, const SpaConfig &config,
+    util::Rng &rng, SpaEpisodeStats *stats = nullptr,
+    std::vector<TrajectoryPoint> *trajectory = nullptr);
+
+/**
+ * Evaluate the SPA pipeline over many randomized episodes (the SPA
+ * counterpart of airlearning::evaluatePolicy).
+ */
+airlearning::EvaluationResult evaluateSpa(
+    const airlearning::EnvironmentConfig &env_config,
+    const SpaConfig &config, int episodes, std::uint64_t seed,
+    SpaEpisodeStats *total_stats = nullptr);
+
+} // namespace autopilot::spa
+
+#endif // AUTOPILOT_SPA_PIPELINE_H

@@ -1,0 +1,151 @@
+#include "spa/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace autopilot::spa
+{
+
+namespace
+{
+
+constexpr double diagCost = 1.4142135623730951;
+
+double
+octileHeuristic(const Cell &a, const Cell &b)
+{
+    const double dx = std::abs(a.x - b.x);
+    const double dy = std::abs(a.y - b.y);
+    return std::max(dx, dy) + (diagCost - 1.0) * std::min(dx, dy);
+}
+
+} // namespace
+
+double
+PlanResult::pathLengthCells() const
+{
+    double length = 0.0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+        const bool diagonal = path[i].x != path[i - 1].x &&
+                              path[i].y != path[i - 1].y;
+        length += diagonal ? diagCost : 1.0;
+    }
+    return length;
+}
+
+AStarPlanner::AStarPlanner(double inflate_m) : inflate(inflate_m)
+{
+    util::fatalIf(inflate_m < 0.0,
+                  "AStarPlanner: negative inflation radius");
+}
+
+PlanResult
+AStarPlanner::plan(const OccupancyGrid &grid, const Cell &start,
+                   const Cell &goal) const
+{
+    PlanResult result;
+    util::fatalIf(!grid.inBounds(start) || !grid.inBounds(goal),
+                  "AStarPlanner::plan: endpoints outside the grid");
+    if (grid.blocked(goal, inflate) || grid.blocked(start, inflate))
+        return result;
+
+    const int width = grid.widthCells();
+    const std::size_t cell_count =
+        static_cast<std::size_t>(width) * width;
+    std::vector<double> g_score(cell_count,
+                                std::numeric_limits<double>::infinity());
+    std::vector<int> came_from(cell_count, -1);
+    std::vector<bool> closed(cell_count, false);
+
+    auto to_index = [width](const Cell &cell) {
+        return static_cast<std::size_t>(cell.y) * width + cell.x;
+    };
+
+    struct QueueEntry
+    {
+        double f = 0.0;
+        std::size_t index = 0;
+    };
+    auto cmp = [](const QueueEntry &a, const QueueEntry &b) {
+        return a.f > b.f;
+    };
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        decltype(cmp)>
+        open(cmp);
+
+    const std::size_t start_index = to_index(start);
+    const std::size_t goal_index = to_index(goal);
+    g_score[start_index] = 0.0;
+    open.push({octileHeuristic(start, goal), start_index});
+
+    while (!open.empty()) {
+        const QueueEntry entry = open.top();
+        open.pop();
+        if (closed[entry.index])
+            continue;
+        closed[entry.index] = true;
+        ++result.expandedNodes;
+
+        if (entry.index == goal_index)
+            break;
+
+        const Cell current{static_cast<int>(entry.index) % width,
+                           static_cast<int>(entry.index) / width};
+        for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+                if (dx == 0 && dy == 0)
+                    continue;
+                const Cell next{current.x + dx, current.y + dy};
+                if (!grid.inBounds(next))
+                    continue;
+                const std::size_t next_index = to_index(next);
+                if (closed[next_index] || grid.blocked(next, inflate))
+                    continue;
+                const double step =
+                    (dx != 0 && dy != 0) ? diagCost : 1.0;
+                const double tentative =
+                    g_score[entry.index] + step;
+                if (tentative < g_score[next_index]) {
+                    g_score[next_index] = tentative;
+                    came_from[next_index] =
+                        static_cast<int>(entry.index);
+                    open.push({tentative + octileHeuristic(next, goal),
+                               next_index});
+                }
+            }
+        }
+    }
+
+    if (!closed[goal_index])
+        return result;
+
+    // Reconstruct.
+    result.found = true;
+    std::size_t cursor = goal_index;
+    while (true) {
+        result.path.push_back({static_cast<int>(cursor) % width,
+                               static_cast<int>(cursor) / width});
+        if (cursor == start_index)
+            break;
+        cursor = static_cast<std::size_t>(came_from[cursor]);
+    }
+    std::reverse(result.path.begin(), result.path.end());
+    return result;
+}
+
+bool
+pathStillValid(const OccupancyGrid &grid, const std::vector<Cell> &path,
+               double inflate_m)
+{
+    for (const Cell &cell : path) {
+        if (grid.blocked(cell, inflate_m))
+            return false;
+    }
+    return true;
+}
+
+} // namespace autopilot::spa

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Grid A* motion planner: the SPA pipeline's "plan" stage (the role RRT*
+ * [40] / motion-planning accelerators [70] play in the paper's taxonomy).
+ *
+ * 8-connected A* with an octile-distance heuristic over the occupancy
+ * grid; occupied cells are inflated by the vehicle radius. Unknown cells
+ * are traversable (optimistic planning with replanning on discovery).
+ */
+
+#ifndef AUTOPILOT_SPA_PLANNER_H
+#define AUTOPILOT_SPA_PLANNER_H
+
+#include <vector>
+
+#include "spa/occupancy_grid.h"
+
+namespace autopilot::spa
+{
+
+/** Result of one planning query. */
+struct PlanResult
+{
+    bool found = false;
+    std::vector<Cell> path;      ///< Start to goal, inclusive.
+    std::int64_t expandedNodes = 0; ///< A* expansions (compute cost).
+
+    /** Path length in cells (diagonal steps count sqrt(2)). */
+    double pathLengthCells() const;
+};
+
+/** A* planner over an occupancy grid. */
+class AStarPlanner
+{
+  public:
+    /**
+     * @param inflate_m Obstacle inflation radius (vehicle radius plus
+     *                  margin), meters.
+     */
+    explicit AStarPlanner(double inflate_m = 0.5);
+
+    /**
+     * Plan a path from @p start to @p goal on @p grid.
+     *
+     * @return found = false when the goal is unreachable through
+     *         known-free and unknown space.
+     */
+    PlanResult plan(const OccupancyGrid &grid, const Cell &start,
+                    const Cell &goal) const;
+
+    double inflationM() const { return inflate; }
+
+  private:
+    double inflate;
+};
+
+/**
+ * True when every cell of @p path is currently unblocked on @p grid -
+ * the replan trigger after new sensor updates.
+ */
+bool pathStillValid(const OccupancyGrid &grid,
+                    const std::vector<Cell> &path, double inflate_m);
+
+} // namespace autopilot::spa
+
+#endif // AUTOPILOT_SPA_PLANNER_H

@@ -1,0 +1,64 @@
+#include "systolic/config.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.h"
+
+namespace autopilot::systolic
+{
+
+using util::fatalIf;
+
+std::string
+AcceleratorConfig::name() const
+{
+    std::string label = dataflowName(dataflow);
+    std::transform(label.begin(), label.end(), label.begin(),
+                   [](unsigned char ch) {
+                       return static_cast<char>(std::tolower(ch));
+                   });
+    return label + "_" + std::to_string(peRows) + "x" +
+           std::to_string(peCols) + "_i" + std::to_string(ifmapSramKb) +
+           "_f" + std::to_string(filterSramKb) + "_o" +
+           std::to_string(ofmapSramKb);
+}
+
+void
+AcceleratorConfig::validate() const
+{
+    fatalIf(peRows <= 0 || peCols <= 0,
+            "AcceleratorConfig: PE dimensions must be positive");
+    fatalIf(ifmapSramKb <= 0 || filterSramKb <= 0 || ofmapSramKb <= 0,
+            "AcceleratorConfig: scratchpad sizes must be positive");
+    fatalIf(clockGhz <= 0.0, "AcceleratorConfig: clock must be positive");
+    fatalIf(dramBytesPerCycle <= 0,
+            "AcceleratorConfig: DRAM width must be positive");
+    fatalIf(bytesPerElement <= 0,
+            "AcceleratorConfig: element size must be positive");
+}
+
+std::int64_t
+HardwareSpace::cardinality() const
+{
+    const auto sram = static_cast<std::int64_t>(sramKbChoices.size());
+    return static_cast<std::int64_t>(peRowChoices.size()) *
+           static_cast<std::int64_t>(peColChoices.size()) * sram * sram *
+           sram;
+}
+
+bool
+HardwareSpace::contains(const AcceleratorConfig &config) const
+{
+    auto has = [](const std::vector<int> &choices, int value) {
+        return std::find(choices.begin(), choices.end(), value) !=
+               choices.end();
+    };
+    return has(peRowChoices, config.peRows) &&
+           has(peColChoices, config.peCols) &&
+           has(sramKbChoices, config.ifmapSramKb) &&
+           has(sramKbChoices, config.filterSramKb) &&
+           has(sramKbChoices, config.ofmapSramKb);
+}
+
+} // namespace autopilot::systolic

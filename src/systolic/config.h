@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Accelerator configuration (the "DSSoC template" of Fig. 3a) and the
+ * hardware half of the Table II design space.
+ */
+
+#ifndef AUTOPILOT_SYSTOLIC_CONFIG_H
+#define AUTOPILOT_SYSTOLIC_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "systolic/dataflow.h"
+
+namespace autopilot::systolic
+{
+
+/**
+ * Parameterized NPU template: a Sr x Sc systolic array with three
+ * scratchpads (ifmap / filter / ofmap) and a DRAM interface.
+ *
+ * All scratchpads are double-buffered: half the capacity holds the working
+ * tile while the other half is prefetched.
+ */
+struct AcceleratorConfig
+{
+    int peRows = 32;            ///< Systolic array height Sr.
+    int peCols = 32;            ///< Systolic array width Sc.
+    int ifmapSramKb = 256;      ///< Input feature-map scratchpad, KiB.
+    int filterSramKb = 256;     ///< Filter scratchpad, KiB.
+    int ofmapSramKb = 256;      ///< Output feature-map scratchpad, KiB.
+    Dataflow dataflow = Dataflow::WeightStationary;
+    double clockGhz = 0.2;      ///< NPU clock; 200 MHz default.
+    int dramBytesPerCycle = 32; ///< DRAM interface width (bytes/cycle).
+    int bytesPerElement = 1;    ///< INT8 quantized inference.
+
+    /** Total number of processing elements. */
+    std::int64_t peCount() const
+    {
+        return static_cast<std::int64_t>(peRows) * peCols;
+    }
+
+    /** Total on-chip SRAM capacity in KiB. */
+    std::int64_t totalSramKb() const
+    {
+        return static_cast<std::int64_t>(ifmapSramKb) + filterSramKb +
+               ofmapSramKb;
+    }
+
+    /** Short identifier, e.g. "ws_32x32_i256_f256_o256". */
+    std::string name() const;
+
+    /** Abort via fatal() when any field is out of its legal range. */
+    void validate() const;
+
+    bool operator==(const AcceleratorConfig &other) const = default;
+};
+
+/**
+ * The hardware design space of Table II: PE rows/columns in
+ * {8,...,1024}, scratchpad sizes in {32KB,...,4096KB}.
+ */
+struct HardwareSpace
+{
+    std::vector<int> peRowChoices = {8, 16, 32, 64, 128, 256, 512, 1024};
+    std::vector<int> peColChoices = {8, 16, 32, 64, 128, 256, 512, 1024};
+    std::vector<int> sramKbChoices = {32, 64, 128, 256, 512, 1024, 2048,
+                                      4096};
+
+    /** Number of distinct configurations (PE rows x cols x 3 SRAMs). */
+    std::int64_t cardinality() const;
+
+    /** True when @p config uses only legal choice values. */
+    bool contains(const AcceleratorConfig &config) const;
+};
+
+} // namespace autopilot::systolic
+
+#endif // AUTOPILOT_SYSTOLIC_CONFIG_H

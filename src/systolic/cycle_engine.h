@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Cycle-stepped accelerator engine.
+ *
+ * Walks the fold schedule fold by fold with an explicit double-buffered
+ * prefetch timeline over a single DRAM channel:
+ *
+ *   fetch_start[f]   = max(fetch_done[f-1], compute_done[f-2])
+ *   fetch_done[f]    = fetch_start[f] + fetch_bytes[f] / BW
+ *   compute_start[f] = max(compute_done[f-1], fetch_done[f])
+ *   compute_done[f]  = compute_start[f] + fold_cycles[f]
+ *
+ * Writebacks share the DRAM channel and are issued after the producing
+ * fold completes; the layer retires when both the last fold's compute and
+ * all writebacks have drained. The compute_done[f-2] term models the two
+ * buffer halves: the prefetch target for fold f is the half still in use
+ * until fold f-2's compute finishes... (with two halves, fold f's buffer
+ * is freed when fold f-2 completes, allowing fetch f to begin).
+ */
+
+#ifndef AUTOPILOT_SYSTOLIC_CYCLE_ENGINE_H
+#define AUTOPILOT_SYSTOLIC_CYCLE_ENGINE_H
+
+#include "systolic/engine.h"
+
+namespace autopilot::systolic
+{
+
+/** Reference engine with an explicit prefetch/writeback timeline. */
+class CycleEngine : public Engine
+{
+  public:
+    /** @param config Accelerator configuration (validated). */
+    explicit CycleEngine(const AcceleratorConfig &config);
+
+    LayerResult runLayer(const nn::Layer &layer) const override;
+
+    const AcceleratorConfig &config() const { return cfg; }
+
+  private:
+    AcceleratorConfig cfg;
+};
+
+} // namespace autopilot::systolic
+
+#endif // AUTOPILOT_SYSTOLIC_CYCLE_ENGINE_H

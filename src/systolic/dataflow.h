@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Systolic-array dataflow taxonomy, following the SCALE-Sim convention.
+ */
+
+#ifndef AUTOPILOT_SYSTOLIC_DATAFLOW_H
+#define AUTOPILOT_SYSTOLIC_DATAFLOW_H
+
+#include <string>
+
+namespace autopilot::systolic
+{
+
+/**
+ * Mapping strategy for the PE array.
+ *
+ * Names follow SCALE-Sim / Eyeriss terminology: the "stationary" tensor is
+ * pinned in the PEs while the other two stream through.
+ */
+enum class Dataflow
+{
+    OutputStationary, ///< PEs own output pixels; ifmap and filters stream.
+    WeightStationary, ///< PEs own weights; ifmap streams, psums move down.
+    InputStationary,  ///< PEs own ifmap elements; weights stream.
+};
+
+/** Human-readable dataflow name ("OS", "WS", "IS"). */
+inline std::string
+dataflowName(Dataflow dataflow)
+{
+    switch (dataflow) {
+      case Dataflow::OutputStationary: return "OS";
+      case Dataflow::WeightStationary: return "WS";
+      case Dataflow::InputStationary:  return "IS";
+    }
+    return "?";
+}
+
+} // namespace autopilot::systolic
+
+#endif // AUTOPILOT_SYSTOLIC_DATAFLOW_H

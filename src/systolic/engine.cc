@@ -1,0 +1,94 @@
+#include "systolic/engine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace autopilot::systolic
+{
+
+double
+LayerResult::utilization(std::int64_t pe_count) const
+{
+    if (totalCycles <= 0 || pe_count <= 0)
+        return 0.0;
+    return static_cast<double>(gemm.macs()) /
+           (static_cast<double>(totalCycles) *
+            static_cast<double>(pe_count));
+}
+
+double
+RunResult::runtimeSeconds(double clock_ghz) const
+{
+    util::panicIf(clock_ghz <= 0.0, "runtimeSeconds: bad clock");
+    return static_cast<double>(totalCycles) / (clock_ghz * 1e9);
+}
+
+double
+RunResult::framesPerSecond(double clock_ghz) const
+{
+    const double seconds = runtimeSeconds(clock_ghz);
+    return seconds > 0.0 ? 1.0 / seconds : 0.0;
+}
+
+double
+RunResult::peUtilization(std::int64_t pe_count) const
+{
+    if (totalCycles <= 0 || pe_count <= 0)
+        return 0.0;
+    return static_cast<double>(totalMacs) /
+           (static_cast<double>(totalCycles) *
+            static_cast<double>(pe_count));
+}
+
+RunResult
+Engine::run(const nn::Model &model) const
+{
+    util::fatalIf(model.empty(), "Engine::run: empty model");
+    RunResult result;
+    for (const nn::Layer &layer : model.layers()) {
+        LayerResult lr = runLayer(layer);
+        result.totalCycles += lr.totalCycles;
+        result.computeCycles += lr.computeCycles;
+        result.stallCycles += lr.stallCycles;
+        result.totalMacs += lr.gemm.macs();
+        result.traffic.accumulate(lr.traffic);
+        result.layers.push_back(std::move(lr));
+    }
+    return result;
+}
+
+AnalyticalEngine::AnalyticalEngine(const AcceleratorConfig &config)
+    : cfg(config)
+{
+    cfg.validate();
+}
+
+LayerResult
+AnalyticalEngine::runLayer(const nn::Layer &layer) const
+{
+    const FoldSchedule schedule = scheduleGemm(layer.gemm(), cfg);
+
+    LayerResult result;
+    result.layerName = layer.name;
+    result.gemm = layer.gemm();
+    result.rowFolds = schedule.rowFolds;
+    result.colFolds = schedule.colFolds;
+    result.computeCycles = schedule.computeCycles();
+    result.traffic = computeTraffic(layer, schedule, cfg);
+
+    const std::int64_t dram_bytes = result.traffic.totalDramBytes();
+    const std::int64_t dram_cycles =
+        (dram_bytes + cfg.dramBytesPerCycle - 1) / cfg.dramBytesPerCycle;
+    const std::int64_t first_tile =
+        (foldFetchBytes(layer, schedule, cfg, 0) + cfg.dramBytesPerCycle -
+         1) /
+        cfg.dramBytesPerCycle;
+
+    result.totalCycles =
+        std::max(result.computeCycles, dram_cycles) + first_tile;
+    result.stallCycles = result.totalCycles - result.computeCycles;
+    return result;
+}
+
+} // namespace autopilot::systolic

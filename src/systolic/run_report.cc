@@ -1,0 +1,69 @@
+#include "systolic/run_report.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace autopilot::systolic
+{
+
+void
+printRunBreakdown(const RunResult &run, const AcceleratorConfig &config,
+                  std::ostream &os)
+{
+    util::fatalIf(run.layers.empty(),
+                  "printRunBreakdown: empty run result");
+
+    util::Table table({"layer", "cycles", "time %", "stall %",
+                       "DRAM MB", "util %"});
+    for (const LayerResult &layer : run.layers) {
+        const double time_share =
+            100.0 * static_cast<double>(layer.totalCycles) /
+            static_cast<double>(run.totalCycles);
+        const double stall_share =
+            layer.totalCycles > 0
+                ? 100.0 * static_cast<double>(layer.stallCycles) /
+                      static_cast<double>(layer.totalCycles)
+                : 0.0;
+        table.addRow(
+            {layer.layerName, std::to_string(layer.totalCycles),
+             util::formatDouble(time_share, 1),
+             util::formatDouble(stall_share, 1),
+             util::formatDouble(
+                 layer.traffic.totalDramBytes() / 1048576.0, 2),
+             util::formatDouble(
+                 layer.utilization(config.peCount()) * 100, 1)});
+    }
+    table.addRow(
+        {"TOTAL", std::to_string(run.totalCycles), "100.0",
+         util::formatDouble(stallFraction(run) * 100, 1),
+         util::formatDouble(run.traffic.totalDramBytes() / 1048576.0,
+                            2),
+         util::formatDouble(run.peUtilization(config.peCount()) * 100,
+                            1)});
+    table.print(os);
+}
+
+std::string
+dominantLayer(const RunResult &run)
+{
+    util::fatalIf(run.layers.empty(), "dominantLayer: empty run result");
+    const auto it = std::max_element(
+        run.layers.begin(), run.layers.end(),
+        [](const LayerResult &a, const LayerResult &b) {
+            return a.totalCycles < b.totalCycles;
+        });
+    return it->layerName;
+}
+
+double
+stallFraction(const RunResult &run)
+{
+    if (run.totalCycles <= 0)
+        return 0.0;
+    return static_cast<double>(run.stallCycles) /
+           static_cast<double>(run.totalCycles);
+}
+
+} // namespace autopilot::systolic

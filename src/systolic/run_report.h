@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Per-layer breakdown reporting for accelerator runs: where the cycles,
+ * stalls and DRAM traffic go - the table an architect reads before
+ * resizing anything.
+ */
+
+#ifndef AUTOPILOT_SYSTOLIC_RUN_REPORT_H
+#define AUTOPILOT_SYSTOLIC_RUN_REPORT_H
+
+#include <ostream>
+
+#include "systolic/config.h"
+#include "systolic/engine.h"
+
+namespace autopilot::systolic
+{
+
+/**
+ * Print the per-layer table of a run: cycles, share of total time,
+ * stall fraction, DRAM megabytes and PE utilization, plus a totals row.
+ */
+void printRunBreakdown(const RunResult &run,
+                       const AcceleratorConfig &config, std::ostream &os);
+
+/** Name of the layer consuming the most cycles. */
+std::string dominantLayer(const RunResult &run);
+
+/** Fraction of total cycles spent stalled on DRAM. */
+double stallFraction(const RunResult &run);
+
+} // namespace autopilot::systolic
+
+#endif // AUTOPILOT_SYSTOLIC_RUN_REPORT_H

@@ -1,0 +1,120 @@
+#include "systolic/trace.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace autopilot::systolic
+{
+
+std::string
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::DramFetch:     return "dram_fetch";
+      case TraceEventKind::DramWriteback: return "dram_writeback";
+      case TraceEventKind::SramRead:      return "sram_read";
+      case TraceEventKind::SramWrite:     return "sram_write";
+    }
+    return "?";
+}
+
+std::int64_t
+LayerTrace::totalOf(TraceEventKind kind) const
+{
+    std::int64_t total = 0;
+    for (const TraceEvent &event : events) {
+        if (event.kind == kind)
+            total += event.amount;
+    }
+    return total;
+}
+
+void
+LayerTrace::writeCsv(std::ostream &os) const
+{
+    os << "layer,fold,cycle,kind,amount\n";
+    for (const TraceEvent &event : events) {
+        os << layerName << ',' << event.foldIndex << ','
+           << event.startCycle << ',' << traceEventKindName(event.kind)
+           << ',' << event.amount << '\n';
+    }
+}
+
+LayerTrace
+traceLayer(const nn::Layer &layer, const AcceleratorConfig &config)
+{
+    const FoldSchedule schedule = scheduleGemm(layer.gemm(), config);
+    const LayerTraffic traffic =
+        computeTraffic(layer, schedule, config);
+    const std::int64_t fold_count = schedule.foldCount();
+    const std::int64_t bw = config.dramBytesPerCycle;
+
+    auto to_cycles = [bw](std::int64_t bytes) {
+        return (bytes + bw - 1) / bw;
+    };
+    auto share = [fold_count](std::int64_t total, std::int64_t fold) {
+        const std::int64_t base = total / fold_count;
+        const std::int64_t extra = total % fold_count;
+        return base + (fold < extra ? 1 : 0);
+    };
+
+    LayerTrace trace;
+    trace.layerName = layer.name;
+    trace.events.reserve(static_cast<std::size_t>(fold_count) * 4);
+
+    const std::int64_t sram_reads =
+        traffic.ifmapSramReads + traffic.filterSramReads +
+        traffic.psumSramReads;
+    const std::int64_t sram_writes =
+        traffic.ofmapSramWrites + traffic.psumSramWrites;
+
+    // Same timeline as CycleEngine::runLayer.
+    std::int64_t dram_free = 0;
+    std::int64_t compute_done = 0;
+    std::int64_t compute_done_prev = 0;
+
+    for (std::int64_t f = 0; f < fold_count; ++f) {
+        const std::int64_t fetch_bytes =
+            foldFetchBytes(layer, schedule, config, f);
+        const std::int64_t wb_bytes =
+            foldWritebackBytes(layer, schedule, config, f);
+
+        const std::int64_t fetch_start =
+            std::max(dram_free, compute_done_prev);
+        const std::int64_t fetch_done =
+            fetch_start + to_cycles(fetch_bytes);
+        dram_free = fetch_done;
+
+        const std::int64_t fold_cycles =
+            schedule.folds[static_cast<std::size_t>(f)].cycles;
+        const std::int64_t compute_start =
+            std::max(compute_done, fetch_done);
+        compute_done_prev = compute_done;
+        compute_done = compute_start + fold_cycles;
+
+        if (fetch_bytes > 0) {
+            trace.events.push_back({f, fetch_start,
+                                    TraceEventKind::DramFetch,
+                                    fetch_bytes});
+        }
+        trace.events.push_back({f, compute_start,
+                                TraceEventKind::SramRead,
+                                share(sram_reads, f)});
+        trace.events.push_back({f, compute_start,
+                                TraceEventKind::SramWrite,
+                                share(sram_writes, f)});
+        if (wb_bytes > 0) {
+            const std::int64_t wb_start =
+                std::max(dram_free, compute_done);
+            trace.events.push_back({f, wb_start,
+                                    TraceEventKind::DramWriteback,
+                                    wb_bytes});
+            dram_free = wb_start + to_cycles(wb_bytes);
+        }
+    }
+
+    return trace;
+}
+
+} // namespace autopilot::systolic

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Memory-event trace generation, SCALE-Sim style.
+ *
+ * SCALE-Sim's primary output is per-cycle SRAM/DRAM traces that feed
+ * power models; this module reproduces that interface at fold
+ * granularity: a stream of records, one per (fold, event-kind), carrying
+ * the byte/element counts and the fold's start cycle on the prefetch
+ * timeline. The trace totals are guaranteed to match computeTraffic()
+ * (property-tested), so trace consumers and the analytic power model
+ * always agree.
+ */
+
+#ifndef AUTOPILOT_SYSTOLIC_TRACE_H
+#define AUTOPILOT_SYSTOLIC_TRACE_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "systolic/config.h"
+#include "systolic/memory.h"
+#include "systolic/tiling.h"
+
+namespace autopilot::systolic
+{
+
+/** Kind of a trace event. */
+enum class TraceEventKind
+{
+    DramFetch,     ///< Operand bytes fetched ahead of a fold.
+    DramWriteback, ///< Result bytes written back after a fold.
+    SramRead,      ///< Operand elements streamed from scratchpads.
+    SramWrite,     ///< Result elements written to scratchpads.
+};
+
+/** Human-readable event-kind label. */
+std::string traceEventKindName(TraceEventKind kind);
+
+/** One trace record. */
+struct TraceEvent
+{
+    std::int64_t foldIndex = 0;
+    std::int64_t startCycle = 0; ///< Fold compute-start cycle.
+    TraceEventKind kind = TraceEventKind::DramFetch;
+    std::int64_t amount = 0; ///< Bytes (DRAM) or elements (SRAM).
+};
+
+/** Complete trace of one layer. */
+struct LayerTrace
+{
+    std::string layerName;
+    std::vector<TraceEvent> events;
+
+    /** Sum of amounts for one event kind. */
+    std::int64_t totalOf(TraceEventKind kind) const;
+
+    /** Emit as CSV (layer,fold,cycle,kind,amount). */
+    void writeCsv(std::ostream &os) const;
+};
+
+/**
+ * Generate the fold-granular trace of a layer on a configuration.
+ *
+ * Fold start cycles follow the same double-buffered prefetch timeline as
+ * the CycleEngine; DRAM amounts match foldFetchBytes/foldWritebackBytes
+ * and SRAM amounts split computeTraffic()'s totals evenly across folds.
+ */
+LayerTrace traceLayer(const nn::Layer &layer,
+                      const AcceleratorConfig &config);
+
+} // namespace autopilot::systolic
+
+#endif // AUTOPILOT_SYSTOLIC_TRACE_H

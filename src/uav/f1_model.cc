@@ -1,0 +1,100 @@
+#include "uav/f1_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "uav/propulsion.h"
+#include "util/logging.h"
+
+namespace autopilot::uav
+{
+
+std::string
+provisioningName(Provisioning provisioning)
+{
+    switch (provisioning) {
+      case Provisioning::UnderProvisioned: return "under-provisioned";
+      case Provisioning::Balanced:         return "balanced";
+      case Provisioning::OverProvisioned:  return "over-provisioned";
+    }
+    return "?";
+}
+
+F1Model::F1Model(const UavSpec &spec, double compute_payload_g)
+    : uavSpec(spec), payloadG(compute_payload_g)
+{
+    uavSpec.validate();
+    util::fatalIf(compute_payload_g < 0.0,
+                  "F1Model: negative compute payload");
+}
+
+double
+F1Model::totalMassGrams() const
+{
+    return uavSpec.baseMassGrams + payloadG;
+}
+
+double
+F1Model::velocityCeilingMps() const
+{
+    const double a_max = maxAccelerationMps2(uavSpec, totalMassGrams());
+    if (a_max <= 0.0)
+        return 0.0;
+    const double braking =
+        std::sqrt(2.0 * a_max * uavSpec.senseDistanceM);
+    return std::min(braking, uavSpec.structuralMaxMps);
+}
+
+double
+F1Model::safeVelocityMps(double throughput_hz) const
+{
+    util::fatalIf(throughput_hz < 0.0,
+                  "F1Model::safeVelocityMps: negative throughput");
+    const double slope_bound =
+        uavSpec.clearancePerDecisionM * throughput_hz;
+    return std::min(slope_bound, velocityCeilingMps());
+}
+
+double
+F1Model::kneeThroughputHz() const
+{
+    return velocityCeilingMps() / uavSpec.clearancePerDecisionM;
+}
+
+double
+F1Model::actionThroughputHz(double compute_fps, double sensor_fps) const
+{
+    util::fatalIf(compute_fps < 0.0 || sensor_fps < 0.0,
+                  "F1Model::actionThroughputHz: negative rate");
+    return std::min({compute_fps, sensor_fps, uavSpec.controlLoopHz});
+}
+
+Provisioning
+F1Model::classify(double throughput_hz, double tolerance) const
+{
+    const double knee = kneeThroughputHz();
+    if (knee <= 0.0)
+        return Provisioning::OverProvisioned;
+    if (throughput_hz < knee * (1.0 - tolerance))
+        return Provisioning::UnderProvisioned;
+    if (throughput_hz > knee * (1.0 + tolerance))
+        return Provisioning::OverProvisioned;
+    return Provisioning::Balanced;
+}
+
+std::vector<F1Point>
+F1Model::curve(double max_hz, int samples) const
+{
+    util::fatalIf(max_hz <= 0.0 || samples < 2,
+                  "F1Model::curve: need max_hz > 0 and samples >= 2");
+    std::vector<F1Point> points;
+    points.reserve(static_cast<std::size_t>(samples));
+    for (int i = 0; i < samples; ++i) {
+        const double hz =
+            max_hz * static_cast<double>(i) / (samples - 1);
+        points.push_back({hz, safeVelocityMps(hz)});
+    }
+    return points;
+}
+
+} // namespace autopilot::uav

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The F-1 roofline-like visual performance model for UAVs [45], [46].
+ *
+ * The F-1 model plots safe velocity against action throughput (the rate of
+ * the sensor-compute-control decision pipeline):
+ *
+ *   v_safe(theta) = min(d_clear * theta, v_ceiling(mass))
+ *
+ * The slope region is compute/sensor-bound: each decision allows the
+ * vehicle to advance at most the obstacle-clearance distance d_clear, so
+ * velocity grows linearly with decision rate. The ceiling is body-dynamics
+ * bound: the vehicle must be able to brake within its sensing range, so
+ * v_ceiling = sqrt(2 * a_max * d_sense) (capped by the structural limit),
+ * and a_max falls as compute payload mass rises — heavier heatsinks lower
+ * the roofline exactly as Fig. 4a shows. The knee point is the minimum
+ * action throughput that reaches the ceiling; designs below it are
+ * under-provisioned, designs far above it are over-provisioned (Fig. 4b).
+ */
+
+#ifndef AUTOPILOT_UAV_F1_MODEL_H
+#define AUTOPILOT_UAV_F1_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "uav/uav_spec.h"
+
+namespace autopilot::uav
+{
+
+/** One sample of the F-1 curve. */
+struct F1Point
+{
+    double throughputHz = 0.0;
+    double safeVelocityMps = 0.0;
+};
+
+/** Provisioning classification of a design against the knee point. */
+enum class Provisioning
+{
+    UnderProvisioned, ///< Below the knee: velocity is compute-bound.
+    Balanced,         ///< At the knee (within tolerance).
+    OverProvisioned,  ///< Beyond the knee: extra throughput buys nothing.
+};
+
+/** Human-readable provisioning label. */
+std::string provisioningName(Provisioning provisioning);
+
+/** F-1 model instance for one vehicle at one compute payload mass. */
+class F1Model
+{
+  public:
+    /**
+     * @param spec              Vehicle specification.
+     * @param compute_payload_g Onboard-compute mass (PCB + heatsink), g.
+     */
+    F1Model(const UavSpec &spec, double compute_payload_g);
+
+    /** All-up mass in grams. */
+    double totalMassGrams() const;
+
+    /** Body-dynamics velocity ceiling, m/s (0 if the UAV cannot hover). */
+    double velocityCeilingMps() const;
+
+    /** Safe velocity at a given action throughput, m/s. */
+    double safeVelocityMps(double throughput_hz) const;
+
+    /** Knee point: minimum throughput that reaches the ceiling, Hz. */
+    double kneeThroughputHz() const;
+
+    /**
+     * Action throughput of the pipeline: the slowest of sensor rate,
+     * compute inference rate and control-loop rate.
+     */
+    double actionThroughputHz(double compute_fps, double sensor_fps) const;
+
+    /**
+     * Classify a design's throughput against the knee.
+     *
+     * @param throughput_hz Design's action throughput.
+     * @param tolerance     Relative band around the knee considered
+     *                      balanced (default 15%).
+     */
+    Provisioning classify(double throughput_hz,
+                          double tolerance = 0.15) const;
+
+    /** Sample the curve at @p samples evenly spaced throughputs. */
+    std::vector<F1Point> curve(double max_hz, int samples) const;
+
+    const UavSpec &spec() const { return uavSpec; }
+    double computePayloadGrams() const { return payloadG; }
+
+  private:
+    UavSpec uavSpec;
+    double payloadG;
+};
+
+} // namespace autopilot::uav
+
+#endif // AUTOPILOT_UAV_F1_MODEL_H

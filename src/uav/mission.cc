@@ -1,0 +1,75 @@
+#include "uav/mission.h"
+
+#include <algorithm>
+
+#include "uav/propulsion.h"
+#include "util/logging.h"
+
+namespace autopilot::uav
+{
+
+MissionModel::MissionModel(const UavSpec &spec) : uavSpec(spec)
+{
+    uavSpec.validate();
+}
+
+MissionResult
+MissionModel::evaluate(double compute_payload_g, double soc_power_w,
+                       double compute_fps, double sensor_fps) const
+{
+    util::fatalIf(compute_payload_g < 0.0 || soc_power_w < 0.0,
+                  "MissionModel::evaluate: negative design parameters");
+
+    const F1Model f1(uavSpec, compute_payload_g);
+
+    MissionResult result;
+    result.totalMassG = f1.totalMassGrams();
+    result.computePowerW = soc_power_w;
+    result.actionThroughputHz =
+        f1.actionThroughputHz(compute_fps, sensor_fps);
+    result.kneeThroughputHz = f1.kneeThroughputHz();
+    result.safeVelocityMps =
+        f1.safeVelocityMps(result.actionThroughputHz);
+    result.provisioning = f1.classify(result.actionThroughputHz);
+
+    if (!canHover(uavSpec, result.totalMassG) ||
+        result.safeVelocityMps <= 0.0) {
+        result.feasible = false;
+        result.numMissions = 0.0;
+        return result;
+    }
+    result.feasible = true;
+
+    result.rotorPowerW = rotorPowerW(uavSpec, result.totalMassG,
+                                     result.safeVelocityMps);
+    result.totalPowerW = result.rotorPowerW + result.computePowerW +
+                         uavSpec.otherElectronicsW;
+
+    const double cruise_time =
+        uavSpec.missionDistanceM / result.safeVelocityMps;
+    const double hover_power =
+        rotorPowerW(uavSpec, result.totalMassG, 0.0);
+    const double hover_energy =
+        (hover_power + result.computePowerW + uavSpec.otherElectronicsW) *
+        uavSpec.fixedHoverSeconds;
+
+    result.missionTimeS = cruise_time + uavSpec.fixedHoverSeconds;
+    result.missionEnergyJ =
+        result.totalPowerW * cruise_time + hover_energy;
+    result.numMissions = uavSpec.batteryEnergyJ() / result.missionEnergyJ;
+    return result;
+}
+
+int
+MissionModel::selectSensorFps(double required_hz) const
+{
+    std::vector<int> choices = uavSpec.sensorFpsChoices;
+    std::sort(choices.begin(), choices.end());
+    for (int fps : choices) {
+        if (static_cast<double>(fps) >= required_hz)
+            return fps;
+    }
+    return choices.back();
+}
+
+} // namespace autopilot::uav

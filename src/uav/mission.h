@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Mission-level performance model (Section IV, Eq. 1-4).
+ *
+ * The domain metric is the number of missions per battery charge:
+ *
+ *   N = E_battery / E_mission
+ *   E_mission = (P_rotors(v_safe) + P_compute + P_others) * D / v_safe
+ *               + fixed hover overhead (takeoff / landing)
+ *
+ * where v_safe comes from the F-1 model for the vehicle at the candidate
+ * design's compute payload mass and action throughput.
+ */
+
+#ifndef AUTOPILOT_UAV_MISSION_H
+#define AUTOPILOT_UAV_MISSION_H
+
+#include "uav/f1_model.h"
+#include "uav/uav_spec.h"
+
+namespace autopilot::uav
+{
+
+/** Full evaluation of one compute design on one vehicle. */
+struct MissionResult
+{
+    bool feasible = false;        ///< Vehicle can hover and move.
+    double totalMassG = 0.0;      ///< All-up mass.
+    double actionThroughputHz = 0.0;
+    double kneeThroughputHz = 0.0;
+    double safeVelocityMps = 0.0;
+    double rotorPowerW = 0.0;     ///< At the safe velocity.
+    double computePowerW = 0.0;   ///< Full SoC power.
+    double totalPowerW = 0.0;
+    double missionTimeS = 0.0;
+    double missionEnergyJ = 0.0;
+    double numMissions = 0.0;
+    Provisioning provisioning = Provisioning::UnderProvisioned;
+};
+
+/** Mission evaluator for one vehicle. */
+class MissionModel
+{
+  public:
+    /** @param spec Vehicle specification (validated). */
+    explicit MissionModel(const UavSpec &spec);
+
+    /**
+     * Evaluate a compute design.
+     *
+     * @param compute_payload_g Onboard-compute mass (PCB + heatsink), g.
+     * @param soc_power_w       Full-SoC average power, watts.
+     * @param compute_fps       Policy inference rate, frames/s.
+     * @param sensor_fps        Selected sensor rate, frames/s.
+     */
+    MissionResult evaluate(double compute_payload_g, double soc_power_w,
+                           double compute_fps, double sensor_fps) const;
+
+    /**
+     * Pick the slowest sensor from the spec's choices that does not bound
+     * the pipeline below @p required_hz; returns the fastest choice when
+     * none suffices (Section V-C: "60 FPS sensors to avoid being
+     * sensor-bound").
+     */
+    int selectSensorFps(double required_hz) const;
+
+    const UavSpec &spec() const { return uavSpec; }
+
+  private:
+    UavSpec uavSpec;
+};
+
+} // namespace autopilot::uav
+
+#endif // AUTOPILOT_UAV_MISSION_H

@@ -1,0 +1,113 @@
+#include "uav/mission_sim.h"
+
+#include <algorithm>
+
+#include "uav/propulsion.h"
+#include "util/logging.h"
+
+namespace autopilot::uav
+{
+
+MissionSimulator::MissionSimulator(const UavSpec &spec,
+                                   const MissionVariation &variation)
+    : uavSpec(spec), var(variation)
+{
+    uavSpec.validate();
+    util::fatalIf(var.distanceSigma < 0.0 || var.headwindSigma < 0.0,
+                  "MissionSimulator: negative variation sigma");
+    util::fatalIf(var.reserveFraction < 0.0 ||
+                      var.reserveFraction >= 1.0,
+                  "MissionSimulator: reserve fraction outside [0, 1)");
+}
+
+MissionSimResult
+MissionSimulator::simulateCharge(double compute_payload_g,
+                                 double soc_power_w, double compute_fps,
+                                 double sensor_fps, util::Rng &rng) const
+{
+    const MissionModel model(uavSpec);
+    const MissionResult nominal = model.evaluate(
+        compute_payload_g, soc_power_w, compute_fps, sensor_fps);
+
+    MissionSimResult result;
+    if (!nominal.feasible)
+        return result;
+
+    const double battery = uavSpec.batteryEnergyJ();
+    const double reserve = battery * var.reserveFraction;
+    double remaining = battery;
+    const double total_mass =
+        uavSpec.baseMassGrams + compute_payload_g;
+    const double hover_power = rotorPowerW(uavSpec, total_mass, 0.0);
+
+    while (true) {
+        // Per-mission conditions.
+        const double distance =
+            uavSpec.missionDistanceM *
+            std::max(0.2, 1.0 + rng.normal(0.0, var.distanceSigma));
+        const double headwind =
+            std::abs(rng.normal(0.0, var.headwindSigma));
+        // The vehicle flies at its safe airspeed; a headwind reduces
+        // ground speed, so the mission takes longer at the same power.
+        const double airspeed = nominal.safeVelocityMps;
+        const double ground_speed = airspeed - headwind;
+        if (ground_speed <= 0.5)
+            break; // Unflyable conditions: wait out the weather.
+
+        const double cruise_time = distance / ground_speed;
+        const double air_power =
+            rotorPowerW(uavSpec, total_mass, airspeed) + soc_power_w +
+            uavSpec.otherElectronicsW;
+        const double hover_energy =
+            (hover_power + soc_power_w + uavSpec.otherElectronicsW) *
+            uavSpec.fixedHoverSeconds;
+        const double mission_energy =
+            air_power * cruise_time + hover_energy;
+
+        if (remaining - mission_energy < reserve) {
+            result.endedOnReserve = true;
+            break;
+        }
+        remaining -= mission_energy;
+        result.energyUsedJ += mission_energy;
+        result.totalFlightTimeS +=
+            cruise_time + uavSpec.fixedHoverSeconds;
+        ++result.completedMissions;
+
+        if (result.completedMissions > 100000) {
+            util::panic("MissionSimulator: runaway charge loop");
+        }
+    }
+    return result;
+}
+
+MissionSimStats
+MissionSimulator::simulateMany(double compute_payload_g,
+                               double soc_power_w, double compute_fps,
+                               double sensor_fps, int charges,
+                               std::uint64_t seed) const
+{
+    util::fatalIf(charges <= 0,
+                  "MissionSimulator: charges must be positive");
+    util::Rng master(seed);
+
+    MissionSimStats stats;
+    stats.charges = charges;
+    double sum = 0.0;
+    double lo = 1e18, hi = -1e18;
+    for (int charge = 0; charge < charges; ++charge) {
+        util::Rng rng = master.fork(charge);
+        const MissionSimResult result = simulateCharge(
+            compute_payload_g, soc_power_w, compute_fps, sensor_fps,
+            rng);
+        sum += result.completedMissions;
+        lo = std::min(lo, double(result.completedMissions));
+        hi = std::max(hi, double(result.completedMissions));
+    }
+    stats.meanMissions = sum / charges;
+    stats.minMissions = lo;
+    stats.maxMissions = hi;
+    return stats;
+}
+
+} // namespace autopilot::uav

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Stochastic mission simulator: a Monte-Carlo cross-check of the
+ * closed-form Eq. 1-4 mission count.
+ *
+ * The analytic model assumes every mission is identical. Real sorties
+ * vary: headwinds change the effective airspeed budget, routes differ in
+ * length, and the vehicle must keep a landing reserve. This simulator
+ * flies missions sequentially against a battery state with per-mission
+ * randomness and reports the achieved count distribution; property tests
+ * assert the analytic N_missions sits on the simulated mean when the
+ * variation is switched off, and within the distribution when it is on.
+ */
+
+#ifndef AUTOPILOT_UAV_MISSION_SIM_H
+#define AUTOPILOT_UAV_MISSION_SIM_H
+
+#include <cstdint>
+
+#include "uav/mission.h"
+#include "util/rng.h"
+
+namespace autopilot::uav
+{
+
+/** Per-mission variation knobs (all disabled by default). */
+struct MissionVariation
+{
+    /// 1-sigma relative variation of mission distance.
+    double distanceSigma = 0.0;
+    /// 1-sigma headwind speed, m/s (reduces ground speed, costs time).
+    double headwindSigma = 0.0;
+    /// Battery fraction that must remain for a safe landing.
+    double reserveFraction = 0.05;
+};
+
+/** Result of one simulated battery charge. */
+struct MissionSimResult
+{
+    int completedMissions = 0;
+    double energyUsedJ = 0.0;
+    double totalFlightTimeS = 0.0;
+    /// True when the last mission was aborted mid-route for the reserve.
+    bool endedOnReserve = false;
+};
+
+/** Aggregate over many simulated charges. */
+struct MissionSimStats
+{
+    int charges = 0;
+    double meanMissions = 0.0;
+    double minMissions = 0.0;
+    double maxMissions = 0.0;
+};
+
+/** Monte-Carlo mission simulator for one vehicle. */
+class MissionSimulator
+{
+  public:
+    /**
+     * @param spec      Vehicle specification.
+     * @param variation Per-mission randomness.
+     */
+    MissionSimulator(const UavSpec &spec,
+                     const MissionVariation &variation);
+
+    /**
+     * Fly missions until the battery hits the reserve.
+     *
+     * @param compute_payload_g Compute mass, grams.
+     * @param soc_power_w       SoC power, watts.
+     * @param compute_fps       Inference rate.
+     * @param sensor_fps        Sensor rate.
+     * @param rng               Charge random stream.
+     */
+    MissionSimResult simulateCharge(double compute_payload_g,
+                                    double soc_power_w,
+                                    double compute_fps,
+                                    double sensor_fps,
+                                    util::Rng &rng) const;
+
+    /** Run many charges and aggregate. */
+    MissionSimStats simulateMany(double compute_payload_g,
+                                 double soc_power_w, double compute_fps,
+                                 double sensor_fps, int charges,
+                                 std::uint64_t seed) const;
+
+  private:
+    UavSpec uavSpec;
+    MissionVariation var;
+};
+
+} // namespace autopilot::uav
+
+#endif // AUTOPILOT_UAV_MISSION_SIM_H

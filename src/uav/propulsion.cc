@@ -1,0 +1,82 @@
+#include "uav/propulsion.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autopilot::uav
+{
+
+namespace
+{
+
+double
+weightNewtons(const UavSpec &spec, double total_mass_g)
+{
+    util::fatalIf(total_mass_g <= 0.0,
+                  "propulsion: total mass must be positive");
+    util::fatalIf(total_mass_g < spec.baseMassGrams,
+                  "propulsion: total mass below base mass");
+    return total_mass_g * 1e-3 * gravity;
+}
+
+} // namespace
+
+double
+maxAccelerationMps2(const UavSpec &spec, double total_mass_g)
+{
+    const double weight = weightNewtons(spec, total_mass_g);
+    const double thrust_ratio = spec.maxThrustNewtons / weight;
+    if (thrust_ratio <= 1.0)
+        return 0.0;
+    return gravity * std::sqrt(thrust_ratio * thrust_ratio - 1.0);
+}
+
+bool
+canHover(const UavSpec &spec, double total_mass_g)
+{
+    return spec.maxThrustNewtons > weightNewtons(spec, total_mass_g);
+}
+
+double
+hoverInducedVelocityMps(const UavSpec &spec, double total_mass_g)
+{
+    const double weight = weightNewtons(spec, total_mass_g);
+    return std::sqrt(weight / (2.0 * airDensity * spec.rotorDiskAreaM2));
+}
+
+double
+inducedVelocityMps(const UavSpec &spec, double total_mass_g,
+                   double velocity_mps)
+{
+    util::fatalIf(velocity_mps < 0.0,
+                  "inducedVelocityMps: negative velocity");
+    const double vh = hoverInducedVelocityMps(spec, total_mass_g);
+    const double vh2 = vh * vh;
+    // Fixed-point iteration on v_i = v_h^2 / sqrt(v^2 + v_i^2); converges
+    // monotonically from v_h for all v >= 0.
+    double vi = vh;
+    for (int iter = 0; iter < 64; ++iter) {
+        const double next =
+            vh2 / std::sqrt(velocity_mps * velocity_mps + vi * vi);
+        if (std::abs(next - vi) < 1e-9)
+            return next;
+        vi = 0.5 * (vi + next);
+    }
+    return vi;
+}
+
+double
+rotorPowerW(const UavSpec &spec, double total_mass_g, double velocity_mps)
+{
+    const double weight = weightNewtons(spec, total_mass_g);
+    const double vi =
+        inducedVelocityMps(spec, total_mass_g, velocity_mps);
+    const double induced = weight * vi / spec.propulsiveEfficiency;
+    const double parasite = 0.5 * airDensity * spec.dragAreaM2 *
+                            velocity_mps * velocity_mps * velocity_mps /
+                            spec.parasiteEfficiency;
+    return induced + parasite;
+}
+
+} // namespace autopilot::uav

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Rotor propulsion physics: thrust-derived acceleration and momentum-theory
+ * flight power.
+ *
+ * These are the physical relationships behind the F-1 model's ceilings and
+ * Eq. 2's P_rotors term:
+ *
+ *  - Maximum horizontal acceleration from the thrust-to-weight ratio [57]:
+ *    a_max = g * sqrt((T / (m g))^2 - 1) (the vertical component must still
+ *    hold the vehicle up).
+ *  - Forward-flight power from actuator-disk momentum theory: induced power
+ *    P_i = m g * v_i / eta with the classic implicit induced-velocity
+ *    relation v_i = v_h^2 / sqrt(v^2 + v_i^2), plus parasite drag power
+ *    0.5 * rho * CdA * v^3 / eta_p. Induced power falls with forward speed,
+ *    which is why flying faster reduces mission energy (MAVBench's "95% of
+ *    power is rotors" observation).
+ */
+
+#ifndef AUTOPILOT_UAV_PROPULSION_H
+#define AUTOPILOT_UAV_PROPULSION_H
+
+#include "uav/uav_spec.h"
+
+namespace autopilot::uav
+{
+
+/** Standard gravity, m/s^2. */
+constexpr double gravity = 9.80665;
+
+/** Sea-level air density, kg/m^3. */
+constexpr double airDensity = 1.225;
+
+/**
+ * Maximum horizontal acceleration at a given all-up mass.
+ *
+ * Returns 0 when the vehicle cannot even hover (thrust <= weight).
+ *
+ * @param spec         Vehicle specification.
+ * @param total_mass_g All-up mass including compute payload, grams.
+ */
+double maxAccelerationMps2(const UavSpec &spec, double total_mass_g);
+
+/** True when the vehicle can hover at the given all-up mass. */
+bool canHover(const UavSpec &spec, double total_mass_g);
+
+/**
+ * Hover induced velocity v_h = sqrt(W / (2 rho A)), m/s.
+ *
+ * @param spec         Vehicle specification.
+ * @param total_mass_g All-up mass, grams.
+ */
+double hoverInducedVelocityMps(const UavSpec &spec, double total_mass_g);
+
+/**
+ * Induced velocity in forward flight (fixed-point solution of the
+ * momentum-theory relation), m/s.
+ *
+ * @param spec           Vehicle specification.
+ * @param total_mass_g   All-up mass, grams.
+ * @param velocity_mps   Forward speed, m/s (>= 0).
+ */
+double inducedVelocityMps(const UavSpec &spec, double total_mass_g,
+                          double velocity_mps);
+
+/**
+ * Total rotor electrical power in forward flight, watts.
+ *
+ * @param spec           Vehicle specification.
+ * @param total_mass_g   All-up mass, grams.
+ * @param velocity_mps   Forward speed, m/s (0 gives hover power).
+ */
+double rotorPowerW(const UavSpec &spec, double total_mass_g,
+                   double velocity_mps);
+
+} // namespace autopilot::uav
+
+#endif // AUTOPILOT_UAV_PROPULSION_H

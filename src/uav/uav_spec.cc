@@ -1,0 +1,133 @@
+#include "uav/uav_spec.h"
+
+#include "uav/propulsion.h"
+#include "util/logging.h"
+
+namespace autopilot::uav
+{
+
+std::string
+uavClassName(UavClass uav_class)
+{
+    switch (uav_class) {
+      case UavClass::Mini:  return "mini";
+      case UavClass::Micro: return "micro";
+      case UavClass::Nano:  return "nano";
+    }
+    return "?";
+}
+
+double
+UavSpec::batteryEnergyJ() const
+{
+    // mAh * V = mWh; * 3.6 = J; derated to the usable fraction.
+    return batteryMah * batteryVolts * 3.6 * usableBatteryFraction;
+}
+
+double
+UavSpec::hoverEnduranceMinutes(double total_mass_g) const
+{
+    const double hover_w = rotorPowerW(*this, total_mass_g, 0.0) +
+                           otherElectronicsW;
+    return batteryEnergyJ() / hover_w / 60.0;
+}
+
+void
+UavSpec::validate() const
+{
+    using util::fatalIf;
+    fatalIf(batteryMah <= 0.0 || batteryVolts <= 0.0,
+            "UavSpec: battery parameters must be positive (" + name + ")");
+    fatalIf(usableBatteryFraction <= 0.0 || usableBatteryFraction > 1.0,
+            "UavSpec: usable battery fraction outside (0, 1] (" + name +
+            ")");
+    fatalIf(baseMassGrams <= 0.0,
+            "UavSpec: base mass must be positive (" + name + ")");
+    fatalIf(maxThrustNewtons <= 0.0 || rotorDiskAreaM2 <= 0.0,
+            "UavSpec: propulsion parameters must be positive (" + name +
+            ")");
+    fatalIf(propulsiveEfficiency <= 0.0 || propulsiveEfficiency > 1.0,
+            "UavSpec: propulsive efficiency outside (0, 1] (" + name + ")");
+    fatalIf(parasiteEfficiency <= 0.0 || parasiteEfficiency > 1.0,
+            "UavSpec: parasite efficiency outside (0, 1] (" + name + ")");
+    fatalIf(senseDistanceM <= 0.0 || clearancePerDecisionM <= 0.0,
+            "UavSpec: perception constants must be positive (" + name +
+            ")");
+    fatalIf(missionDistanceM <= 0.0,
+            "UavSpec: mission distance must be positive (" + name + ")");
+    fatalIf(sensorFpsChoices.empty(),
+            "UavSpec: no sensor rate choices (" + name + ")");
+}
+
+UavSpec
+ascTecPelican()
+{
+    UavSpec spec;
+    spec.name = "AscTec Pelican";
+    spec.uavClass = UavClass::Mini;
+    spec.batteryMah = 6250.0;
+    spec.batteryVolts = 11.1;
+    spec.baseMassGrams = 1650.0;
+    spec.maxThrustNewtons = 32.4;    // Thrust-to-weight ~2.0 on the frame.
+    spec.rotorDiskAreaM2 = 0.2027;   // 4 x 10-inch propellers.
+    spec.dragAreaM2 = 0.010;
+    spec.otherElectronicsW = 2.0;
+    // A mini-UAV flies higher with wider clearances: longer sensing
+    // range and more blind travel allowed per decision, so its F-1 knee
+    // sits far below the nano's (Fig. 11's agility argument in reverse).
+    spec.senseDistanceM = 8.0;
+    spec.clearancePerDecisionM = 0.6;
+    spec.missionDistanceM = 2000.0;
+    spec.fixedHoverSeconds = 10.0;
+    spec.validate();
+    return spec;
+}
+
+UavSpec
+djiSpark()
+{
+    UavSpec spec;
+    spec.name = "DJI Spark";
+    spec.uavClass = UavClass::Micro;
+    spec.batteryMah = 1480.0;
+    spec.batteryVolts = 11.4;
+    spec.baseMassGrams = 300.0;
+    spec.maxThrustNewtons = 3.87;    // Calibrated: 27 Hz F-1 knee point.
+    spec.rotorDiskAreaM2 = 0.0448;   // 4 x 4.7-inch propellers.
+    spec.dragAreaM2 = 0.020;
+    spec.otherElectronicsW = 0.5;
+    spec.missionDistanceM = 1000.0;
+    spec.fixedHoverSeconds = 8.0;
+    spec.validate();
+    return spec;
+}
+
+UavSpec
+zhangNano()
+{
+    UavSpec spec;
+    spec.name = "Zhang et al. nano";
+    spec.uavClass = UavClass::Nano;
+    spec.batteryMah = 500.0;
+    spec.batteryVolts = 7.4;
+    spec.baseMassGrams = 50.0;
+    spec.maxThrustNewtons = 1.58;    // Calibrated: 46 Hz F-1 knee point.
+    spec.rotorDiskAreaM2 = 0.00665;  // 4 x 46-mm propellers.
+    // Clean 50 g airframe: small enough that energy-per-meter keeps
+    // falling up to the braking ceiling (Eq. 4's premise that higher
+    // safe velocity means more missions).
+    spec.dragAreaM2 = 0.0012;
+    spec.otherElectronicsW = 0.1;
+    spec.missionDistanceM = 250.0;
+    spec.fixedHoverSeconds = 5.0;
+    spec.validate();
+    return spec;
+}
+
+std::vector<UavSpec>
+allUavs()
+{
+    return {ascTecPelican(), djiSpark(), zhangNano()};
+}
+
+} // namespace autopilot::uav

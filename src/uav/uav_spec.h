@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Base-UAV system specifications (Table IV).
+ *
+ * The base UAV (frame, battery, rotors, flight controller) is fixed;
+ * AutoPilot designs only the autonomy components (sensor rate, algorithm,
+ * onboard compute). Physical constants beyond Table IV (thrust, rotor disk
+ * area, drag area) are calibrated once per vehicle so that the F-1 knee
+ * points land where the paper reports them (46 Hz nano, 27 Hz DJI Spark)
+ * and are documented in EXPERIMENTS.md.
+ */
+
+#ifndef AUTOPILOT_UAV_UAV_SPEC_H
+#define AUTOPILOT_UAV_UAV_SPEC_H
+
+#include <string>
+#include <vector>
+
+namespace autopilot::uav
+{
+
+/** Size class of the vehicle. */
+enum class UavClass
+{
+    Mini,  ///< AscTec Pelican class (~1.6 kg).
+    Micro, ///< DJI Spark class (~300 g).
+    Nano,  ///< Zhang et al. class (~50 g).
+};
+
+/** Human-readable class name. */
+std::string uavClassName(UavClass uav_class);
+
+/** Complete base-UAV specification. */
+struct UavSpec
+{
+    std::string name;
+    UavClass uavClass = UavClass::Nano;
+
+    // Table IV columns.
+    double batteryMah = 500.0;
+    double batteryVolts = 7.4;
+    /// Fraction of rated capacity usable per charge (depth-of-discharge
+    /// limit plus converter losses).
+    double usableBatteryFraction = 0.85;
+    double baseMassGrams = 50.0;
+    double controlLoopHz = 100e3; ///< PID flight controller rate.
+    std::vector<int> sensorFpsChoices = {30, 60};
+
+    // Calibrated physical constants.
+    double maxThrustNewtons = 1.58;  ///< Total thrust of all rotors.
+    double rotorDiskAreaM2 = 0.00665;///< Combined actuator disk area.
+    double dragAreaM2 = 0.005;       ///< Parasite drag area (Cd * A).
+    double propulsiveEfficiency = 0.50; ///< Motor+ESC+figure-of-merit.
+    double parasiteEfficiency = 0.70;   ///< Efficiency against drag.
+    double otherElectronicsW = 0.1;  ///< ESCs, radio, LEDs.
+
+    // Perception / safety constants.
+    double senseDistanceM = 5.0;  ///< Obstacle detection range.
+    double clearancePerDecisionM = 0.30; ///< Safe blind travel/decision.
+    double structuralMaxMps = 25.0;      ///< Hard airframe speed limit.
+
+    // Mission profile.
+    double missionDistanceM = 250.0;
+    double fixedHoverSeconds = 5.0; ///< Takeoff/landing hover overhead.
+
+    /** Usable battery energy in joules. */
+    double batteryEnergyJ() const;
+
+    /**
+     * Hover endurance in minutes at a given all-up mass: a physics
+     * sanity check against published flight times.
+     */
+    double hoverEnduranceMinutes(double total_mass_g) const;
+
+    /** Abort via fatal() when a field is out of range. */
+    void validate() const;
+};
+
+/** AscTec Pelican, the mini-UAV of Table IV. */
+UavSpec ascTecPelican();
+
+/** DJI Spark, the micro-UAV of Table IV. */
+UavSpec djiSpark();
+
+/** The Zhang et al. nano quadrotor of Table IV. */
+UavSpec zhangNano();
+
+/** All three vehicles, in {mini, micro, nano} order. */
+std::vector<UavSpec> allUavs();
+
+} // namespace autopilot::uav
+
+#endif // AUTOPILOT_UAV_UAV_SPEC_H

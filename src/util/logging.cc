@@ -1,0 +1,55 @@
+#include "util/logging.h"
+
+namespace autopilot::util
+{
+
+namespace
+{
+
+const char *
+levelPrefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info: ";
+      case LogLevel::Warn:   return "warn: ";
+      case LogLevel::Fatal:  return "fatal: ";
+      case LogLevel::Panic:  return "panic: ";
+    }
+    return "?: ";
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::cerr << levelPrefix(level) << msg << std::endl;
+}
+
+void
+fatal(const std::string &msg)
+{
+    logMessage(LogLevel::Fatal, msg);
+    std::exit(1);
+}
+
+void
+panic(const std::string &msg)
+{
+    logMessage(LogLevel::Panic, msg);
+    std::abort();
+}
+
+void
+warn(const std::string &msg)
+{
+    logMessage(LogLevel::Warn, msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    logMessage(LogLevel::Inform, msg);
+}
+
+} // namespace autopilot::util

@@ -1,0 +1,124 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autopilot::util
+{
+
+double
+mean(const std::vector<double> &values)
+{
+    panicIf(values.empty(), "mean: empty sample");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+variance(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double mu = mean(values);
+    double sum_sq = 0.0;
+    for (double v : values)
+        sum_sq += (v - mu) * (v - mu);
+    return sum_sq / static_cast<double>(values.size() - 1);
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    return std::sqrt(variance(values));
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    panicIf(values.empty(), "geomean: empty sample");
+    double log_sum = 0.0;
+    for (double v : values) {
+        panicIf(v <= 0.0, "geomean: non-positive value");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+minValue(const std::vector<double> &values)
+{
+    panicIf(values.empty(), "minValue: empty sample");
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+maxValue(const std::vector<double> &values)
+{
+    panicIf(values.empty(), "maxValue: empty sample");
+    return *std::max_element(values.begin(), values.end());
+}
+
+double
+percentile(std::vector<double> values, double pct)
+{
+    panicIf(values.empty(), "percentile: empty sample");
+    fatalIf(pct < 0.0 || pct > 100.0, "percentile: pct outside [0, 100]");
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values.front();
+    const double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo_idx = static_cast<std::size_t>(rank);
+    const std::size_t hi_idx = std::min(lo_idx + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo_idx);
+    return values[lo_idx] * (1.0 - frac) + values[hi_idx] * frac;
+}
+
+void
+RunningStats::add(double value)
+{
+    if (n == 0) {
+        lo = value;
+        hi = value;
+    } else {
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+    }
+    ++n;
+    const double delta = value - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (value - mu);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    panicIf(n == 0, "RunningStats::min: empty");
+    return lo;
+}
+
+double
+RunningStats::max() const
+{
+    panicIf(n == 0, "RunningStats::max: empty");
+    return hi;
+}
+
+} // namespace autopilot::util

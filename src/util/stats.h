@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Small descriptive-statistics helpers used by the simulators and benches.
+ */
+
+#ifndef AUTOPILOT_UTIL_STATS_H
+#define AUTOPILOT_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace autopilot::util
+{
+
+/** Arithmetic mean. @pre values is non-empty. */
+double mean(const std::vector<double> &values);
+
+/** Unbiased sample variance (n-1 denominator); 0 for n < 2. */
+double variance(const std::vector<double> &values);
+
+/** Sample standard deviation. */
+double stddev(const std::vector<double> &values);
+
+/** Geometric mean. @pre all values strictly positive. */
+double geomean(const std::vector<double> &values);
+
+/** Smallest element. @pre values is non-empty. */
+double minValue(const std::vector<double> &values);
+
+/** Largest element. @pre values is non-empty. */
+double maxValue(const std::vector<double> &values);
+
+/**
+ * Linear-interpolated percentile.
+ *
+ * @param values Sample (copied and sorted internally).
+ * @param pct    Percentile in [0, 100].
+ */
+double percentile(std::vector<double> values, double pct);
+
+/**
+ * Streaming accumulator for mean/variance (Welford) plus min/max.
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double value);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n; }
+
+    /** Mean of observations; 0 when empty. */
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Unbiased sample variance; 0 for n < 2. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation. @pre count() > 0. */
+    double min() const;
+
+    /** Largest observation. @pre count() > 0. */
+    double max() const;
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+} // namespace autopilot::util
+
+#endif // AUTOPILOT_UTIL_STATS_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the bench harnesses to print the
+ * rows/series reported in the paper's tables and figures.
+ */
+
+#ifndef AUTOPILOT_UTIL_TABLE_H
+#define AUTOPILOT_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace autopilot::util
+{
+
+/**
+ * Column-aligned ASCII table builder.
+ *
+ * Usage:
+ * @code
+ *   Table t({"design", "fps", "watts"});
+ *   t.addRow({"AP", "46.0", "0.70"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** @param header Column titles; fixes the column count. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row. @pre cells.size() == column count (fatal otherwise). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+    /** Render with aligned columns and a header rule. */
+    void print(std::ostream &os) const;
+
+    /** Render as RFC-4180-ish CSV (quotes cells containing separators). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with @p precision digits after the decimal point. */
+std::string formatDouble(double value, int precision = 2);
+
+/** Format a ratio as, e.g., "2.25x". */
+std::string formatRatio(double value, int precision = 2);
+
+} // namespace autopilot::util
+
+#endif // AUTOPILOT_UTIL_TABLE_H

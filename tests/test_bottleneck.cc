@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the F-1 bottleneck analyzer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uav/bottleneck.h"
+#include "uav/uav_spec.h"
+
+namespace uav = autopilot::uav;
+
+TEST(Bottleneck, SensorBoundWhenSensorSlowest)
+{
+    // Nano knee ~46 Hz; 30 FPS sensor with fast compute -> sensor-bound.
+    const auto report =
+        uav::analyzeBottleneck(uav::zhangNano(), 24.0, 200.0, 30.0);
+    EXPECT_EQ(report.stage, uav::BottleneckStage::Sensor);
+    EXPECT_DOUBLE_EQ(report.actionThroughputHz, 30.0);
+    // Unbinding the sensor lifts velocity (compute 200 Hz > knee).
+    EXPECT_GT(report.unboundedVelocityMps, report.safeVelocityMps);
+    EXPECT_GT(report.velocityLossFraction(), 0.05);
+}
+
+TEST(Bottleneck, ComputeBoundWhenComputeSlowest)
+{
+    const auto report =
+        uav::analyzeBottleneck(uav::zhangNano(), 24.0, 10.0, 60.0);
+    EXPECT_EQ(report.stage, uav::BottleneckStage::Compute);
+    EXPECT_DOUBLE_EQ(report.actionThroughputHz, 10.0);
+    EXPECT_GT(report.velocityLossFraction(), 0.3);
+}
+
+TEST(Bottleneck, BodyDynamicsBoundPastKnee)
+{
+    const auto report =
+        uav::analyzeBottleneck(uav::zhangNano(), 24.0, 200.0, 60.0);
+    EXPECT_EQ(report.stage, uav::BottleneckStage::BodyDynamics);
+    EXPECT_DOUBLE_EQ(report.safeVelocityMps,
+                     report.velocityCeilingMps);
+    // A massless compute payload would raise the ceiling.
+    EXPECT_GT(report.unboundedVelocityMps, report.safeVelocityMps);
+}
+
+TEST(Bottleneck, HeavyPayloadShiftsBottleneckToDynamics)
+{
+    // With a heavy payload the ceiling (and the knee) drop so far that
+    // even modest compute clears it.
+    const auto light =
+        uav::analyzeBottleneck(uav::zhangNano(), 24.0, 40.0, 60.0);
+    const auto heavy =
+        uav::analyzeBottleneck(uav::zhangNano(), 90.0, 40.0, 60.0);
+    EXPECT_EQ(light.stage, uav::BottleneckStage::Compute);
+    EXPECT_EQ(heavy.stage, uav::BottleneckStage::BodyDynamics);
+    EXPECT_LT(heavy.velocityCeilingMps, light.velocityCeilingMps);
+}
+
+TEST(Bottleneck, StageNames)
+{
+    EXPECT_EQ(uav::bottleneckStageName(uav::BottleneckStage::Sensor),
+              "sensor-bound");
+    EXPECT_EQ(uav::bottleneckStageName(uav::BottleneckStage::Compute),
+              "compute-bound");
+    EXPECT_EQ(uav::bottleneckStageName(uav::BottleneckStage::Control),
+              "control-bound");
+    EXPECT_EQ(
+        uav::bottleneckStageName(uav::BottleneckStage::BodyDynamics),
+        "body-dynamics-bound");
+}
+
+TEST(Bottleneck, LossFractionZeroWhenBalanced)
+{
+    uav::BottleneckReport report;
+    report.safeVelocityMps = 10.0;
+    report.unboundedVelocityMps = 10.0;
+    EXPECT_DOUBLE_EQ(report.velocityLossFraction(), 0.0);
+    report.unboundedVelocityMps = 0.0;
+    EXPECT_DOUBLE_EQ(report.velocityLossFraction(), 0.0);
+}

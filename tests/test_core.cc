@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the core AutoPilot pipeline: baselines, full-system mapping,
+ * strategy selection and architectural fine-tuning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/autopilot.h"
+#include "core/baseline_eval.h"
+#include "core/baselines.h"
+#include "core/fine_tuning.h"
+#include "nn/e2e_template.h"
+
+namespace core = autopilot::core;
+namespace dse = autopilot::dse;
+namespace uav = autopilot::uav;
+namespace nn = autopilot::nn;
+namespace al = autopilot::airlearning;
+
+namespace
+{
+
+core::TaskSpec
+quickTask(al::ObstacleDensity density = al::ObstacleDensity::Dense)
+{
+    core::TaskSpec task;
+    task.density = density;
+    task.validationEpisodes = 40;
+    task.dseBudget = 40;
+    return task;
+}
+
+} // namespace
+
+// ---------------------------------------------------------- baselines ----
+
+TEST(Baselines, FpsInverselyProportionalToModelSize)
+{
+    const core::BaselinePlatform tx2 = core::jetsonTx2();
+    const nn::Model small = nn::buildE2EModel({2, 32});
+    const nn::Model big = nn::buildE2EModel({10, 64});
+    EXPECT_GT(tx2.framesPerSecond(small), tx2.framesPerSecond(big));
+    EXPECT_NEAR(tx2.framesPerSecond(small),
+                tx2.effectiveGmacPerS /
+                    (static_cast<double>(small.totalMacs()) * 1e-9),
+                1e-9);
+}
+
+TEST(Baselines, PulpIsFixedThroughput)
+{
+    const core::BaselinePlatform pulp = core::pulpDronet();
+    const nn::Model small = nn::buildE2EModel({2, 32});
+    const nn::Model big = nn::buildE2EModel({10, 64});
+    EXPECT_DOUBLE_EQ(pulp.framesPerSecond(small), 6.0);
+    EXPECT_DOUBLE_EQ(pulp.framesPerSecond(big), 6.0);
+    EXPECT_DOUBLE_EQ(pulp.runPowerW, 0.064);
+}
+
+TEST(Baselines, Figure5SetHasThreePlatforms)
+{
+    const auto platforms = core::figure5Baselines();
+    ASSERT_EQ(platforms.size(), 3u);
+    EXPECT_EQ(platforms[0].name, "Jetson TX2");
+    EXPECT_EQ(platforms[1].name, "Xavier NX");
+    EXPECT_EQ(platforms[2].name, "P-DroNet");
+}
+
+TEST(Baselines, XavierFasterThanTx2)
+{
+    const nn::Model model = nn::buildE2EModel({7, 48});
+    EXPECT_GT(core::xavierNx().framesPerSecond(model),
+              core::jetsonTx2().framesPerSecond(model));
+}
+
+TEST(BaselineEval, Tx2CrushesNanoUav)
+{
+    // An 85 g board on a 50 g airframe must severely hurt (or zero) the
+    // mission count.
+    const nn::Model model = nn::buildE2EModel({7, 48});
+    const auto result = core::evaluateBaselineOnUav(
+        core::jetsonTx2(), model, uav::zhangNano());
+    const auto pulp = core::evaluateBaselineOnUav(
+        core::pulpDronet(), model, uav::zhangNano());
+    EXPECT_GT(pulp.mission.numMissions, 0.0);
+    if (result.mission.feasible) {
+        EXPECT_LT(result.mission.safeVelocityMps,
+                  pulp.mission.kneeThroughputHz *
+                      uav::zhangNano().clearancePerDecisionM);
+    }
+}
+
+TEST(BaselineEval, PulpIsComputeBound)
+{
+    const nn::Model model = nn::buildE2EModel({7, 48});
+    const auto pulp = core::evaluateBaselineOnUav(
+        core::pulpDronet(), model, uav::zhangNano());
+    EXPECT_EQ(pulp.mission.provisioning,
+              uav::Provisioning::UnderProvisioned);
+    EXPECT_DOUBLE_EQ(pulp.mission.actionThroughputHz, 6.0);
+}
+
+// --------------------------------------------------------- strategies ----
+
+TEST(Strategy, NamesAreStable)
+{
+    EXPECT_EQ(core::strategyName(core::DesignStrategy::HighThroughput),
+              "HT");
+    EXPECT_EQ(core::strategyName(core::DesignStrategy::LowPower), "LP");
+    EXPECT_EQ(core::strategyName(core::DesignStrategy::HighEfficiency),
+              "HE");
+    EXPECT_EQ(core::strategyName(core::DesignStrategy::AutoPilotPick),
+              "AP");
+}
+
+TEST(Strategy, SelectsExtremesFromCandidates)
+{
+    // Build three synthetic candidates with clear extremes.
+    auto make = [](double fps, double watts, double missions) {
+        core::FullSystemDesign design;
+        design.eval.fps = fps;
+        design.eval.socPowerW = watts;
+        design.mission.numMissions = missions;
+        design.mission.feasible = true;
+        return design;
+    };
+    const std::vector<core::FullSystemDesign> candidates = {
+        make(200.0, 8.0, 10.0),  // HT
+        make(20.0, 0.4, 20.0),   // LP
+        make(100.0, 1.0, 25.0),  // HE (100 fps/W), also best missions.
+    };
+    EXPECT_DOUBLE_EQ(
+        core::AutoPilot::selectByStrategy(
+            candidates, core::DesignStrategy::HighThroughput)
+            .eval.fps,
+        200.0);
+    EXPECT_DOUBLE_EQ(core::AutoPilot::selectByStrategy(
+                         candidates, core::DesignStrategy::LowPower)
+                         .eval.socPowerW,
+                     0.4);
+    EXPECT_DOUBLE_EQ(
+        core::AutoPilot::selectByStrategy(
+            candidates, core::DesignStrategy::HighEfficiency)
+            .eval.fps,
+        100.0);
+    EXPECT_DOUBLE_EQ(core::AutoPilot::selectByStrategy(
+                         candidates, core::DesignStrategy::AutoPilotPick)
+                         .mission.numMissions,
+                     25.0);
+}
+
+// -------------------------------------------------------- fine tuning ----
+
+TEST(FineTuning, ReevaluateMatchesEvaluatorModels)
+{
+    dse::DesignPoint point;
+    point.policy = {5, 32};
+    const dse::Evaluation eval =
+        core::ArchitecturalTuner::reevaluate(point, 0.8);
+    EXPECT_DOUBLE_EQ(eval.successRate, 0.8);
+    EXPECT_GT(eval.fps, 0.0);
+    EXPECT_GT(eval.socPowerW, eval.npuPowerW);
+    ASSERT_EQ(eval.objectives.size(), 3u);
+}
+
+TEST(FineTuning, FrequencyScalingHitsTarget)
+{
+    dse::DesignPoint point;
+    point.policy = {5, 32};
+    point.accel.peRows = 32;
+    point.accel.peCols = 32;
+    const dse::Evaluation base =
+        core::ArchitecturalTuner::reevaluate(point, 0.8);
+    const double target = base.fps * 0.5;
+    const dse::Evaluation tuned =
+        core::ArchitecturalTuner::scaleFrequency(base, target);
+    EXPECT_NEAR(tuned.fps, target, target * 0.05);
+    EXPECT_LT(tuned.point.accel.clockGhz, base.point.accel.clockGhz);
+    // Lower clock -> lower dynamic power.
+    EXPECT_LT(tuned.npuPowerW, base.npuPowerW);
+}
+
+TEST(FineTuning, FrequencyScalingClampsToWindow)
+{
+    dse::DesignPoint point;
+    point.policy = {5, 32};
+    const dse::Evaluation base =
+        core::ArchitecturalTuner::reevaluate(point, 0.8);
+    const dse::Evaluation maxed =
+        core::ArchitecturalTuner::scaleFrequency(base, base.fps * 1000);
+    EXPECT_DOUBLE_EQ(maxed.point.accel.clockGhz, 1.2);
+}
+
+TEST(FineTuning, TechnologyScalingImprovesPowerAndSpeed)
+{
+    dse::DesignPoint point;
+    point.policy = {7, 48};
+    point.accel.peRows = 64;
+    point.accel.peCols = 64;
+    const dse::Evaluation base =
+        core::ArchitecturalTuner::reevaluate(point, 0.8);
+    const dse::Evaluation newer =
+        core::ArchitecturalTuner::scaleTechnology(base, 7);
+    const dse::Evaluation older =
+        core::ArchitecturalTuner::scaleTechnology(base, 40);
+    EXPECT_GT(newer.fps, base.fps);
+    EXPECT_LT(newer.npuPowerW, base.npuPowerW);
+    EXPECT_LT(older.fps, base.fps);
+    EXPECT_GT(older.npuPowerW, base.npuPowerW);
+}
+
+// ------------------------------------------------------ full pipeline ----
+
+TEST(AutoPilotPipeline, PhasesAreCachedAndReused)
+{
+    core::AutoPilot pilot(quickTask());
+    const auto &db_first = pilot.phase1();
+    EXPECT_EQ(db_first.size(), 27u);
+    const auto &dse_first = pilot.phase2();
+    const std::size_t archive_size = dse_first.archive.size();
+    // Second call must not re-run (same object, same size).
+    EXPECT_EQ(pilot.phase2().archive.size(), archive_size);
+    EXPECT_EQ(&pilot.phase1(), &db_first);
+}
+
+TEST(AutoPilotPipeline, SelectedDesignMaximizesMissions)
+{
+    core::AutoPilot pilot(quickTask());
+    const core::AutoPilotRun run = pilot.designFor(uav::zhangNano());
+    ASSERT_FALSE(run.candidates.empty());
+    for (const core::FullSystemDesign &candidate : run.candidates) {
+        EXPECT_LE(candidate.mission.numMissions,
+                  run.selected.mission.numMissions + 1e-9);
+    }
+    EXPECT_TRUE(run.selected.mission.feasible);
+}
+
+TEST(AutoPilotPipeline, CandidatesMeetSuccessFilter)
+{
+    core::AutoPilot pilot(quickTask());
+    const auto candidates = pilot.candidatesFor(uav::zhangNano());
+    double best_success = 0.0;
+    for (const dse::Evaluation &eval : pilot.phase2().archive)
+        best_success = std::max(best_success, eval.successRate);
+    for (const core::FullSystemDesign &candidate : candidates) {
+        EXPECT_GE(candidate.eval.successRate + 0.02 + 1e-12,
+                  best_success);
+    }
+}
+
+TEST(AutoPilotPipeline, MapToFullSystemSizesHeatsinkAndSensor)
+{
+    dse::DesignPoint point;
+    point.policy = {7, 48};
+    point.accel.peRows = 128;
+    point.accel.peCols = 128;
+    point.accel.ifmapSramKb = 4096;
+    point.accel.filterSramKb = 4096;
+    point.accel.ofmapSramKb = 4096;
+    const dse::Evaluation eval =
+        core::ArchitecturalTuner::reevaluate(point, 0.85);
+    const core::FullSystemDesign design =
+        core::AutoPilot::mapToFullSystem(eval, uav::zhangNano());
+    EXPECT_GT(design.payloadGrams, 40.0); // Big heatsink.
+    EXPECT_EQ(design.sensorFps, 60);      // Knee above 30 Hz.
+    EXPECT_DOUBLE_EQ(design.tdpW, eval.npuPowerW);
+}
+
+TEST(AutoPilotPipeline, SameDseLowersToDifferentUavs)
+{
+    core::AutoPilot pilot(quickTask(al::ObstacleDensity::Medium));
+    const auto nano_run = pilot.designFor(uav::zhangNano());
+    const auto mini_run = pilot.designFor(uav::ascTecPelican());
+    // Shared Phase 2 archive, vehicle-specific Phase 3 outcomes.
+    EXPECT_EQ(nano_run.dseResult.archive.size(),
+              mini_run.dseResult.archive.size());
+    EXPECT_GT(mini_run.selected.mission.totalMassG,
+              nano_run.selected.mission.totalMassG);
+}

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the design-space encoding and the Gaussian-process surrogate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dse/design_space.h"
+#include "dse/gaussian_process.h"
+#include "util/rng.h"
+
+namespace dse = autopilot::dse;
+using autopilot::util::Rng;
+
+// --------------------------------------------------------- design space --
+
+TEST(DesignSpace, CardinalityMatchesTableII)
+{
+    const dse::DesignSpace space;
+    // 9 layers x 3 filters x 8 PE rows x 8 PE cols x 8^3 SRAM choices.
+    EXPECT_EQ(space.cardinality(), 9LL * 3 * 8 * 8 * 8 * 8 * 8);
+}
+
+TEST(DesignSpace, EncodeDecodeRoundTrip)
+{
+    const dse::DesignSpace space;
+    Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        const dse::Encoding encoding = space.randomEncoding(rng);
+        const dse::DesignPoint point = space.decode(encoding);
+        EXPECT_EQ(space.encode(point), encoding);
+    }
+}
+
+TEST(DesignSpace, DecodeProducesLegalValues)
+{
+    const dse::DesignSpace space;
+    Rng rng(13);
+    const autopilot::nn::PolicySpace policy_space;
+    const autopilot::systolic::HardwareSpace hw_space;
+    for (int i = 0; i < 100; ++i) {
+        const dse::DesignPoint point =
+            space.decode(space.randomEncoding(rng));
+        EXPECT_TRUE(policy_space.contains(point.policy));
+        EXPECT_TRUE(hw_space.contains(point.accel));
+        point.accel.validate();
+    }
+}
+
+TEST(DesignSpace, NeighborChangesExactlyOneDimension)
+{
+    const dse::DesignSpace space;
+    Rng rng(17);
+    for (int i = 0; i < 200; ++i) {
+        const dse::Encoding encoding = space.randomEncoding(rng);
+        const dse::Encoding next = space.neighbor(encoding, rng);
+        int changed = 0;
+        for (std::size_t d = 0; d < dse::designDims; ++d) {
+            if (encoding[d] != next[d])
+                ++changed;
+            EXPECT_GE(next[d], 0);
+            EXPECT_LT(next[d], space.dimensionSizes()[d]);
+        }
+        EXPECT_EQ(changed, 1);
+    }
+}
+
+TEST(DesignSpace, FeaturesNormalized)
+{
+    const dse::DesignSpace space;
+    Rng rng(19);
+    for (int i = 0; i < 50; ++i) {
+        const auto features =
+            space.features(space.randomEncoding(rng));
+        EXPECT_EQ(features.size(), dse::designDims);
+        for (double f : features) {
+            EXPECT_GE(f, 0.0);
+            EXPECT_LE(f, 1.0);
+        }
+    }
+}
+
+TEST(DesignSpace, PointNameIsStable)
+{
+    const dse::DesignSpace space;
+    const dse::DesignPoint point = space.decode({0, 0, 0, 0, 0, 0, 0});
+    EXPECT_EQ(point.name(), "e2e_l2_f32__ws_8x8_i32_f32_o32");
+}
+
+TEST(DesignSpaceDeath, DecodeRejectsOutOfRange)
+{
+    const dse::DesignSpace space;
+    EXPECT_EXIT(space.decode({99, 0, 0, 0, 0, 0, 0}),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+// ------------------------------------------------------------------ GP ---
+
+TEST(GaussianProcess, InterpolatesTrainingPoints)
+{
+    dse::GaussianProcess::Params params;
+    params.noiseVariance = 1e-8;
+    dse::GaussianProcess gp(params);
+    const std::vector<std::vector<double>> inputs = {
+        {0.0, 0.0}, {0.5, 0.5}, {1.0, 0.0}};
+    const std::vector<double> targets = {1.0, -2.0, 4.0};
+    gp.fit(inputs, targets);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const auto prediction = gp.predict(inputs[i]);
+        EXPECT_NEAR(prediction.mean, targets[i], 1e-3);
+        EXPECT_LT(prediction.stddev(), 0.05);
+    }
+}
+
+TEST(GaussianProcess, UncertaintyGrowsAwayFromData)
+{
+    dse::GaussianProcess gp;
+    gp.fit({{0.0}, {0.1}}, {1.0, 1.2});
+    const auto near = gp.predict({0.05});
+    const auto far = gp.predict({5.0});
+    EXPECT_GT(far.variance, near.variance);
+}
+
+TEST(GaussianProcess, RevertsToMeanFarFromData)
+{
+    dse::GaussianProcess gp;
+    gp.fit({{0.0}, {0.2}}, {10.0, 20.0});
+    const auto far = gp.predict({100.0});
+    EXPECT_NEAR(far.mean, 15.0, 1.0); // Prior mean = target mean.
+}
+
+TEST(GaussianProcess, HandlesConstantTargets)
+{
+    dse::GaussianProcess gp;
+    gp.fit({{0.0}, {1.0}, {2.0}}, {3.0, 3.0, 3.0});
+    EXPECT_NEAR(gp.predict({0.5}).mean, 3.0, 1e-6);
+}
+
+TEST(GaussianProcess, SmoothInterpolationBetweenPoints)
+{
+    dse::GaussianProcess::Params params;
+    params.lengthScale = 0.5;
+    params.noiseVariance = 1e-8;
+    dse::GaussianProcess gp(params);
+    gp.fit({{0.0}, {1.0}}, {0.0, 1.0});
+    const double mid = gp.predict({0.5}).mean;
+    EXPECT_GT(mid, 0.2);
+    EXPECT_LT(mid, 0.8);
+}
+
+TEST(GaussianProcess, LearnsSmoothFunction)
+{
+    // Fit y = sin(2 pi x) on a grid; check prediction error off-grid.
+    dse::GaussianProcess::Params params;
+    params.lengthScale = 0.15;
+    params.noiseVariance = 1e-6;
+    dse::GaussianProcess gp(params);
+    std::vector<std::vector<double>> inputs;
+    std::vector<double> targets;
+    for (int i = 0; i <= 20; ++i) {
+        const double x = i / 20.0;
+        inputs.push_back({x});
+        targets.push_back(std::sin(2.0 * M_PI * x));
+    }
+    gp.fit(inputs, targets);
+    for (double x : {0.13, 0.37, 0.61, 0.89}) {
+        EXPECT_NEAR(gp.predict({x}).mean, std::sin(2.0 * M_PI * x),
+                    0.05)
+            << x;
+    }
+}
+
+TEST(GaussianProcess, VarianceNonNegative)
+{
+    dse::GaussianProcess gp;
+    Rng rng(3);
+    std::vector<std::vector<double>> inputs;
+    std::vector<double> targets;
+    for (int i = 0; i < 30; ++i) {
+        inputs.push_back({rng.uniform(), rng.uniform()});
+        targets.push_back(rng.normal());
+    }
+    gp.fit(inputs, targets);
+    for (int i = 0; i < 50; ++i) {
+        const auto prediction =
+            gp.predict({rng.uniform(), rng.uniform()});
+        EXPECT_GE(prediction.variance, 0.0);
+    }
+}
+
+TEST(GaussianProcessDeath, PredictBeforeFit)
+{
+    dse::GaussianProcess gp;
+    EXPECT_EXIT(gp.predict({0.0}), ::testing::ExitedWithCode(1),
+                "not fitted");
+}
+
+TEST(GaussianProcessDeath, EmptyTrainingSet)
+{
+    dse::GaussianProcess gp;
+    EXPECT_EXIT(gp.fit({}, {}), ::testing::ExitedWithCode(1), "empty");
+}

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for Pareto utilities, non-dominated sorting, crowding distance and
+ * exact hypervolume (2-D and 3-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "dse/hypervolume.h"
+#include "dse/pareto.h"
+#include "util/rng.h"
+
+namespace dse = autopilot::dse;
+using dse::Objectives;
+
+// ---------------------------------------------------------- dominance ----
+
+TEST(Pareto, DominatesBasics)
+{
+    EXPECT_TRUE(dse::dominates({1.0, 1.0}, {2.0, 2.0}));
+    EXPECT_TRUE(dse::dominates({1.0, 2.0}, {1.0, 3.0}));
+    EXPECT_FALSE(dse::dominates({1.0, 3.0}, {2.0, 2.0}));
+    EXPECT_FALSE(dse::dominates({1.0, 1.0}, {1.0, 1.0})); // Not strict.
+}
+
+TEST(Pareto, EpsilonDominance)
+{
+    EXPECT_TRUE(dse::epsilonDominates({1.05, 1.0}, {1.0, 1.0}, 0.1));
+    EXPECT_FALSE(dse::epsilonDominates({1.2, 1.0}, {1.0, 1.0}, 0.1));
+}
+
+TEST(Pareto, FrontExtraction)
+{
+    const std::vector<Objectives> points = {
+        {1.0, 4.0}, {2.0, 3.0}, {3.0, 3.5}, {4.0, 1.0}, {2.5, 2.5}};
+    const auto front = dse::paretoFrontIndices(points);
+    // {3.0,3.5} is dominated by {2.0,3.0}; the rest are non-dominated.
+    EXPECT_EQ(front.size(), 4u);
+    for (std::size_t index : front)
+        EXPECT_NE(index, 2u);
+}
+
+TEST(Pareto, DuplicatePointsBothKept)
+{
+    const std::vector<Objectives> points = {{1.0, 1.0}, {1.0, 1.0}};
+    EXPECT_EQ(dse::paretoFrontIndices(points).size(), 2u);
+}
+
+TEST(Pareto, NonDominatedSortLayers)
+{
+    const std::vector<Objectives> points = {
+        {1.0, 1.0},  // front 0
+        {2.0, 2.0},  // front 1 (dominated only by front 0)
+        {3.0, 3.0},  // front 2
+        {0.5, 3.5},  // front 0 (trade-off)
+    };
+    const auto fronts = dse::nonDominatedSort(points);
+    ASSERT_EQ(fronts.size(), 3u);
+    EXPECT_EQ(fronts[0].size(), 2u);
+    EXPECT_EQ(fronts[1].size(), 1u);
+    EXPECT_EQ(fronts[1][0], 1u);
+    EXPECT_EQ(fronts[2][0], 2u);
+}
+
+TEST(Pareto, CrowdingBoundariesInfinite)
+{
+    const std::vector<Objectives> points = {
+        {1.0, 4.0}, {2.0, 3.0}, {3.0, 2.0}, {4.0, 1.0}};
+    const std::vector<std::size_t> front = {0, 1, 2, 3};
+    const auto crowding = dse::crowdingDistance(points, front);
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(crowding[0], inf);
+    EXPECT_EQ(crowding[3], inf);
+    EXPECT_GT(crowding[1], 0.0);
+    EXPECT_LT(crowding[1], inf);
+}
+
+TEST(Pareto, CrowdingPrefersIsolatedPoints)
+{
+    // Middle points: one in a dense cluster, one isolated.
+    const std::vector<Objectives> points = {
+        {0.0, 10.0}, {1.0, 9.0}, {1.2, 8.8}, {6.0, 2.0}, {10.0, 0.0}};
+    const std::vector<std::size_t> front = {0, 1, 2, 3, 4};
+    const auto crowding = dse::crowdingDistance(points, front);
+    EXPECT_GT(crowding[3], crowding[2]);
+}
+
+// -------------------------------------------------------- hypervolume ----
+
+TEST(Hypervolume, SinglePoint2D)
+{
+    EXPECT_DOUBLE_EQ(dse::hypervolume({{1.0, 1.0}}, {3.0, 3.0}), 4.0);
+}
+
+TEST(Hypervolume, TwoPoint2DUnion)
+{
+    // Boxes (1,2)x(2,?) hand-computed: ref (4,4); points (1,3) and (3,1):
+    // area = 3*1 + 1*(3-1)... enumerate: point A (1,3): box 3 wide, 1
+    // tall = 3; point B (3,1): 1 wide, 3 tall = 3; overlap (1..4 x 3..4)
+    // none: total 3 + 3 - 1 (overlap box 1x1 at [3,4]x[3,4])? Overlap of
+    // [1,4]x[3,4] and [3,4]x[1,4] is [3,4]x[3,4] = 1.
+    const double hv =
+        dse::hypervolume({{1.0, 3.0}, {3.0, 1.0}}, {4.0, 4.0});
+    EXPECT_DOUBLE_EQ(hv, 5.0);
+}
+
+TEST(Hypervolume, DominatedPointAddsNothing2D)
+{
+    const double base = dse::hypervolume({{1.0, 1.0}}, {4.0, 4.0});
+    const double with_dominated =
+        dse::hypervolume({{1.0, 1.0}, {2.0, 2.0}}, {4.0, 4.0});
+    EXPECT_DOUBLE_EQ(base, with_dominated);
+}
+
+TEST(Hypervolume, PointOutsideReferenceClipped)
+{
+    EXPECT_DOUBLE_EQ(dse::hypervolume({{5.0, 5.0}}, {4.0, 4.0}), 0.0);
+    EXPECT_DOUBLE_EQ(dse::hypervolume({}, {4.0, 4.0}), 0.0);
+}
+
+TEST(Hypervolume, SinglePoint3D)
+{
+    EXPECT_DOUBLE_EQ(
+        dse::hypervolume({{1.0, 1.0, 1.0}}, {2.0, 3.0, 4.0}),
+        1.0 * 2.0 * 3.0);
+}
+
+TEST(Hypervolume, ThreePoint3DHandComputed)
+{
+    // Staircase: (0,2,2), (2,0,2), (2,2,0) with ref (3,3,3).
+    // By inclusion-exclusion: each box 3*1*1... compute: box A =
+    // (3-0)(3-2)(3-2)=3; B=(3-2)(3-0)(3-2)=3; C=(3-2)(3-2)(3-0)=3.
+    // Pairwise overlaps: A&B = (3-2)(3-2)(3-2)=1 etc. (three pairs),
+    // triple overlap = 1. HV = 9 - 3 + 1 = 7.
+    const double hv = dse::hypervolume(
+        {{0.0, 2.0, 2.0}, {2.0, 0.0, 2.0}, {2.0, 2.0, 0.0}},
+        {3.0, 3.0, 3.0});
+    EXPECT_DOUBLE_EQ(hv, 7.0);
+}
+
+TEST(Hypervolume, MonotoneUnderAddition)
+{
+    autopilot::util::Rng rng(99);
+    std::vector<Objectives> points;
+    const Objectives reference = {1.0, 1.0, 1.0};
+    double prev = 0.0;
+    for (int i = 0; i < 40; ++i) {
+        points.push_back(
+            {rng.uniform(), rng.uniform(), rng.uniform()});
+        const double hv = dse::hypervolume(points, reference);
+        EXPECT_GE(hv, prev - 1e-12);
+        EXPECT_LE(hv, 1.0 + 1e-12);
+        prev = hv;
+    }
+}
+
+TEST(Hypervolume, ContributionOfDominatedIsZero)
+{
+    const std::vector<Objectives> front = {{1.0, 1.0, 1.0}};
+    EXPECT_DOUBLE_EQ(dse::hypervolumeContribution(
+                         front, {2.0, 2.0, 2.0}, {3.0, 3.0, 3.0}),
+                     0.0);
+    EXPECT_GT(dse::hypervolumeContribution(front, {0.5, 2.0, 2.0},
+                                           {3.0, 3.0, 3.0}),
+              0.0);
+}
+
+TEST(Hypervolume, AgreesWithMonteCarlo3D)
+{
+    // Property: exact 3-D hypervolume matches a Monte-Carlo estimate.
+    autopilot::util::Rng rng(7);
+    std::vector<Objectives> points;
+    for (int i = 0; i < 12; ++i)
+        points.push_back(
+            {rng.uniform(), rng.uniform(), rng.uniform()});
+    const Objectives reference = {1.0, 1.0, 1.0};
+    const double exact = dse::hypervolume(points, reference);
+
+    int dominated = 0;
+    const int samples = 200000;
+    for (int s = 0; s < samples; ++s) {
+        const double sx = rng.uniform();
+        const double sy = rng.uniform();
+        const double sz = rng.uniform();
+        for (const Objectives &point : points) {
+            if (point[0] <= sx && point[1] <= sy && point[2] <= sz) {
+                ++dominated;
+                break;
+            }
+        }
+    }
+    const double estimate = static_cast<double>(dominated) / samples;
+    EXPECT_NEAR(exact, estimate, 0.01);
+}
+
+TEST(Hypervolume, DefaultReferenceExceedsAllPoints)
+{
+    const std::vector<Objectives> points = {{1.0, 5.0}, {3.0, 2.0}};
+    const Objectives reference = dse::defaultReference(points);
+    EXPECT_GT(reference[0], 3.0);
+    EXPECT_GT(reference[1], 5.0);
+    EXPECT_GT(dse::hypervolume(points, reference), 0.0);
+}
+
+TEST(HypervolumeDeath, RejectsHighDimensions)
+{
+    EXPECT_EXIT(dse::hypervolume({{1.0, 1.0, 1.0, 1.0}},
+                                 {2.0, 2.0, 2.0, 2.0}),
+                ::testing::ExitedWithCode(1), "objectives");
+}

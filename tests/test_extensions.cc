@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the extension features: model summaries, run reports, the
+ * training-curve model, the Phase 3 real-time latency constraint, the
+ * battery derating and the wind-disturbance knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "airlearning/rollout.h"
+#include "airlearning/trainer.h"
+#include "airlearning/training_curve.h"
+#include "core/autopilot.h"
+#include "core/report.h"
+#include "nn/summary.h"
+#include "uav/uav_spec.h"
+
+namespace nn = autopilot::nn;
+namespace al = autopilot::airlearning;
+namespace core = autopilot::core;
+namespace uav = autopilot::uav;
+
+// ------------------------------------------------------------ summary ----
+
+TEST(Summary, StatsPartitionByLayerKind)
+{
+    const nn::Model model = nn::buildE2EModel({5, 32});
+    const nn::ModelStats stats = nn::computeStats(model);
+    EXPECT_EQ(stats.totalParams, model.totalParams());
+    EXPECT_EQ(stats.totalMacs, model.totalMacs());
+    EXPECT_EQ(stats.convParams + stats.denseParams, stats.totalParams);
+    EXPECT_EQ(stats.convMacs + stats.denseMacs, stats.totalMacs);
+    // The E2E template is dense-parameter heavy but conv-MAC heavy.
+    EXPECT_GT(stats.denseParamFraction(), 0.7);
+    EXPECT_GT(stats.convMacs, stats.denseMacs);
+}
+
+TEST(Summary, PrintsEveryLayer)
+{
+    const nn::Model model = nn::buildE2EModel({3, 48});
+    std::ostringstream os;
+    nn::printSummary(model, os);
+    const std::string text = os.str();
+    for (const nn::Layer &layer : model.layers())
+        EXPECT_NE(text.find(layer.name), std::string::npos);
+    EXPECT_NE(text.find("total params"), std::string::npos);
+}
+
+// ------------------------------------------------------ training curve ---
+
+TEST(TrainingCurve, SaturatesAtAsymptote)
+{
+    const al::LearningCurve curve(0.8, 10'000'000);
+    EXPECT_DOUBLE_EQ(curve.qualityAtStep(0.0), 0.0);
+    EXPECT_LT(curve.qualityAtStep(curve.tauSteps()), 0.8);
+    EXPECT_NEAR(curve.qualityAtStep(20.0 * curve.tauSteps()), 0.8,
+                1e-6);
+}
+
+TEST(TrainingCurve, BiggerModelsTrainSlower)
+{
+    const al::LearningCurve small(0.8, 1'000'000);
+    const al::LearningCurve big(0.8, 60'000'000);
+    EXPECT_GT(big.tauSteps(), small.tauSteps());
+    EXPECT_GT(big.stepsToConverge(), small.stepsToConverge());
+}
+
+TEST(TrainingCurve, BudgetCapsTrainingSteps)
+{
+    al::LearningCurveParams params;
+    params.stepBudget = 1e6;
+    const al::LearningCurve big(0.8, 200'000'000, params);
+    EXPECT_FALSE(big.convergesWithinBudget());
+    EXPECT_DOUBLE_EQ(big.trainingSteps(), 1e6);
+    EXPECT_LT(big.achievedQuality(), 0.8);
+
+    const al::LearningCurve small(0.8, 1'000'000, params);
+    EXPECT_TRUE(small.convergesWithinBudget());
+    EXPECT_LT(small.trainingSteps(), 1e6);
+}
+
+TEST(TrainingCurve, TrainerRecordsSteps)
+{
+    al::TrainerConfig config;
+    config.validationEpisodes = 30;
+    const al::Trainer trainer(config);
+    const al::PolicyRecord record =
+        trainer.trainOne({7, 48}, al::ObstacleDensity::Dense);
+    EXPECT_GT(record.trainingSteps, 0);
+    EXPECT_LE(record.trainingSteps, 1'000'000);
+}
+
+// --------------------------------------------------- latency constraint --
+
+TEST(LatencyConstraint, FiltersSlowCandidates)
+{
+    core::TaskSpec task;
+    task.density = al::ObstacleDensity::Dense;
+    task.validationEpisodes = 40;
+    task.dseBudget = 40;
+    task.maxLatencyMs = 40.0; // 25 FPS real-time bound.
+    core::AutoPilot pilot(task);
+    const auto candidates = pilot.candidatesFor(uav::zhangNano());
+    ASSERT_FALSE(candidates.empty());
+    for (const core::FullSystemDesign &candidate : candidates)
+        EXPECT_LE(candidate.eval.latencyMs, 40.0 + 1e-9);
+}
+
+TEST(LatencyConstraint, UnconstrainedKeepsSlowDesigns)
+{
+    core::TaskSpec task;
+    task.density = al::ObstacleDensity::Dense;
+    task.validationEpisodes = 40;
+    task.dseBudget = 40;
+    core::AutoPilot constrained_pilot([&] {
+        core::TaskSpec t = task;
+        t.maxLatencyMs = 40.0;
+        return t;
+    }());
+    core::AutoPilot free_pilot(task);
+    const auto constrained =
+        constrained_pilot.candidatesFor(uav::zhangNano());
+    const auto unconstrained =
+        free_pilot.candidatesFor(uav::zhangNano());
+    EXPECT_LE(constrained.size(), unconstrained.size());
+}
+
+// --------------------------------------------------------------- wind ----
+
+TEST(Wind, GustsDegradeSuccess)
+{
+    const auto env_config =
+        al::EnvironmentConfig::forDensity(al::ObstacleDensity::Medium);
+    const auto capability = al::PolicyCapability::fromQuality(0.8);
+    al::RolloutConfig calm;
+    al::RolloutConfig windy;
+    windy.windSigmaM = 0.12;
+    const auto calm_result =
+        al::evaluatePolicy(env_config, capability, 300, 5, calm);
+    const auto windy_result =
+        al::evaluatePolicy(env_config, capability, 300, 5, windy);
+    EXPECT_GT(calm_result.successRate(),
+              windy_result.successRate() + 0.03);
+}
+
+// ------------------------------------------------------------- report ----
+
+TEST(Report, DesignReportMentionsKeyMetrics)
+{
+    core::TaskSpec task;
+    task.density = al::ObstacleDensity::Low;
+    task.validationEpisodes = 30;
+    task.dseBudget = 25;
+    core::AutoPilot pilot(task);
+    const core::AutoPilotRun run = pilot.designFor(uav::djiSpark());
+    std::ostringstream os;
+    core::printRunReport(run, os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("DJI Spark"), std::string::npos);
+    EXPECT_NE(text.find("missions / charge"), std::string::npos);
+    EXPECT_NE(text.find("knee point"), std::string::npos);
+    EXPECT_NE(text.find("Phase 2 archive"), std::string::npos);
+}
+
+TEST(Report, StrategyComparisonHasFourRows)
+{
+    core::TaskSpec task;
+    task.density = al::ObstacleDensity::Low;
+    task.validationEpisodes = 30;
+    task.dseBudget = 25;
+    core::AutoPilot pilot(task);
+    const auto candidates = pilot.candidatesFor(uav::zhangNano());
+    std::ostringstream os;
+    core::printStrategyComparison(candidates, os);
+    const std::string text = os.str();
+    for (const char *label : {"HT", "LP", "HE", "AP"})
+        EXPECT_NE(text.find(label), std::string::npos);
+}

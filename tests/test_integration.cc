@@ -1,0 +1,129 @@
+/**
+ * @file
+ * End-to-end integration tests: the headline claims of the paper must
+ * hold in shape on a reduced-budget pipeline run (the benches reproduce
+ * them at full budget).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/autopilot.h"
+#include "core/baseline_eval.h"
+#include "core/baselines.h"
+#include "uav/uav_spec.h"
+
+namespace core = autopilot::core;
+namespace uav = autopilot::uav;
+namespace al = autopilot::airlearning;
+namespace nn = autopilot::nn;
+
+namespace
+{
+
+/** Shared medium-budget run on the nano-UAV / dense scenario. */
+const core::AutoPilotRun &
+nanoDenseRun()
+{
+    static const core::AutoPilotRun run = [] {
+        core::TaskSpec task;
+        task.density = al::ObstacleDensity::Dense;
+        task.validationEpisodes = 80;
+        task.dseBudget = 80;
+        core::AutoPilot pilot(task);
+        return pilot.designFor(uav::zhangNano());
+    }();
+    return run;
+}
+
+} // namespace
+
+TEST(Integration, ApDesignIsMissionOptimalAmongStrategies)
+{
+    const auto &run = nanoDenseRun();
+    const auto ht = core::AutoPilot::selectByStrategy(
+        run.candidates, core::DesignStrategy::HighThroughput);
+    const auto lp = core::AutoPilot::selectByStrategy(
+        run.candidates, core::DesignStrategy::LowPower);
+    const auto he = core::AutoPilot::selectByStrategy(
+        run.candidates, core::DesignStrategy::HighEfficiency);
+    const auto &ap = run.selected;
+
+    // Section V-B: AP wins the mission metric against every traditional
+    // selection (by construction it cannot lose; the claim with teeth is
+    // that the gaps are real when the strategies pick different points).
+    EXPECT_GE(ap.mission.numMissions, ht.mission.numMissions);
+    EXPECT_GE(ap.mission.numMissions, lp.mission.numMissions);
+    EXPECT_GE(ap.mission.numMissions, he.mission.numMissions);
+
+    // The traditional picks beat AP on their own isolated metrics.
+    EXPECT_GE(ht.eval.fps, ap.eval.fps);
+    EXPECT_LE(lp.eval.socPowerW, ap.eval.socPowerW);
+    EXPECT_GE(he.eval.fps / he.eval.socPowerW,
+              ap.eval.fps / ap.eval.socPowerW);
+}
+
+TEST(Integration, ApBeatsBaselinePlatformsOnNano)
+{
+    const auto &run = nanoDenseRun();
+    const nn::Model model =
+        nn::buildE2EModel(run.selected.eval.point.policy);
+    for (const core::BaselinePlatform &platform :
+         core::figure5Baselines()) {
+        const auto baseline = core::evaluateBaselineOnUav(
+            platform, model, uav::zhangNano());
+        EXPECT_GT(run.selected.mission.numMissions,
+                  baseline.mission.numMissions)
+            << platform.name;
+    }
+}
+
+TEST(Integration, SelectedDesignNearKnee)
+{
+    const auto &run = nanoDenseRun();
+    const auto &mission = run.selected.mission;
+    // The AP design must not be grossly over-provisioned: its action
+    // throughput should sit within ~2.5x of the knee either way.
+    EXPECT_GT(mission.actionThroughputHz,
+              mission.kneeThroughputHz * 0.3);
+    EXPECT_LT(mission.actionThroughputHz,
+              mission.kneeThroughputHz * 2.5);
+}
+
+TEST(Integration, DensePolicyIsDeepAndWide)
+{
+    // Dense scenarios need the larger networks (Section V-A).
+    const auto &run = nanoDenseRun();
+    EXPECT_GE(run.selected.eval.point.policy.numConvLayers, 5);
+}
+
+TEST(Integration, SelectedPowerWithinTemplateBand)
+{
+    const auto &run = nanoDenseRun();
+    EXPECT_GT(run.selected.eval.npuPowerW, 0.05);
+    EXPECT_LT(run.selected.eval.npuPowerW, 9.0);
+    EXPECT_GT(run.selected.payloadGrams, 19.0);
+    EXPECT_LT(run.selected.payloadGrams, 70.0);
+}
+
+TEST(Integration, MissionCountsAreReasonable)
+{
+    const auto &run = nanoDenseRun();
+    EXPECT_GT(run.selected.mission.numMissions, 5.0);
+    EXPECT_LT(run.selected.mission.numMissions, 500.0);
+}
+
+TEST(Integration, DeterministicPipeline)
+{
+    core::TaskSpec task;
+    task.density = al::ObstacleDensity::Low;
+    task.validationEpisodes = 30;
+    task.dseBudget = 25;
+    core::AutoPilot pilot_a(task);
+    core::AutoPilot pilot_b(task);
+    const auto run_a = pilot_a.designFor(uav::djiSpark());
+    const auto run_b = pilot_b.designFor(uav::djiSpark());
+    EXPECT_EQ(run_a.selected.eval.point.name(),
+              run_b.selected.eval.point.name());
+    EXPECT_DOUBLE_EQ(run_a.selected.mission.numMissions,
+                     run_b.selected.mission.numMissions);
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the CSV persistence layer: round-trips of the policy
+ * database and the DSE archive, plus strict-parser failure modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "airlearning/trainer.h"
+#include "dse/evaluator.h"
+#include "dse/random_search.h"
+#include "io/csv.h"
+#include "io/persistence.h"
+
+namespace io = autopilot::io;
+namespace al = autopilot::airlearning;
+namespace dse = autopilot::dse;
+namespace nn = autopilot::nn;
+
+// ---------------------------------------------------------------- csv ----
+
+TEST(Csv, SplitBasics)
+{
+    EXPECT_EQ(io::splitCsvLine("a,b,c"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(io::splitCsvLine("x"), (std::vector<std::string>{"x"}));
+    EXPECT_EQ(io::splitCsvLine("a,,c"),
+              (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(io::splitCsvLine("a,"),
+              (std::vector<std::string>{"a", ""}));
+}
+
+TEST(Csv, ReadWithHeaderValidation)
+{
+    std::istringstream is("x,y\n1,2\n3,4\n");
+    const auto rows = io::readCsv(is, {"x", "y"});
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[1][1], "4");
+}
+
+TEST(CsvDeath, RejectsWrongHeader)
+{
+    std::istringstream is("a,b\n1,2\n");
+    EXPECT_EXIT(io::readCsv(is, {"x", "y"}),
+                ::testing::ExitedWithCode(1), "header");
+}
+
+TEST(CsvDeath, RejectsRaggedRow)
+{
+    std::istringstream is("x,y\n1,2,3\n");
+    EXPECT_EXIT(io::readCsv(is, {"x", "y"}),
+                ::testing::ExitedWithCode(1), "ragged");
+}
+
+TEST(Csv, ParseNumbers)
+{
+    EXPECT_DOUBLE_EQ(io::parseDouble("2.5e-3"), 2.5e-3);
+    EXPECT_EQ(io::parseInt("-42"), -42);
+    EXPECT_EQ(io::parseInt64("123456789012"), 123456789012LL);
+}
+
+TEST(CsvDeath, ParseRejectsGarbage)
+{
+    EXPECT_EXIT(io::parseDouble("12x"), ::testing::ExitedWithCode(1),
+                "bad number");
+    EXPECT_EXIT(io::parseInt(""), ::testing::ExitedWithCode(1),
+                "bad integer");
+}
+
+// ------------------------------------------------- database round-trip ---
+
+TEST(Persistence, PolicyDatabaseRoundTrip)
+{
+    al::TrainerConfig config;
+    config.validationEpisodes = 30;
+    const al::Trainer trainer(config);
+    al::PolicyDatabase db;
+    trainer.trainAll(nn::PolicySpace(), al::ObstacleDensity::Medium, db);
+
+    std::stringstream buffer;
+    io::writePolicyDatabase(db, buffer);
+    const al::PolicyDatabase restored =
+        io::readPolicyDatabase(buffer);
+
+    ASSERT_EQ(restored.size(), db.size());
+    for (const al::PolicyRecord &record : db.all()) {
+        const auto loaded =
+            restored.find(record.params, record.density);
+        ASSERT_TRUE(loaded.has_value()) << record.policyId;
+        EXPECT_EQ(loaded->policyId, record.policyId);
+        EXPECT_DOUBLE_EQ(loaded->successRate, record.successRate);
+        EXPECT_EQ(loaded->modelParams, record.modelParams);
+        EXPECT_EQ(loaded->modelMacs, record.modelMacs);
+        EXPECT_EQ(loaded->trainingSteps, record.trainingSteps);
+        EXPECT_EQ(loaded->converged, record.converged);
+    }
+}
+
+TEST(PersistenceDeath, PolicyDatabaseRejectsBadSuccessRate)
+{
+    std::istringstream is(
+        "policy_id,layers,filters,density,success_rate,model_params,"
+        "model_macs,training_steps,converged\n"
+        "p,5,32,low,1.7,100,100,1000,1\n");
+    EXPECT_EXIT(io::readPolicyDatabase(is),
+                ::testing::ExitedWithCode(1), "success rate");
+}
+
+// -------------------------------------------------- archive round-trip ---
+
+TEST(Persistence, DseArchiveRoundTrip)
+{
+    al::TrainerConfig trainer_config;
+    trainer_config.validationEpisodes = 30;
+    const al::Trainer trainer(trainer_config);
+    al::PolicyDatabase db;
+    trainer.trainAll(nn::PolicySpace(), al::ObstacleDensity::Dense, db);
+
+    dse::DseEvaluator evaluator(db, al::ObstacleDensity::Dense);
+    dse::RandomSearch search;
+    dse::OptimizerConfig config;
+    config.evaluationBudget = 15;
+    const auto result = search.optimize(evaluator, config);
+
+    std::stringstream buffer;
+    io::writeDseArchive(result.archive, buffer);
+    const auto restored = io::readDseArchive(buffer);
+
+    ASSERT_EQ(restored.size(), result.archive.size());
+    for (std::size_t i = 0; i < restored.size(); ++i) {
+        EXPECT_EQ(restored[i].encoding, result.archive[i].encoding);
+        EXPECT_EQ(restored[i].point, result.archive[i].point);
+        EXPECT_DOUBLE_EQ(restored[i].successRate,
+                         result.archive[i].successRate);
+        EXPECT_DOUBLE_EQ(restored[i].latencyMs,
+                         result.archive[i].latencyMs);
+        EXPECT_EQ(restored[i].objectives, result.archive[i].objectives);
+    }
+}
+
+TEST(Persistence, EmptyArchiveRoundTrips)
+{
+    std::stringstream buffer;
+    io::writeDseArchive({}, buffer);
+    EXPECT_TRUE(io::readDseArchive(buffer).empty());
+}

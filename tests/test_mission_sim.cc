@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the Monte-Carlo mission simulator, the per-layer run report
+ * and the hover-endurance physics cross-check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/e2e_template.h"
+#include "systolic/cycle_engine.h"
+#include "systolic/run_report.h"
+#include "uav/mission_sim.h"
+#include "uav/uav_spec.h"
+
+namespace uav = autopilot::uav;
+namespace sys = autopilot::systolic;
+namespace nn = autopilot::nn;
+
+// --------------------------------------------------------- mission sim ---
+
+TEST(MissionSim, MatchesAnalyticModelWithoutVariation)
+{
+    const uav::UavSpec nano = uav::zhangNano();
+    uav::MissionVariation variation;
+    variation.distanceSigma = 0.0;
+    variation.headwindSigma = 0.0;
+    variation.reserveFraction = 0.0;
+    const uav::MissionSimulator simulator(nano, variation);
+
+    const uav::MissionModel analytic(nano);
+    const auto expected = analytic.evaluate(24.0, 0.8, 60.0, 60.0);
+    ASSERT_TRUE(expected.feasible);
+
+    autopilot::util::Rng rng(1);
+    const auto sim = simulator.simulateCharge(24.0, 0.8, 60.0, 60.0, rng);
+    // Whole missions only: the simulated count is the floor of the
+    // analytic value.
+    EXPECT_EQ(sim.completedMissions,
+              static_cast<int>(std::floor(expected.numMissions)));
+    EXPECT_LE(sim.energyUsedJ, nano.batteryEnergyJ());
+}
+
+TEST(MissionSim, ReserveReducesMissionCount)
+{
+    const uav::UavSpec nano = uav::zhangNano();
+    uav::MissionVariation no_reserve;
+    no_reserve.reserveFraction = 0.0;
+    uav::MissionVariation big_reserve;
+    big_reserve.reserveFraction = 0.3;
+    autopilot::util::Rng rng_a(1), rng_b(1);
+    const auto without =
+        uav::MissionSimulator(nano, no_reserve)
+            .simulateCharge(24.0, 0.8, 60.0, 60.0, rng_a);
+    const auto with =
+        uav::MissionSimulator(nano, big_reserve)
+            .simulateCharge(24.0, 0.8, 60.0, 60.0, rng_b);
+    EXPECT_GT(without.completedMissions, with.completedMissions);
+    EXPECT_TRUE(with.endedOnReserve);
+}
+
+TEST(MissionSim, HeadwindsCostMissions)
+{
+    const uav::UavSpec nano = uav::zhangNano();
+    uav::MissionVariation calm;
+    uav::MissionVariation windy;
+    windy.headwindSigma = 3.0;
+    const auto calm_stats =
+        uav::MissionSimulator(nano, calm)
+            .simulateMany(24.0, 0.8, 60.0, 60.0, 50, 7);
+    const auto windy_stats =
+        uav::MissionSimulator(nano, windy)
+            .simulateMany(24.0, 0.8, 60.0, 60.0, 50, 7);
+    EXPECT_GT(calm_stats.meanMissions, windy_stats.meanMissions);
+}
+
+TEST(MissionSim, VariationSpreadsTheDistribution)
+{
+    const uav::UavSpec nano = uav::zhangNano();
+    uav::MissionVariation variation;
+    variation.distanceSigma = 0.25;
+    const auto stats =
+        uav::MissionSimulator(nano, variation)
+            .simulateMany(24.0, 0.8, 60.0, 60.0, 60, 11);
+    EXPECT_GT(stats.maxMissions, stats.minMissions);
+    EXPECT_GT(stats.meanMissions, 0.0);
+}
+
+TEST(MissionSim, InfeasibleVehicleFliesNothing)
+{
+    const uav::UavSpec nano = uav::zhangNano();
+    const uav::MissionSimulator simulator(nano, {});
+    autopilot::util::Rng rng(3);
+    const auto result =
+        simulator.simulateCharge(300.0, 1.0, 60.0, 60.0, rng);
+    EXPECT_EQ(result.completedMissions, 0);
+}
+
+// ------------------------------------------------------ hover endurance --
+
+TEST(HoverEndurance, MatchesPublishedFlightTimes)
+{
+    // DJI Spark: ~14-16 min advertised; our physics should land in a
+    // plausible band at the bare airframe mass.
+    const uav::UavSpec spark = uav::djiSpark();
+    const double endurance = spark.hoverEnduranceMinutes(300.0);
+    EXPECT_GT(endurance, 6.0);
+    EXPECT_LT(endurance, 35.0);
+
+    const uav::UavSpec pelican = uav::ascTecPelican();
+    const double mini = pelican.hoverEnduranceMinutes(1650.0);
+    EXPECT_GT(mini, 5.0);
+    EXPECT_LT(mini, 30.0);
+}
+
+TEST(HoverEndurance, PayloadShortensEndurance)
+{
+    const uav::UavSpec nano = uav::zhangNano();
+    EXPECT_GT(nano.hoverEnduranceMinutes(55.0),
+              nano.hoverEnduranceMinutes(120.0));
+}
+
+// ----------------------------------------------------------- run report --
+
+TEST(RunReport, BreakdownCoversAllLayersAndTotals)
+{
+    sys::AcceleratorConfig config;
+    const sys::CycleEngine engine(config);
+    const nn::Model model = nn::buildE2EModel({4, 32});
+    const sys::RunResult run = engine.run(model);
+
+    std::ostringstream os;
+    sys::printRunBreakdown(run, config, os);
+    const std::string text = os.str();
+    for (const nn::Layer &layer : model.layers())
+        EXPECT_NE(text.find(layer.name), std::string::npos);
+    EXPECT_NE(text.find("TOTAL"), std::string::npos);
+}
+
+TEST(RunReport, DominantLayerAndStallFraction)
+{
+    sys::AcceleratorConfig config;
+    config.peRows = 8;
+    config.peCols = 8;
+    const sys::CycleEngine engine(config);
+    const sys::RunResult run = engine.run(nn::buildE2EModel({7, 48}));
+    const std::string dominant = sys::dominantLayer(run);
+    EXPECT_FALSE(dominant.empty());
+    const double stalls = sys::stallFraction(run);
+    EXPECT_GE(stalls, 0.0);
+    EXPECT_LT(stalls, 1.0);
+    // The dominant layer must actually hold the max cycle count.
+    std::int64_t max_cycles = 0;
+    for (const auto &layer : run.layers)
+        max_cycles = std::max(max_cycles, layer.totalCycles);
+    for (const auto &layer : run.layers) {
+        if (layer.layerName == dominant) {
+            EXPECT_EQ(layer.totalCycles, max_cycles);
+        }
+    }
+}

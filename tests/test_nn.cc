@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit and property tests for the nn module: layer shape inference, model
+ * chaining, and the Fig. 2a E2E template.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/e2e_template.h"
+#include "nn/layer.h"
+#include "nn/model.h"
+
+namespace nn = autopilot::nn;
+
+// -------------------------------------------------------------- layer ----
+
+TEST(Layer, ConvOutputShape)
+{
+    const nn::Layer conv = nn::conv2d("c", 256, 256, 3, 5, 2, 48);
+    EXPECT_EQ(conv.outHeight, (256 - 5) / 2 + 1);
+    EXPECT_EQ(conv.outWidth, (256 - 5) / 2 + 1);
+    EXPECT_EQ(conv.filters, 48);
+}
+
+TEST(Layer, ConvParamCount)
+{
+    const nn::Layer conv = nn::conv2d("c", 32, 32, 16, 3, 1, 8);
+    EXPECT_EQ(conv.params(), 3 * 3 * 16 * 8 + 8);
+}
+
+TEST(Layer, ConvGemmLowering)
+{
+    const nn::Layer conv = nn::conv2d("c", 31, 31, 4, 3, 2, 12);
+    const nn::GemmShape gemm = conv.gemm();
+    EXPECT_EQ(gemm.m, conv.outHeight * conv.outWidth);
+    EXPECT_EQ(gemm.n, 12);
+    EXPECT_EQ(gemm.k, 3 * 3 * 4);
+    EXPECT_EQ(gemm.macs(), gemm.m * gemm.n * gemm.k);
+    EXPECT_EQ(conv.macs(), gemm.macs());
+}
+
+TEST(Layer, DenseShapes)
+{
+    const nn::Layer fc = nn::dense("fc", 128, 32);
+    EXPECT_EQ(fc.params(), 128 * 32 + 32);
+    EXPECT_EQ(fc.ifmapElems(), 128);
+    EXPECT_EQ(fc.ofmapElems(), 32);
+    const nn::GemmShape gemm = fc.gemm();
+    EXPECT_EQ(gemm.m, 1);
+    EXPECT_EQ(gemm.n, 32);
+    EXPECT_EQ(gemm.k, 128);
+}
+
+TEST(Layer, StrideOneKeepsResolutionMinusKernel)
+{
+    const nn::Layer conv = nn::conv2d("c", 16, 16, 8, 3, 1, 8);
+    EXPECT_EQ(conv.outHeight, 14);
+    EXPECT_EQ(conv.outWidth, 14);
+}
+
+TEST(LayerDeath, RejectsKernelLargerThanInput)
+{
+    EXPECT_EXIT(nn::conv2d("bad", 4, 4, 3, 5, 1, 8),
+                ::testing::ExitedWithCode(1), "kernel larger");
+}
+
+TEST(LayerDeath, RejectsNonPositiveDims)
+{
+    EXPECT_EXIT(nn::dense("bad", 0, 8), ::testing::ExitedWithCode(1),
+                "positive");
+}
+
+// -------------------------------------------------------------- model ----
+
+TEST(Model, ChainsConsistentLayers)
+{
+    nn::Model model("m");
+    model.append(nn::conv2d("c0", 64, 64, 3, 3, 2, 8));
+    // c0 out: 31x31x8 = 7688.
+    model.append(nn::dense("fc", 31 * 31 * 8, 10));
+    EXPECT_EQ(model.size(), 2u);
+    EXPECT_EQ(model.totalMacs(),
+              model.layers()[0].macs() + model.layers()[1].macs());
+}
+
+TEST(Model, RejectsBrokenChain)
+{
+    nn::Model model("m");
+    model.append(nn::conv2d("c0", 64, 64, 3, 3, 2, 8));
+    EXPECT_EXIT(model.append(nn::dense("fc", 999, 10)),
+                ::testing::ExitedWithCode(1), "does not chain");
+}
+
+TEST(Model, ExtraFeaturesAllowConcat)
+{
+    nn::Model model("m");
+    model.append(nn::dense("a", 10, 20));
+    model.append(nn::dense("concat", 20 + 5, 7), 5);
+    EXPECT_EQ(model.size(), 2u);
+}
+
+TEST(Model, BranchRootSkipsCheck)
+{
+    nn::Model model("m");
+    model.append(nn::dense("a", 10, 20));
+    model.appendBranchRoot(nn::dense("side", 4, 6));
+    EXPECT_EQ(model.size(), 2u);
+}
+
+TEST(Model, AggregatesTotals)
+{
+    nn::Model model("m");
+    model.append(nn::dense("a", 10, 20));
+    model.append(nn::dense("b", 20, 5));
+    EXPECT_EQ(model.totalParams(), (10 * 20 + 20) + (20 * 5 + 5));
+    EXPECT_EQ(model.totalFilterElems(), 10 * 20 + 20 * 5);
+    EXPECT_EQ(model.peakIfmapElems(), 20);
+}
+
+// ----------------------------------------------------------- template ----
+
+TEST(E2ETemplate, PolicySpaceEnumerates27Combinations)
+{
+    const nn::PolicySpace space;
+    EXPECT_EQ(space.enumerate().size(), 27u);
+}
+
+TEST(E2ETemplate, ContainsOnlyLegalValues)
+{
+    const nn::PolicySpace space;
+    nn::PolicyHyperParams ok{5, 48};
+    nn::PolicyHyperParams bad_layers{11, 48};
+    nn::PolicyHyperParams bad_filters{5, 40};
+    EXPECT_TRUE(space.contains(ok));
+    EXPECT_FALSE(space.contains(bad_layers));
+    EXPECT_FALSE(space.contains(bad_filters));
+}
+
+TEST(E2ETemplate, NameEncodesHyperParams)
+{
+    EXPECT_EQ(nn::policyName({7, 48}), "e2e_l7_f48");
+}
+
+TEST(E2ETemplate, BuildsChainedModel)
+{
+    const nn::Model model = nn::buildE2EModel({5, 32});
+    EXPECT_EQ(model.name(), "e2e_l5_f32");
+    // 5 convs + fc_trunk + 2 state layers + fc_merge + fc_policy.
+    EXPECT_EQ(model.size(), 10u);
+    EXPECT_GT(model.totalParams(), 1'000'000);
+    EXPECT_GT(model.totalMacs(), 100'000'000);
+}
+
+TEST(E2ETemplate, LastLayerIsPolicyHead)
+{
+    const nn::Model model = nn::buildE2EModel({4, 64});
+    const nn::Layer &head = model.layers().back();
+    EXPECT_EQ(head.name, "fc_policy");
+    EXPECT_EQ(head.filters, nn::TemplateSpec().numActions);
+}
+
+/** Parameters must grow monotonically with both hyperparameters. */
+class TemplateMonotonicity
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(TemplateMonotonicity, ParamsGrowWithDepth)
+{
+    const auto [layers, filters] = GetParam();
+    if (layers >= 10)
+        GTEST_SKIP() << "no deeper configuration to compare";
+    const auto lo = nn::buildE2EModel({layers, filters});
+    const auto hi = nn::buildE2EModel({layers + 1, filters});
+    EXPECT_GE(hi.totalParams(), lo.totalParams());
+    EXPECT_GE(hi.totalMacs(), lo.totalMacs());
+}
+
+TEST_P(TemplateMonotonicity, ParamsGrowWithWidth)
+{
+    const auto [layers, filters] = GetParam();
+    if (filters >= 64)
+        GTEST_SKIP() << "no wider configuration to compare";
+    const int next = filters == 32 ? 48 : 64;
+    const auto lo = nn::buildE2EModel({layers, filters});
+    const auto hi = nn::buildE2EModel({layers, next});
+    EXPECT_GT(hi.totalParams(), lo.totalParams());
+    EXPECT_GT(hi.totalMacs(), lo.totalMacs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TemplateMonotonicity,
+    ::testing::Combine(::testing::Values(2, 3, 5, 7, 9, 10),
+                       ::testing::Values(32, 48, 64)));
+
+TEST(E2ETemplate, DroNetScaleClaim)
+{
+    // The paper says AutoPilot's models are orders of magnitude
+    // (109x-121x) larger than DroNet (~320k parameters).
+    const auto dense_best = nn::buildE2EModel({7, 48});
+    const double ratio =
+        static_cast<double>(dense_best.totalParams()) / 320'000.0;
+    EXPECT_GT(ratio, 30.0);
+    EXPECT_LT(ratio, 300.0);
+}
+
+TEST(E2ETemplate, RejectsOutOfRangeDepth)
+{
+    EXPECT_EXIT(nn::buildE2EModel({1, 32}), ::testing::ExitedWithCode(1),
+                "numConvLayers");
+    EXPECT_EXIT(nn::buildE2EModel({11, 32}), ::testing::ExitedWithCode(1),
+                "numConvLayers");
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the DSSoC portfolio selector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/portfolio.h"
+
+namespace core = autopilot::core;
+
+namespace
+{
+
+core::TaskSpec
+quickTask()
+{
+    core::TaskSpec task;
+    task.validationEpisodes = 30;
+    task.dseBudget = 25;
+    return task;
+}
+
+} // namespace
+
+TEST(Portfolio, CoversAllNineCells)
+{
+    core::PortfolioSelector selector(quickTask());
+    EXPECT_EQ(selector.cells().size(), 9u);
+    const core::PortfolioResult result = selector.select(2);
+    EXPECT_EQ(result.assignments.size(), 9u);
+    EXPECT_GE(result.accelerators.size(), 1u);
+    EXPECT_LE(result.accelerators.size(), 2u);
+    for (const core::CellAssignment &assignment : result.assignments) {
+        EXPECT_LT(assignment.designIndex, result.accelerators.size());
+        EXPECT_GE(assignment.missions, 0.0);
+        EXPECT_GE(assignment.cellOptimalMissions,
+                  assignment.missions - 1e-9);
+    }
+}
+
+TEST(Portfolio, MoreDesignsNeverHurt)
+{
+    core::PortfolioSelector selector(quickTask());
+    const auto one = selector.select(1);
+    const auto three = selector.select(3);
+    EXPECT_LE(three.meanDegradationPct(),
+              one.meanDegradationPct() + 1e-9);
+    EXPECT_LE(three.maxDegradationPct(),
+              one.maxDegradationPct() + 1e-9);
+}
+
+TEST(Portfolio, DegradationBoundedByCellOptima)
+{
+    core::PortfolioSelector selector(quickTask());
+    const auto result = selector.select(3);
+    for (const core::CellAssignment &assignment : result.assignments) {
+        EXPECT_GE(assignment.degradationPct, -1e-9);
+        EXPECT_LE(assignment.degradationPct, 100.0);
+    }
+    EXPECT_GE(result.meanDegradationPct(), 0.0);
+    EXPECT_GE(result.maxDegradationPct(),
+              result.meanDegradationPct() - 1e-9);
+}
+
+TEST(Portfolio, CellNamesAreDistinct)
+{
+    core::PortfolioSelector selector(quickTask());
+    std::vector<std::string> names;
+    for (const core::PortfolioCell &cell : selector.cells())
+        names.push_back(cell.name());
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(PortfolioDeath, RejectsZeroDesigns)
+{
+    core::PortfolioSelector selector(quickTask());
+    EXPECT_EXIT(selector.select(0), ::testing::ExitedWithCode(1),
+                "positive");
+}

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the power/thermal/mass models: scaling laws, Table III
+ * aggregation, technology nodes, and the paper's compute-payload anchors
+ * (0.7 W -> ~24 g, 8.24 W -> ~65 g).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/e2e_template.h"
+#include "power/dram_model.h"
+#include "power/mass_model.h"
+#include "power/npu_power.h"
+#include "power/pe_model.h"
+#include "power/soc_power.h"
+#include "power/sram_model.h"
+#include "power/technology.h"
+#include "systolic/engine.h"
+
+namespace pw = autopilot::power;
+namespace sys = autopilot::systolic;
+namespace nn = autopilot::nn;
+
+// --------------------------------------------------------------- SRAM ----
+
+TEST(SramModel, EnergyGrowsWithCapacity)
+{
+    double prev = 0.0;
+    for (int kb : {32, 64, 128, 256, 512, 1024, 2048, 4096}) {
+        const pw::SramModel sram(kb);
+        EXPECT_GT(sram.readEnergyPj(), prev);
+        prev = sram.readEnergyPj();
+    }
+}
+
+TEST(SramModel, SqrtScalingLaw)
+{
+    const pw::SramModel small(32);
+    const pw::SramModel big(128);
+    // 4x capacity -> 2x access energy.
+    EXPECT_NEAR(big.readEnergyPj() / small.readEnergyPj(), 2.0, 1e-9);
+}
+
+TEST(SramModel, WriteCostsMoreThanRead)
+{
+    const pw::SramModel sram(256);
+    EXPECT_GT(sram.writeEnergyPj(), sram.readEnergyPj());
+}
+
+TEST(SramModel, LeakageLinearInCapacity)
+{
+    const pw::SramModel small(64);
+    const pw::SramModel big(256);
+    EXPECT_NEAR(big.leakageMw() / small.leakageMw(), 4.0, 1e-9);
+}
+
+TEST(SramModelDeath, RejectsZeroCapacity)
+{
+    EXPECT_EXIT(pw::SramModel(0), ::testing::ExitedWithCode(1),
+                "capacity");
+}
+
+// --------------------------------------------------------------- DRAM ----
+
+TEST(DramModel, TransferEnergyProportionalToBytes)
+{
+    const pw::DramModel dram;
+    EXPECT_DOUBLE_EQ(dram.transferEnergyPj(0), 0.0);
+    EXPECT_DOUBLE_EQ(dram.transferEnergyPj(1000),
+                     1000.0 * dram.energyPjPerByte());
+}
+
+TEST(DramModel, AveragePowerHasBackgroundFloor)
+{
+    const pw::DramModel dram;
+    EXPECT_DOUBLE_EQ(dram.averagePowerMw(0.0), dram.backgroundMw());
+    EXPECT_GT(dram.averagePowerMw(1e9), dram.backgroundMw());
+}
+
+// ----------------------------------------------------------------- PE ----
+
+TEST(PeModel, ArrayLeakageScalesWithCount)
+{
+    const pw::PeModel pe;
+    EXPECT_NEAR(pe.arrayLeakageMw(1024) / pe.arrayLeakageMw(256), 4.0,
+                1e-9);
+}
+
+// --------------------------------------------------------- technology ----
+
+TEST(Technology, ReferenceIs28nm)
+{
+    const pw::TechnologyNode node = pw::referenceNode();
+    EXPECT_EQ(node.nm, 28);
+    EXPECT_DOUBLE_EQ(node.dynamicScale, 1.0);
+}
+
+TEST(Technology, NewerNodesCheaperAndFaster)
+{
+    const pw::TechnologyNode n16 = pw::technologyNode(16);
+    const pw::TechnologyNode n7 = pw::technologyNode(7);
+    EXPECT_LT(n16.dynamicScale, 1.0);
+    EXPECT_LT(n7.dynamicScale, n16.dynamicScale);
+    EXPECT_GT(n16.frequencyScale, 1.0);
+    EXPECT_GT(n7.frequencyScale, n16.frequencyScale);
+}
+
+TEST(Technology, OlderNodeMoreExpensive)
+{
+    const pw::TechnologyNode n40 = pw::technologyNode(40);
+    EXPECT_GT(n40.dynamicScale, 1.0);
+    EXPECT_LT(n40.frequencyScale, 1.0);
+}
+
+TEST(TechnologyDeath, RejectsUnsupportedNode)
+{
+    EXPECT_EXIT(pw::technologyNode(22), ::testing::ExitedWithCode(1),
+                "unsupported");
+}
+
+TEST(Technology, ScalesSramAndPeModels)
+{
+    const pw::TechnologyNode n7 = pw::technologyNode(7);
+    const pw::SramModel ref(256);
+    const pw::SramModel scaled(256, n7);
+    EXPECT_LT(scaled.readEnergyPj(), ref.readEnergyPj());
+    EXPECT_LT(scaled.leakageMw(), ref.leakageMw());
+
+    const pw::PeModel pe_ref;
+    const pw::PeModel pe_scaled(n7);
+    EXPECT_LT(pe_scaled.macEnergyPj(), pe_ref.macEnergyPj());
+}
+
+// ---------------------------------------------------------- NPU power ----
+
+namespace
+{
+
+sys::AcceleratorConfig
+makeConfig(int rows, int cols, int sram_kb)
+{
+    sys::AcceleratorConfig config;
+    config.peRows = rows;
+    config.peCols = cols;
+    config.ifmapSramKb = sram_kb;
+    config.filterSramKb = sram_kb;
+    config.ofmapSramKb = sram_kb;
+    return config;
+}
+
+double
+npuPowerFor(const sys::AcceleratorConfig &config, const nn::Model &model)
+{
+    const sys::AnalyticalEngine engine(config);
+    const pw::NpuPowerModel npu(config);
+    return npu.averagePowerW(engine.run(model));
+}
+
+} // namespace
+
+TEST(NpuPower, BreakdownSumsToTotal)
+{
+    const auto config = makeConfig(32, 32, 256);
+    const sys::AnalyticalEngine engine(config);
+    const pw::NpuPowerModel npu(config);
+    const auto run = engine.run(nn::buildE2EModel({5, 32}));
+    const pw::NpuPowerBreakdown breakdown = npu.estimate(run);
+    EXPECT_NEAR(breakdown.totalW(),
+                breakdown.peDynamicW + breakdown.peLeakageW +
+                    breakdown.sramDynamicW + breakdown.sramLeakageW +
+                    breakdown.dramW + breakdown.controllerW,
+                1e-12);
+    EXPECT_GT(breakdown.totalW(), 0.1);
+}
+
+TEST(NpuPower, BiggerArrayBurnsMorePower)
+{
+    const nn::Model model = nn::buildE2EModel({5, 32});
+    const double small = npuPowerFor(makeConfig(16, 16, 128), model);
+    const double big = npuPowerFor(makeConfig(128, 128, 1024), model);
+    EXPECT_GT(big, small * 2.0);
+}
+
+TEST(NpuPower, WithinTableIIIBand)
+{
+    // Table III: the E2E NPU spans roughly 0.7 W to 8.24 W across the
+    // template range; allow some slack on both ends.
+    const nn::Model model = nn::buildE2EModel({7, 48});
+    const double lo = npuPowerFor(makeConfig(8, 8, 32), model);
+    const double hi = npuPowerFor(makeConfig(128, 128, 4096), model);
+    EXPECT_GT(lo, 0.05);
+    EXPECT_LT(lo, 1.0);
+    EXPECT_GT(hi, 4.0);
+    EXPECT_LT(hi, 12.0);
+}
+
+TEST(NpuPower, AdvancedNodeReducesPower)
+{
+    const auto config = makeConfig(64, 64, 512);
+    const sys::AnalyticalEngine engine(config);
+    const auto run = engine.run(nn::buildE2EModel({5, 48}));
+    const pw::NpuPowerModel ref(config);
+    const pw::NpuPowerModel scaled(config, pw::technologyNode(7));
+    EXPECT_LT(scaled.averagePowerW(run), ref.averagePowerW(run));
+}
+
+// ---------------------------------------------------------- SoC power ----
+
+TEST(SocPower, AddsTableIIIFixedComponents)
+{
+    const pw::SocPowerBreakdown breakdown = pw::socPower(1.0);
+    EXPECT_DOUBLE_EQ(breakdown.npuW, 1.0);
+    EXPECT_NEAR(breakdown.sensorW, 0.100, 1e-12);
+    EXPECT_NEAR(breakdown.mipiW, 0.022, 1e-12);
+    EXPECT_NEAR(breakdown.mcuW, 2 * 0.00038, 1e-12);
+    EXPECT_NEAR(breakdown.totalW(), 1.0 + 0.100 + 0.022 + 0.00076,
+                1e-9);
+}
+
+TEST(SocPower, FixedComponentsTotal)
+{
+    const pw::FixedSocComponents fixed;
+    EXPECT_NEAR(fixed.totalW(), 0.12276, 1e-9);
+}
+
+// --------------------------------------------------------------- mass ----
+
+TEST(MassModel, NoHeatsinkBelowThreshold)
+{
+    const pw::MassModel mass;
+    EXPECT_DOUBLE_EQ(mass.heatsinkGrams(0.064), 0.0); // PULP class.
+    EXPECT_DOUBLE_EQ(mass.computePayloadGrams(0.064),
+                     mass.params().motherboardGrams);
+}
+
+TEST(MassModel, PaperAnchors)
+{
+    const pw::MassModel mass;
+    // AP design: 0.7 W -> ~24 g; HT design: 8.24 W -> ~65 g (Sec. V-B2).
+    EXPECT_NEAR(mass.computePayloadGrams(0.7), 24.0, 1.5);
+    EXPECT_NEAR(mass.computePayloadGrams(8.24), 65.0, 3.0);
+}
+
+TEST(MassModel, HeatsinkLinearInPower)
+{
+    const pw::MassModel mass;
+    const double at2 = mass.heatsinkGrams(2.0);
+    const double at4 = mass.heatsinkGrams(4.0);
+    EXPECT_NEAR(at4 / at2, 2.0, 1e-9);
+}
+
+TEST(MassModelDeath, RejectsNegativeTdp)
+{
+    const pw::MassModel mass;
+    EXPECT_EXIT(mass.heatsinkGrams(-1.0), ::testing::ExitedWithCode(1),
+                "negative");
+}

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Tests for the Sense-Plan-Act substrate: occupancy grid, A* planner,
+ * the SPA navigation pipeline and the SPA accelerator model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "airlearning/environment.h"
+#include "spa/accel_model.h"
+#include "spa/occupancy_grid.h"
+#include "spa/pipeline.h"
+#include "spa/planner.h"
+
+namespace spa = autopilot::spa;
+namespace al = autopilot::airlearning;
+using autopilot::util::Rng;
+
+// ----------------------------------------------------- occupancy grid ----
+
+TEST(OccupancyGrid, StartsUnknown)
+{
+    const spa::OccupancyGrid grid(30.0, 0.5);
+    EXPECT_EQ(grid.widthCells(), 60);
+    EXPECT_EQ(grid.countState(spa::CellState::Unknown), 60LL * 60);
+}
+
+TEST(OccupancyGrid, WorldCellRoundTrip)
+{
+    const spa::OccupancyGrid grid(30.0, 0.5);
+    const spa::Cell cell = grid.worldToCell(10.3, 20.7);
+    double x = 0.0, y = 0.0;
+    grid.cellToWorld(cell, x, y);
+    EXPECT_NEAR(x, 10.3, 0.5);
+    EXPECT_NEAR(y, 20.7, 0.5);
+}
+
+TEST(OccupancyGrid, WorldToCellClampsToBounds)
+{
+    const spa::OccupancyGrid grid(30.0, 0.5);
+    EXPECT_EQ(grid.worldToCell(-5.0, 500.0), (spa::Cell{0, 59}));
+}
+
+TEST(OccupancyGrid, OccupiedDiskMarksCells)
+{
+    spa::OccupancyGrid grid(30.0, 0.5);
+    grid.markOccupiedDisk(15.0, 15.0, 1.0);
+    EXPECT_GT(grid.countState(spa::CellState::Occupied), 4);
+    EXPECT_EQ(grid.at(grid.worldToCell(15.0, 15.0)),
+              spa::CellState::Occupied);
+    // Far cells untouched.
+    EXPECT_EQ(grid.at(grid.worldToCell(5.0, 5.0)),
+              spa::CellState::Unknown);
+}
+
+TEST(OccupancyGrid, FreeDiskDoesNotErodeObstacles)
+{
+    spa::OccupancyGrid grid(30.0, 0.5);
+    grid.markOccupiedDisk(15.0, 15.0, 1.0);
+    const std::int64_t occupied_before =
+        grid.countState(spa::CellState::Occupied);
+    grid.markFreeDisk(15.0, 15.0, 4.0);
+    EXPECT_EQ(grid.countState(spa::CellState::Occupied),
+              occupied_before);
+    EXPECT_GT(grid.countState(spa::CellState::Free), 0);
+}
+
+TEST(OccupancyGrid, BlockedRespectsInflation)
+{
+    spa::OccupancyGrid grid(30.0, 0.5);
+    grid.markOccupiedDisk(15.0, 15.0, 0.4);
+    const spa::Cell near = grid.worldToCell(16.0, 15.0);
+    EXPECT_FALSE(grid.blocked(near, 0.0));
+    EXPECT_TRUE(grid.blocked(near, 1.5));
+}
+
+// ------------------------------------------------------------ planner ----
+
+TEST(AStarPlanner, StraightLineWhenFree)
+{
+    spa::OccupancyGrid grid(30.0, 0.5);
+    const spa::AStarPlanner planner(0.0);
+    const auto plan = planner.plan(grid, {2, 2}, {20, 2});
+    ASSERT_TRUE(plan.found);
+    EXPECT_EQ(plan.path.front(), (spa::Cell{2, 2}));
+    EXPECT_EQ(plan.path.back(), (spa::Cell{20, 2}));
+    EXPECT_NEAR(plan.pathLengthCells(), 18.0, 1e-9);
+}
+
+TEST(AStarPlanner, DiagonalUsesOctileCost)
+{
+    spa::OccupancyGrid grid(30.0, 0.5);
+    const spa::AStarPlanner planner(0.0);
+    const auto plan = planner.plan(grid, {0, 0}, {10, 10});
+    ASSERT_TRUE(plan.found);
+    EXPECT_NEAR(plan.pathLengthCells(), 10.0 * std::sqrt(2.0), 1e-6);
+}
+
+TEST(AStarPlanner, RoutesAroundWall)
+{
+    spa::OccupancyGrid grid(30.0, 0.5);
+    // Vertical wall with a gap at the bottom.
+    for (int y = 5; y < 60; ++y)
+        grid.set({30, y}, spa::CellState::Occupied);
+    const spa::AStarPlanner planner(0.0);
+    const auto plan = planner.plan(grid, {10, 30}, {50, 30});
+    ASSERT_TRUE(plan.found);
+    // Must detour: longer than the straight 40 cells.
+    EXPECT_GT(plan.pathLengthCells(), 45.0);
+    for (const spa::Cell &cell : plan.path)
+        EXPECT_NE(grid.at(cell), spa::CellState::Occupied);
+}
+
+TEST(AStarPlanner, ReportsUnreachableGoal)
+{
+    spa::OccupancyGrid grid(30.0, 0.5);
+    // Full wall.
+    for (int y = 0; y < 60; ++y)
+        grid.set({30, y}, spa::CellState::Occupied);
+    const spa::AStarPlanner planner(0.0);
+    const auto plan = planner.plan(grid, {10, 30}, {50, 30});
+    EXPECT_FALSE(plan.found);
+    EXPECT_TRUE(plan.path.empty());
+}
+
+TEST(AStarPlanner, BlockedGoalFailsFast)
+{
+    spa::OccupancyGrid grid(30.0, 0.5);
+    grid.markOccupiedDisk(25.0, 25.0, 1.0);
+    const spa::AStarPlanner planner(0.3);
+    const auto plan =
+        planner.plan(grid, {2, 2}, grid.worldToCell(25.0, 25.0));
+    EXPECT_FALSE(plan.found);
+    EXPECT_EQ(plan.expandedNodes, 0);
+}
+
+TEST(AStarPlanner, PathValidityDetectsNewObstacle)
+{
+    spa::OccupancyGrid grid(30.0, 0.5);
+    const spa::AStarPlanner planner(0.0);
+    const auto plan = planner.plan(grid, {2, 30}, {50, 30});
+    ASSERT_TRUE(plan.found);
+    EXPECT_TRUE(spa::pathStillValid(grid, plan.path, 0.0));
+    grid.markOccupiedDisk(13.0, 15.25, 1.0); // On the path.
+    EXPECT_FALSE(spa::pathStillValid(grid, plan.path, 0.0));
+}
+
+TEST(AStarPlanner, InflationWidensDetours)
+{
+    spa::OccupancyGrid grid(30.0, 0.5);
+    grid.markOccupiedDisk(15.0, 15.0, 1.0);
+    const spa::AStarPlanner tight(0.1);
+    const spa::AStarPlanner wide(1.5);
+    const spa::Cell start = grid.worldToCell(5.0, 15.0);
+    const spa::Cell goal = grid.worldToCell(25.0, 15.0);
+    const auto plan_tight = tight.plan(grid, start, goal);
+    const auto plan_wide = wide.plan(grid, start, goal);
+    ASSERT_TRUE(plan_tight.found);
+    ASSERT_TRUE(plan_wide.found);
+    EXPECT_GE(plan_wide.pathLengthCells(),
+              plan_tight.pathLengthCells());
+}
+
+// ----------------------------------------------------------- pipeline ----
+
+TEST(SpaPipeline, SucceedsInEmptyWorld)
+{
+    al::Environment env;
+    env.arenaSize = 30.0;
+    env.start = {2.0, 2.0};
+    env.goal = {22.0, 20.0};
+    Rng rng(1);
+    const auto result =
+        spa::runSpaEpisode(env, spa::SpaConfig(), rng);
+    EXPECT_EQ(result.outcome, al::EpisodeOutcome::Success);
+}
+
+TEST(SpaPipeline, CollectsComputeTelemetry)
+{
+    const auto env_config =
+        al::EnvironmentConfig::forDensity(al::ObstacleDensity::Medium);
+    spa::SpaEpisodeStats stats;
+    const auto result =
+        spa::evaluateSpa(env_config, spa::SpaConfig(), 20, 7, &stats);
+    EXPECT_EQ(result.episodes, 20);
+    EXPECT_GT(stats.decisions, 0);
+    EXPECT_GT(stats.replans, 0);
+    EXPECT_GT(stats.expandedNodes, 0);
+    EXPECT_GT(stats.mapUpdates, 0);
+}
+
+TEST(SpaPipeline, Deterministic)
+{
+    const auto env_config =
+        al::EnvironmentConfig::forDensity(al::ObstacleDensity::Dense);
+    const auto a = spa::evaluateSpa(env_config, spa::SpaConfig(), 50, 3);
+    const auto b = spa::evaluateSpa(env_config, spa::SpaConfig(), 50, 3);
+    EXPECT_EQ(a.successes, b.successes);
+    EXPECT_EQ(a.collisions, b.collisions);
+}
+
+TEST(SpaPipeline, HigherDecisionRateImprovesSuccess)
+{
+    const auto env_config =
+        al::EnvironmentConfig::forDensity(al::ObstacleDensity::Dense);
+    spa::SpaConfig slow;
+    slow.decisionRateHz = 1.2;
+    spa::SpaConfig fast;
+    fast.decisionRateHz = 10.0;
+    const auto slow_result =
+        spa::evaluateSpa(env_config, slow, 300, 11);
+    const auto fast_result =
+        spa::evaluateSpa(env_config, fast, 300, 11);
+    EXPECT_GT(fast_result.successRate(),
+              slow_result.successRate() + 0.05);
+}
+
+TEST(SpaPipeline, ReasonableSuccessOnAllDensities)
+{
+    for (al::ObstacleDensity density : al::allDensities()) {
+        const auto result = spa::evaluateSpa(
+            al::EnvironmentConfig::forDensity(density),
+            spa::SpaConfig(), 200, 23);
+        EXPECT_GT(result.successRate(), 0.4)
+            << al::densityName(density);
+    }
+}
+
+// -------------------------------------------------------- accel model ----
+
+TEST(SpaAccel, MoreUnitsMeanLowerLatencyHigherPower)
+{
+    const spa::SpaComputeModel model;
+    spa::SpaAcceleratorConfig small;
+    small.vioLanes = 1;
+    small.mappingBanks = 1;
+    small.planningCores = 1;
+    spa::SpaAcceleratorConfig big;
+    big.vioLanes = 32;
+    big.mappingBanks = 16;
+    big.planningCores = 16;
+    const auto small_est = model.estimate(small);
+    const auto big_est = model.estimate(big);
+    EXPECT_GT(small_est.totalLatencyMs(), big_est.totalLatencyMs());
+    EXPECT_LT(small_est.powerW, big_est.powerW);
+    EXPECT_GT(big_est.decisionRateHz(),
+              small_est.decisionRateHz() * 8.0);
+}
+
+TEST(SpaAccel, LatencyScalesInverselyWithUnits)
+{
+    const spa::SpaComputeModel model;
+    spa::SpaAcceleratorConfig one;
+    one.vioLanes = 1;
+    spa::SpaAcceleratorConfig four;
+    four.vioLanes = 4;
+    EXPECT_NEAR(model.estimate(one).vioLatencyMs /
+                    model.estimate(four).vioLatencyMs,
+                4.0, 1e-9);
+}
+
+TEST(SpaAccel, SpaceEnumerationComplete)
+{
+    const spa::SpaHardwareSpace space;
+    EXPECT_EQ(space.enumerate().size(), 6u * 5 * 5);
+}
+
+TEST(SpaAccel, NameEncodesKnobs)
+{
+    spa::SpaAcceleratorConfig config;
+    config.vioLanes = 8;
+    config.mappingBanks = 4;
+    config.planningCores = 2;
+    EXPECT_EQ(config.name(), "spa_v8_m4_p2");
+}
+
+TEST(SpaAccel, DefaultConfigInUsefulBand)
+{
+    const spa::SpaComputeModel model;
+    const auto estimate = model.estimate(spa::SpaAcceleratorConfig());
+    EXPECT_GT(estimate.decisionRateHz(), 2.0);
+    EXPECT_LT(estimate.decisionRateHz(), 100.0);
+    EXPECT_GT(estimate.powerW, 0.05);
+    EXPECT_LT(estimate.powerW, 1.0);
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the two performance engines, including the bracketing
+ * property between the analytical and cycle-stepped models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/e2e_template.h"
+#include "systolic/cycle_engine.h"
+#include "systolic/engine.h"
+
+namespace sys = autopilot::systolic;
+namespace nn = autopilot::nn;
+
+namespace
+{
+
+sys::AcceleratorConfig
+makeConfig(int rows, int cols, int sram_kb,
+           sys::Dataflow dataflow = sys::Dataflow::WeightStationary)
+{
+    sys::AcceleratorConfig config;
+    config.peRows = rows;
+    config.peCols = cols;
+    config.ifmapSramKb = sram_kb;
+    config.filterSramKb = sram_kb;
+    config.ofmapSramKb = sram_kb;
+    config.dataflow = dataflow;
+    return config;
+}
+
+nn::Model
+smallModel()
+{
+    nn::Model model("small");
+    model.append(nn::conv2d("c0", 32, 32, 3, 3, 2, 8));
+    model.append(nn::dense("fc", 15 * 15 * 8, 10));
+    return model;
+}
+
+} // namespace
+
+TEST(AnalyticalEngine, LayerResultSelfConsistent)
+{
+    const sys::AnalyticalEngine engine(makeConfig(16, 16, 128));
+    const nn::Layer conv = nn::conv2d("c", 64, 64, 3, 5, 2, 16);
+    const sys::LayerResult result = engine.runLayer(conv);
+    EXPECT_EQ(result.totalCycles,
+              result.computeCycles + result.stallCycles);
+    EXPECT_GT(result.computeCycles, 0);
+    EXPECT_GE(result.stallCycles, 0);
+    EXPECT_GT(result.traffic.totalDramBytes(), 0);
+}
+
+TEST(AnalyticalEngine, RunAggregatesLayers)
+{
+    const sys::AnalyticalEngine engine(makeConfig(16, 16, 128));
+    const nn::Model model = smallModel();
+    const sys::RunResult run = engine.run(model);
+    EXPECT_EQ(run.layers.size(), model.size());
+    std::int64_t cycle_sum = 0;
+    for (const auto &layer : run.layers)
+        cycle_sum += layer.totalCycles;
+    EXPECT_EQ(run.totalCycles, cycle_sum);
+    EXPECT_EQ(run.totalMacs, model.totalMacs());
+}
+
+TEST(AnalyticalEngine, FpsScalesLinearlyWithClock)
+{
+    auto config = makeConfig(16, 16, 128);
+    const sys::AnalyticalEngine engine(config);
+    const sys::RunResult run = engine.run(smallModel());
+    const double fps_200 = run.framesPerSecond(0.2);
+    const double fps_400 = run.framesPerSecond(0.4);
+    EXPECT_NEAR(fps_400 / fps_200, 2.0, 1e-9);
+}
+
+TEST(AnalyticalEngine, UtilizationBounded)
+{
+    const auto config = makeConfig(32, 32, 256);
+    const sys::AnalyticalEngine engine(config);
+    const sys::RunResult run = engine.run(nn::buildE2EModel({5, 32}));
+    const double util = run.peUtilization(config.peCount());
+    EXPECT_GT(util, 0.0);
+    EXPECT_LE(util, 1.0);
+}
+
+TEST(CycleEngine, MatchesTrafficTotals)
+{
+    const auto config = makeConfig(16, 16, 64);
+    const sys::CycleEngine cycle(config);
+    const sys::AnalyticalEngine analytic(config);
+    const nn::Layer conv = nn::conv2d("c", 64, 64, 8, 3, 2, 32);
+    const auto cycle_result = cycle.runLayer(conv);
+    const auto analytic_result = analytic.runLayer(conv);
+    // Both engines report identical traffic (shared memory model).
+    EXPECT_EQ(cycle_result.traffic.totalDramBytes(),
+              analytic_result.traffic.totalDramBytes());
+    EXPECT_EQ(cycle_result.computeCycles,
+              analytic_result.computeCycles);
+}
+
+/**
+ * Bracketing property: for every layer,
+ *   max(compute, dram) <= cycle_total <= compute + dram + slack,
+ * where slack covers the first-tile fill and last-writeback drain.
+ */
+class EngineBracketing
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, int, sys::Dataflow>>
+{
+};
+
+TEST_P(EngineBracketing, CycleEngineWithinAnalyticalBounds)
+{
+    const auto [rows, cols, sram_kb, dataflow] = GetParam();
+    const auto config = makeConfig(rows, cols, sram_kb, dataflow);
+    const sys::CycleEngine cycle(config);
+
+    const nn::Layer layers[] = {
+        nn::conv2d("conv", 64, 64, 16, 3, 2, 48),
+        nn::dense("fc", 4096, 512),
+    };
+    for (const nn::Layer &layer : layers) {
+        const auto result = cycle.runLayer(layer);
+        const std::int64_t dram_cycles =
+            (result.traffic.totalDramBytes() + config.dramBytesPerCycle -
+             1) /
+            config.dramBytesPerCycle;
+        const std::int64_t lower =
+            std::max(result.computeCycles, dram_cycles);
+        // Generous slack: fill/drain plus double-buffer serialization
+        // bubbles (a few percent of the serialized time).
+        const std::int64_t serialized =
+            result.computeCycles + dram_cycles;
+        const std::int64_t slack =
+            4 * (rows + cols) + 2 * config.dramBytesPerCycle +
+            serialized / 20;
+        EXPECT_GE(result.totalCycles, lower) << layer.name;
+        EXPECT_LE(result.totalCycles, serialized + slack) << layer.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, EngineBracketing,
+    ::testing::Combine(
+        ::testing::Values(8, 32, 128),
+        ::testing::Values(8, 64),
+        ::testing::Values(32, 512),
+        ::testing::Values(sys::Dataflow::WeightStationary,
+                          sys::Dataflow::OutputStationary,
+                          sys::Dataflow::InputStationary)));
+
+TEST(Engines, BiggerArrayNeverSlowerOnBigLayers)
+{
+    // For a fixed large conv layer, growing the array monotonically
+    // reduces (or keeps) the cycle count.
+    const nn::Layer conv = nn::conv2d("c", 128, 128, 32, 3, 1, 64);
+    std::int64_t prev = -1;
+    for (int size : {8, 16, 32, 64, 128}) {
+        const sys::CycleEngine engine(makeConfig(size, size, 1024));
+        const auto result = engine.runLayer(conv);
+        if (prev >= 0) {
+            EXPECT_LE(result.totalCycles, prev) << size;
+        }
+        prev = result.totalCycles;
+    }
+}
+
+TEST(Engines, DramBoundLayerShowsStalls)
+{
+    // A big dense layer on a huge array with a narrow DRAM interface must
+    // be dominated by stalls.
+    auto config = makeConfig(256, 256, 4096);
+    config.dramBytesPerCycle = 1;
+    const sys::CycleEngine engine(config);
+    const auto result = engine.runLayer(nn::dense("fc", 12288, 2048));
+    EXPECT_GT(result.stallCycles, result.computeCycles);
+}
+
+TEST(Engines, ComputeBoundLayerHasFewStalls)
+{
+    // A deep conv on a tiny array with a wide interface is compute-bound.
+    auto config = makeConfig(8, 8, 4096);
+    config.dramBytesPerCycle = 256;
+    const sys::CycleEngine engine(config);
+    const auto result =
+        engine.runLayer(nn::conv2d("c", 64, 64, 32, 3, 1, 64));
+    EXPECT_LT(result.stallCycles, result.computeCycles / 4);
+}
+
+TEST(Engines, FullPolicyModelRunsOnAllDataflows)
+{
+    const nn::Model model = nn::buildE2EModel({7, 48});
+    for (sys::Dataflow dataflow :
+         {sys::Dataflow::WeightStationary,
+          sys::Dataflow::OutputStationary,
+          sys::Dataflow::InputStationary}) {
+        const sys::CycleEngine engine(
+            makeConfig(32, 32, 256, dataflow));
+        const sys::RunResult run = engine.run(model);
+        EXPECT_GT(run.framesPerSecond(0.2), 1.0)
+            << sys::dataflowName(dataflow);
+        EXPECT_EQ(run.totalMacs, model.totalMacs());
+    }
+}
+
+TEST(EnginesDeath, EmptyModelRejected)
+{
+    const sys::AnalyticalEngine engine(makeConfig(8, 8, 32));
+    nn::Model empty("empty");
+    EXPECT_EXIT(engine.run(empty), ::testing::ExitedWithCode(1), "empty");
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the fold-granular trace generator, including the property
+ * that trace totals match the analytic traffic model exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/e2e_template.h"
+#include "systolic/cycle_engine.h"
+#include "systolic/trace.h"
+
+namespace sys = autopilot::systolic;
+namespace nn = autopilot::nn;
+
+namespace
+{
+
+sys::AcceleratorConfig
+makeConfig(int rows, int cols, int sram_kb, sys::Dataflow dataflow)
+{
+    sys::AcceleratorConfig config;
+    config.peRows = rows;
+    config.peCols = cols;
+    config.ifmapSramKb = sram_kb;
+    config.filterSramKb = sram_kb;
+    config.ofmapSramKb = sram_kb;
+    config.dataflow = dataflow;
+    return config;
+}
+
+} // namespace
+
+TEST(Trace, EventKindNames)
+{
+    EXPECT_EQ(sys::traceEventKindName(sys::TraceEventKind::DramFetch),
+              "dram_fetch");
+    EXPECT_EQ(
+        sys::traceEventKindName(sys::TraceEventKind::DramWriteback),
+        "dram_writeback");
+    EXPECT_EQ(sys::traceEventKindName(sys::TraceEventKind::SramRead),
+              "sram_read");
+    EXPECT_EQ(sys::traceEventKindName(sys::TraceEventKind::SramWrite),
+              "sram_write");
+}
+
+class TraceConservation
+    : public ::testing::TestWithParam<sys::Dataflow>
+{
+};
+
+TEST_P(TraceConservation, TotalsMatchTrafficModel)
+{
+    const auto config = makeConfig(16, 32, 128, GetParam());
+    const nn::Layer layers[] = {
+        nn::conv2d("conv", 64, 64, 16, 3, 2, 48),
+        nn::dense("fc", 4096, 512),
+    };
+    for (const nn::Layer &layer : layers) {
+        const auto schedule = sys::scheduleGemm(layer.gemm(), config);
+        const auto traffic =
+            sys::computeTraffic(layer, schedule, config);
+        const sys::LayerTrace trace = sys::traceLayer(layer, config);
+
+        EXPECT_EQ(trace.totalOf(sys::TraceEventKind::DramFetch) +
+                      trace.totalOf(sys::TraceEventKind::DramWriteback),
+                  traffic.totalDramBytes())
+            << layer.name;
+        EXPECT_EQ(trace.totalOf(sys::TraceEventKind::SramRead),
+                  traffic.ifmapSramReads + traffic.filterSramReads +
+                      traffic.psumSramReads)
+            << layer.name;
+        EXPECT_EQ(trace.totalOf(sys::TraceEventKind::SramWrite),
+                  traffic.ofmapSramWrites + traffic.psumSramWrites)
+            << layer.name;
+    }
+}
+
+TEST_P(TraceConservation, CyclesMonotoneWithinTimeline)
+{
+    const auto config = makeConfig(16, 16, 64, GetParam());
+    const nn::Layer conv = nn::conv2d("c", 64, 64, 8, 3, 2, 32);
+    const sys::LayerTrace trace = sys::traceLayer(conv, config);
+    ASSERT_FALSE(trace.events.empty());
+    // Fold indices are non-decreasing and start cycles non-negative.
+    std::int64_t prev_fold = 0;
+    for (const sys::TraceEvent &event : trace.events) {
+        EXPECT_GE(event.foldIndex, prev_fold);
+        EXPECT_GE(event.startCycle, 0);
+        EXPECT_GE(event.amount, 0);
+        prev_fold = event.foldIndex;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dataflows, TraceConservation,
+    ::testing::Values(sys::Dataflow::WeightStationary,
+                      sys::Dataflow::OutputStationary,
+                      sys::Dataflow::InputStationary));
+
+TEST(Trace, LastEventEndsAtCycleEngineTotal)
+{
+    // The trace's timeline is the CycleEngine timeline: the final event
+    // must not start after the engine's total cycle count.
+    const auto config =
+        makeConfig(32, 32, 256, sys::Dataflow::WeightStationary);
+    const nn::Layer fc = nn::dense("fc", 12288, 2048);
+    const sys::CycleEngine engine(config);
+    const auto result = engine.runLayer(fc);
+    const sys::LayerTrace trace = sys::traceLayer(fc, config);
+    for (const sys::TraceEvent &event : trace.events)
+        EXPECT_LE(event.startCycle, result.totalCycles);
+}
+
+TEST(Trace, CsvOutputWellFormed)
+{
+    const auto config =
+        makeConfig(8, 8, 32, sys::Dataflow::WeightStationary);
+    const nn::Layer fc = nn::dense("fc", 64, 16);
+    const sys::LayerTrace trace = sys::traceLayer(fc, config);
+    std::ostringstream os;
+    trace.writeCsv(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("layer,fold,cycle,kind,amount"),
+              std::string::npos);
+    EXPECT_NE(text.find("fc,"), std::string::npos);
+    // One header plus one line per event.
+    const auto lines =
+        std::count(text.begin(), text.end(), '\n');
+    EXPECT_EQ(static_cast<std::size_t>(lines),
+              trace.events.size() + 1);
+}
+
+TEST(Trace, FullPolicyModelTraceable)
+{
+    const auto config =
+        makeConfig(32, 32, 256, sys::Dataflow::WeightStationary);
+    const nn::Model model = nn::buildE2EModel({5, 32});
+    std::int64_t dram_total = 0;
+    for (const nn::Layer &layer : model.layers()) {
+        const sys::LayerTrace trace = sys::traceLayer(layer, config);
+        dram_total +=
+            trace.totalOf(sys::TraceEventKind::DramFetch) +
+            trace.totalOf(sys::TraceEventKind::DramWriteback);
+    }
+    const sys::CycleEngine engine(config);
+    const auto run = engine.run(model);
+    EXPECT_EQ(dram_total, run.traffic.totalDramBytes());
+}
