@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dataflow_ablation"
+  "../bench/bench_dataflow_ablation.pdb"
+  "CMakeFiles/bench_dataflow_ablation.dir/bench_dataflow_ablation.cc.o"
+  "CMakeFiles/bench_dataflow_ablation.dir/bench_dataflow_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataflow_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_engine_validation"
+  "../bench/bench_engine_validation.pdb"
+  "CMakeFiles/bench_engine_validation.dir/bench_engine_validation.cc.o"
+  "CMakeFiles/bench_engine_validation.dir/bench_engine_validation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_exhaustive_check"
+  "../bench/bench_exhaustive_check.pdb"
+  "CMakeFiles/bench_exhaustive_check.dir/bench_exhaustive_check.cc.o"
+  "CMakeFiles/bench_exhaustive_check.dir/bench_exhaustive_check.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exhaustive_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

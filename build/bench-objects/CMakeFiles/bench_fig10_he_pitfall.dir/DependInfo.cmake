@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_he_pitfall.cc" "bench-objects/CMakeFiles/bench_fig10_he_pitfall.dir/bench_fig10_he_pitfall.cc.o" "gcc" "bench-objects/CMakeFiles/bench_fig10_he_pitfall.dir/bench_fig10_he_pitfall.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/autopilot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/autopilot_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/spa/CMakeFiles/autopilot_spa.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/autopilot_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/airlearning/CMakeFiles/autopilot_airlearning.dir/DependInfo.cmake"
+  "/root/repo/build/src/uav/CMakeFiles/autopilot_uav.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/autopilot_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/autopilot_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autopilot_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autopilot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_he_pitfall"
+  "../bench/bench_fig10_he_pitfall.pdb"
+  "CMakeFiles/bench_fig10_he_pitfall.dir/bench_fig10_he_pitfall.cc.o"
+  "CMakeFiles/bench_fig10_he_pitfall.dir/bench_fig10_he_pitfall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_he_pitfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

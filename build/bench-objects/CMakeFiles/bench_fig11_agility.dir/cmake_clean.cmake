@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_agility"
+  "../bench/bench_fig11_agility.pdb"
+  "CMakeFiles/bench_fig11_agility.dir/bench_fig11_agility.cc.o"
+  "CMakeFiles/bench_fig11_agility.dir/bench_fig11_agility.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_agility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

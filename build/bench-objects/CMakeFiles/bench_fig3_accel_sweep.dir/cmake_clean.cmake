@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_accel_sweep"
+  "../bench/bench_fig3_accel_sweep.pdb"
+  "CMakeFiles/bench_fig3_accel_sweep.dir/bench_fig3_accel_sweep.cc.o"
+  "CMakeFiles/bench_fig3_accel_sweep.dir/bench_fig3_accel_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_accel_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

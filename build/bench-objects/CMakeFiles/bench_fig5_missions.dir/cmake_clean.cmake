@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_missions"
+  "../bench/bench_fig5_missions.pdb"
+  "CMakeFiles/bench_fig5_missions.dir/bench_fig5_missions.cc.o"
+  "CMakeFiles/bench_fig5_missions.dir/bench_fig5_missions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_missions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_param_variation"
+  "../bench/bench_fig6_param_variation.pdb"
+  "CMakeFiles/bench_fig6_param_variation.dir/bench_fig6_param_variation.cc.o"
+  "CMakeFiles/bench_fig6_param_variation.dir/bench_fig6_param_variation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_param_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

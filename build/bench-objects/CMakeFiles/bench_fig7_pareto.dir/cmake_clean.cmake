@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_pareto"
+  "../bench/bench_fig7_pareto.pdb"
+  "CMakeFiles/bench_fig7_pareto.dir/bench_fig7_pareto.cc.o"
+  "CMakeFiles/bench_fig7_pareto.dir/bench_fig7_pareto.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

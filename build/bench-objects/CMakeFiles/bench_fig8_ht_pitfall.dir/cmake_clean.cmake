@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_ht_pitfall"
+  "../bench/bench_fig8_ht_pitfall.pdb"
+  "CMakeFiles/bench_fig8_ht_pitfall.dir/bench_fig8_ht_pitfall.cc.o"
+  "CMakeFiles/bench_fig8_ht_pitfall.dir/bench_fig8_ht_pitfall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ht_pitfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

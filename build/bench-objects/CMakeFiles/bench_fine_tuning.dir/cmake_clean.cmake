@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fine_tuning"
+  "../bench/bench_fine_tuning.pdb"
+  "CMakeFiles/bench_fine_tuning.dir/bench_fine_tuning.cc.o"
+  "CMakeFiles/bench_fine_tuning.dir/bench_fine_tuning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fine_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mission_validation"
+  "../bench/bench_mission_validation.pdb"
+  "CMakeFiles/bench_mission_validation.dir/bench_mission_validation.cc.o"
+  "CMakeFiles/bench_mission_validation.dir/bench_mission_validation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mission_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_param_importance"
+  "../bench/bench_param_importance.pdb"
+  "CMakeFiles/bench_param_importance.dir/bench_param_importance.cc.o"
+  "CMakeFiles/bench_param_importance.dir/bench_param_importance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_microbench"
+  "../bench/bench_perf_microbench.pdb"
+  "CMakeFiles/bench_perf_microbench.dir/bench_perf_microbench.cc.o"
+  "CMakeFiles/bench_perf_microbench.dir/bench_perf_microbench.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_portfolio"
+  "../bench/bench_portfolio.pdb"
+  "CMakeFiles/bench_portfolio.dir/bench_portfolio.cc.o"
+  "CMakeFiles/bench_portfolio.dir/bench_portfolio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_spa_comparison"
+  "../bench/bench_spa_comparison.pdb"
+  "CMakeFiles/bench_spa_comparison.dir/bench_spa_comparison.cc.o"
+  "CMakeFiles/bench_spa_comparison.dir/bench_spa_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spa_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

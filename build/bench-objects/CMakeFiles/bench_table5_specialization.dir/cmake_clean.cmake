@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_specialization"
+  "../bench/bench_table5_specialization.pdb"
+  "CMakeFiles/bench_table5_specialization.dir/bench_table5_specialization.cc.o"
+  "CMakeFiles/bench_table5_specialization.dir/bench_table5_specialization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_specialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

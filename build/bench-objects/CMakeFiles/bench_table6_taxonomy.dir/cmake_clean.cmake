@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_taxonomy"
+  "../bench/bench_table6_taxonomy.pdb"
+  "CMakeFiles/bench_table6_taxonomy.dir/bench_table6_taxonomy.cc.o"
+  "CMakeFiles/bench_table6_taxonomy.dir/bench_table6_taxonomy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

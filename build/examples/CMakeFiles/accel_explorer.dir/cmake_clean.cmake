@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_explorer.dir/accel_explorer.cpp.o"
+  "CMakeFiles/accel_explorer.dir/accel_explorer.cpp.o.d"
+  "accel_explorer"
+  "accel_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

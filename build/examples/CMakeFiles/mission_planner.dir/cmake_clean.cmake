@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mission_planner.dir/mission_planner.cpp.o"
+  "CMakeFiles/mission_planner.dir/mission_planner.cpp.o.d"
+  "mission_planner"
+  "mission_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mission_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_training.dir/policy_training.cpp.o"
+  "CMakeFiles/policy_training.dir/policy_training.cpp.o.d"
+  "policy_training"
+  "policy_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_navigation.dir/spa_navigation.cpp.o"
+  "CMakeFiles/spa_navigation.dir/spa_navigation.cpp.o.d"
+  "spa_navigation"
+  "spa_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for spa_navigation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/airlearning/database.cc" "src/airlearning/CMakeFiles/autopilot_airlearning.dir/database.cc.o" "gcc" "src/airlearning/CMakeFiles/autopilot_airlearning.dir/database.cc.o.d"
+  "/root/repo/src/airlearning/environment.cc" "src/airlearning/CMakeFiles/autopilot_airlearning.dir/environment.cc.o" "gcc" "src/airlearning/CMakeFiles/autopilot_airlearning.dir/environment.cc.o.d"
+  "/root/repo/src/airlearning/policy.cc" "src/airlearning/CMakeFiles/autopilot_airlearning.dir/policy.cc.o" "gcc" "src/airlearning/CMakeFiles/autopilot_airlearning.dir/policy.cc.o.d"
+  "/root/repo/src/airlearning/rollout.cc" "src/airlearning/CMakeFiles/autopilot_airlearning.dir/rollout.cc.o" "gcc" "src/airlearning/CMakeFiles/autopilot_airlearning.dir/rollout.cc.o.d"
+  "/root/repo/src/airlearning/trainer.cc" "src/airlearning/CMakeFiles/autopilot_airlearning.dir/trainer.cc.o" "gcc" "src/airlearning/CMakeFiles/autopilot_airlearning.dir/trainer.cc.o.d"
+  "/root/repo/src/airlearning/training_curve.cc" "src/airlearning/CMakeFiles/autopilot_airlearning.dir/training_curve.cc.o" "gcc" "src/airlearning/CMakeFiles/autopilot_airlearning.dir/training_curve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/autopilot_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autopilot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopilot_airlearning.dir/database.cc.o"
+  "CMakeFiles/autopilot_airlearning.dir/database.cc.o.d"
+  "CMakeFiles/autopilot_airlearning.dir/environment.cc.o"
+  "CMakeFiles/autopilot_airlearning.dir/environment.cc.o.d"
+  "CMakeFiles/autopilot_airlearning.dir/policy.cc.o"
+  "CMakeFiles/autopilot_airlearning.dir/policy.cc.o.d"
+  "CMakeFiles/autopilot_airlearning.dir/rollout.cc.o"
+  "CMakeFiles/autopilot_airlearning.dir/rollout.cc.o.d"
+  "CMakeFiles/autopilot_airlearning.dir/trainer.cc.o"
+  "CMakeFiles/autopilot_airlearning.dir/trainer.cc.o.d"
+  "CMakeFiles/autopilot_airlearning.dir/training_curve.cc.o"
+  "CMakeFiles/autopilot_airlearning.dir/training_curve.cc.o.d"
+  "libautopilot_airlearning.a"
+  "libautopilot_airlearning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopilot_airlearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autopilot.cc" "src/core/CMakeFiles/autopilot_core.dir/autopilot.cc.o" "gcc" "src/core/CMakeFiles/autopilot_core.dir/autopilot.cc.o.d"
+  "/root/repo/src/core/baseline_eval.cc" "src/core/CMakeFiles/autopilot_core.dir/baseline_eval.cc.o" "gcc" "src/core/CMakeFiles/autopilot_core.dir/baseline_eval.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/autopilot_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/autopilot_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/fine_tuning.cc" "src/core/CMakeFiles/autopilot_core.dir/fine_tuning.cc.o" "gcc" "src/core/CMakeFiles/autopilot_core.dir/fine_tuning.cc.o.d"
+  "/root/repo/src/core/portfolio.cc" "src/core/CMakeFiles/autopilot_core.dir/portfolio.cc.o" "gcc" "src/core/CMakeFiles/autopilot_core.dir/portfolio.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/autopilot_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/autopilot_core.dir/report.cc.o.d"
+  "/root/repo/src/core/taxonomy.cc" "src/core/CMakeFiles/autopilot_core.dir/taxonomy.cc.o" "gcc" "src/core/CMakeFiles/autopilot_core.dir/taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dse/CMakeFiles/autopilot_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/airlearning/CMakeFiles/autopilot_airlearning.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/autopilot_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/autopilot_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/uav/CMakeFiles/autopilot_uav.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autopilot_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autopilot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopilot_core.dir/autopilot.cc.o"
+  "CMakeFiles/autopilot_core.dir/autopilot.cc.o.d"
+  "CMakeFiles/autopilot_core.dir/baseline_eval.cc.o"
+  "CMakeFiles/autopilot_core.dir/baseline_eval.cc.o.d"
+  "CMakeFiles/autopilot_core.dir/baselines.cc.o"
+  "CMakeFiles/autopilot_core.dir/baselines.cc.o.d"
+  "CMakeFiles/autopilot_core.dir/fine_tuning.cc.o"
+  "CMakeFiles/autopilot_core.dir/fine_tuning.cc.o.d"
+  "CMakeFiles/autopilot_core.dir/portfolio.cc.o"
+  "CMakeFiles/autopilot_core.dir/portfolio.cc.o.d"
+  "CMakeFiles/autopilot_core.dir/report.cc.o"
+  "CMakeFiles/autopilot_core.dir/report.cc.o.d"
+  "CMakeFiles/autopilot_core.dir/taxonomy.cc.o"
+  "CMakeFiles/autopilot_core.dir/taxonomy.cc.o.d"
+  "libautopilot_core.a"
+  "libautopilot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopilot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dse/annealing.cc" "src/dse/CMakeFiles/autopilot_dse.dir/annealing.cc.o" "gcc" "src/dse/CMakeFiles/autopilot_dse.dir/annealing.cc.o.d"
+  "/root/repo/src/dse/bayesopt.cc" "src/dse/CMakeFiles/autopilot_dse.dir/bayesopt.cc.o" "gcc" "src/dse/CMakeFiles/autopilot_dse.dir/bayesopt.cc.o.d"
+  "/root/repo/src/dse/design_space.cc" "src/dse/CMakeFiles/autopilot_dse.dir/design_space.cc.o" "gcc" "src/dse/CMakeFiles/autopilot_dse.dir/design_space.cc.o.d"
+  "/root/repo/src/dse/evaluator.cc" "src/dse/CMakeFiles/autopilot_dse.dir/evaluator.cc.o" "gcc" "src/dse/CMakeFiles/autopilot_dse.dir/evaluator.cc.o.d"
+  "/root/repo/src/dse/gaussian_process.cc" "src/dse/CMakeFiles/autopilot_dse.dir/gaussian_process.cc.o" "gcc" "src/dse/CMakeFiles/autopilot_dse.dir/gaussian_process.cc.o.d"
+  "/root/repo/src/dse/genetic.cc" "src/dse/CMakeFiles/autopilot_dse.dir/genetic.cc.o" "gcc" "src/dse/CMakeFiles/autopilot_dse.dir/genetic.cc.o.d"
+  "/root/repo/src/dse/hypervolume.cc" "src/dse/CMakeFiles/autopilot_dse.dir/hypervolume.cc.o" "gcc" "src/dse/CMakeFiles/autopilot_dse.dir/hypervolume.cc.o.d"
+  "/root/repo/src/dse/optimizer.cc" "src/dse/CMakeFiles/autopilot_dse.dir/optimizer.cc.o" "gcc" "src/dse/CMakeFiles/autopilot_dse.dir/optimizer.cc.o.d"
+  "/root/repo/src/dse/pareto.cc" "src/dse/CMakeFiles/autopilot_dse.dir/pareto.cc.o" "gcc" "src/dse/CMakeFiles/autopilot_dse.dir/pareto.cc.o.d"
+  "/root/repo/src/dse/random_search.cc" "src/dse/CMakeFiles/autopilot_dse.dir/random_search.cc.o" "gcc" "src/dse/CMakeFiles/autopilot_dse.dir/random_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/airlearning/CMakeFiles/autopilot_airlearning.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/autopilot_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/autopilot_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autopilot_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autopilot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopilot_dse.dir/annealing.cc.o"
+  "CMakeFiles/autopilot_dse.dir/annealing.cc.o.d"
+  "CMakeFiles/autopilot_dse.dir/bayesopt.cc.o"
+  "CMakeFiles/autopilot_dse.dir/bayesopt.cc.o.d"
+  "CMakeFiles/autopilot_dse.dir/design_space.cc.o"
+  "CMakeFiles/autopilot_dse.dir/design_space.cc.o.d"
+  "CMakeFiles/autopilot_dse.dir/evaluator.cc.o"
+  "CMakeFiles/autopilot_dse.dir/evaluator.cc.o.d"
+  "CMakeFiles/autopilot_dse.dir/gaussian_process.cc.o"
+  "CMakeFiles/autopilot_dse.dir/gaussian_process.cc.o.d"
+  "CMakeFiles/autopilot_dse.dir/genetic.cc.o"
+  "CMakeFiles/autopilot_dse.dir/genetic.cc.o.d"
+  "CMakeFiles/autopilot_dse.dir/hypervolume.cc.o"
+  "CMakeFiles/autopilot_dse.dir/hypervolume.cc.o.d"
+  "CMakeFiles/autopilot_dse.dir/optimizer.cc.o"
+  "CMakeFiles/autopilot_dse.dir/optimizer.cc.o.d"
+  "CMakeFiles/autopilot_dse.dir/pareto.cc.o"
+  "CMakeFiles/autopilot_dse.dir/pareto.cc.o.d"
+  "CMakeFiles/autopilot_dse.dir/random_search.cc.o"
+  "CMakeFiles/autopilot_dse.dir/random_search.cc.o.d"
+  "libautopilot_dse.a"
+  "libautopilot_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopilot_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopilot_io.dir/csv.cc.o"
+  "CMakeFiles/autopilot_io.dir/csv.cc.o.d"
+  "CMakeFiles/autopilot_io.dir/persistence.cc.o"
+  "CMakeFiles/autopilot_io.dir/persistence.cc.o.d"
+  "libautopilot_io.a"
+  "libautopilot_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopilot_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

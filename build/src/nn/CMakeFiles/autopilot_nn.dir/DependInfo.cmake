@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/e2e_template.cc" "src/nn/CMakeFiles/autopilot_nn.dir/e2e_template.cc.o" "gcc" "src/nn/CMakeFiles/autopilot_nn.dir/e2e_template.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/autopilot_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/autopilot_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/nn/CMakeFiles/autopilot_nn.dir/model.cc.o" "gcc" "src/nn/CMakeFiles/autopilot_nn.dir/model.cc.o.d"
+  "/root/repo/src/nn/summary.cc" "src/nn/CMakeFiles/autopilot_nn.dir/summary.cc.o" "gcc" "src/nn/CMakeFiles/autopilot_nn.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/autopilot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopilot_nn.dir/e2e_template.cc.o"
+  "CMakeFiles/autopilot_nn.dir/e2e_template.cc.o.d"
+  "CMakeFiles/autopilot_nn.dir/layer.cc.o"
+  "CMakeFiles/autopilot_nn.dir/layer.cc.o.d"
+  "CMakeFiles/autopilot_nn.dir/model.cc.o"
+  "CMakeFiles/autopilot_nn.dir/model.cc.o.d"
+  "CMakeFiles/autopilot_nn.dir/summary.cc.o"
+  "CMakeFiles/autopilot_nn.dir/summary.cc.o.d"
+  "libautopilot_nn.a"
+  "libautopilot_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopilot_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/dram_model.cc" "src/power/CMakeFiles/autopilot_power.dir/dram_model.cc.o" "gcc" "src/power/CMakeFiles/autopilot_power.dir/dram_model.cc.o.d"
+  "/root/repo/src/power/mass_model.cc" "src/power/CMakeFiles/autopilot_power.dir/mass_model.cc.o" "gcc" "src/power/CMakeFiles/autopilot_power.dir/mass_model.cc.o.d"
+  "/root/repo/src/power/npu_power.cc" "src/power/CMakeFiles/autopilot_power.dir/npu_power.cc.o" "gcc" "src/power/CMakeFiles/autopilot_power.dir/npu_power.cc.o.d"
+  "/root/repo/src/power/pe_model.cc" "src/power/CMakeFiles/autopilot_power.dir/pe_model.cc.o" "gcc" "src/power/CMakeFiles/autopilot_power.dir/pe_model.cc.o.d"
+  "/root/repo/src/power/soc_power.cc" "src/power/CMakeFiles/autopilot_power.dir/soc_power.cc.o" "gcc" "src/power/CMakeFiles/autopilot_power.dir/soc_power.cc.o.d"
+  "/root/repo/src/power/sram_model.cc" "src/power/CMakeFiles/autopilot_power.dir/sram_model.cc.o" "gcc" "src/power/CMakeFiles/autopilot_power.dir/sram_model.cc.o.d"
+  "/root/repo/src/power/technology.cc" "src/power/CMakeFiles/autopilot_power.dir/technology.cc.o" "gcc" "src/power/CMakeFiles/autopilot_power.dir/technology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systolic/CMakeFiles/autopilot_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autopilot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autopilot_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

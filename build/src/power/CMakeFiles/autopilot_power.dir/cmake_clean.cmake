@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopilot_power.dir/dram_model.cc.o"
+  "CMakeFiles/autopilot_power.dir/dram_model.cc.o.d"
+  "CMakeFiles/autopilot_power.dir/mass_model.cc.o"
+  "CMakeFiles/autopilot_power.dir/mass_model.cc.o.d"
+  "CMakeFiles/autopilot_power.dir/npu_power.cc.o"
+  "CMakeFiles/autopilot_power.dir/npu_power.cc.o.d"
+  "CMakeFiles/autopilot_power.dir/pe_model.cc.o"
+  "CMakeFiles/autopilot_power.dir/pe_model.cc.o.d"
+  "CMakeFiles/autopilot_power.dir/soc_power.cc.o"
+  "CMakeFiles/autopilot_power.dir/soc_power.cc.o.d"
+  "CMakeFiles/autopilot_power.dir/sram_model.cc.o"
+  "CMakeFiles/autopilot_power.dir/sram_model.cc.o.d"
+  "CMakeFiles/autopilot_power.dir/technology.cc.o"
+  "CMakeFiles/autopilot_power.dir/technology.cc.o.d"
+  "libautopilot_power.a"
+  "libautopilot_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopilot_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spa/accel_model.cc" "src/spa/CMakeFiles/autopilot_spa.dir/accel_model.cc.o" "gcc" "src/spa/CMakeFiles/autopilot_spa.dir/accel_model.cc.o.d"
+  "/root/repo/src/spa/occupancy_grid.cc" "src/spa/CMakeFiles/autopilot_spa.dir/occupancy_grid.cc.o" "gcc" "src/spa/CMakeFiles/autopilot_spa.dir/occupancy_grid.cc.o.d"
+  "/root/repo/src/spa/pipeline.cc" "src/spa/CMakeFiles/autopilot_spa.dir/pipeline.cc.o" "gcc" "src/spa/CMakeFiles/autopilot_spa.dir/pipeline.cc.o.d"
+  "/root/repo/src/spa/planner.cc" "src/spa/CMakeFiles/autopilot_spa.dir/planner.cc.o" "gcc" "src/spa/CMakeFiles/autopilot_spa.dir/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/airlearning/CMakeFiles/autopilot_airlearning.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autopilot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autopilot_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopilot_spa.dir/accel_model.cc.o"
+  "CMakeFiles/autopilot_spa.dir/accel_model.cc.o.d"
+  "CMakeFiles/autopilot_spa.dir/occupancy_grid.cc.o"
+  "CMakeFiles/autopilot_spa.dir/occupancy_grid.cc.o.d"
+  "CMakeFiles/autopilot_spa.dir/pipeline.cc.o"
+  "CMakeFiles/autopilot_spa.dir/pipeline.cc.o.d"
+  "CMakeFiles/autopilot_spa.dir/planner.cc.o"
+  "CMakeFiles/autopilot_spa.dir/planner.cc.o.d"
+  "libautopilot_spa.a"
+  "libautopilot_spa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopilot_spa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

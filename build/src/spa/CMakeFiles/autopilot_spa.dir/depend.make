@@ -1,0 +1,2 @@
+# Empty dependencies file for autopilot_spa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systolic/config.cc" "src/systolic/CMakeFiles/autopilot_systolic.dir/config.cc.o" "gcc" "src/systolic/CMakeFiles/autopilot_systolic.dir/config.cc.o.d"
+  "/root/repo/src/systolic/cycle_engine.cc" "src/systolic/CMakeFiles/autopilot_systolic.dir/cycle_engine.cc.o" "gcc" "src/systolic/CMakeFiles/autopilot_systolic.dir/cycle_engine.cc.o.d"
+  "/root/repo/src/systolic/engine.cc" "src/systolic/CMakeFiles/autopilot_systolic.dir/engine.cc.o" "gcc" "src/systolic/CMakeFiles/autopilot_systolic.dir/engine.cc.o.d"
+  "/root/repo/src/systolic/functional.cc" "src/systolic/CMakeFiles/autopilot_systolic.dir/functional.cc.o" "gcc" "src/systolic/CMakeFiles/autopilot_systolic.dir/functional.cc.o.d"
+  "/root/repo/src/systolic/memory.cc" "src/systolic/CMakeFiles/autopilot_systolic.dir/memory.cc.o" "gcc" "src/systolic/CMakeFiles/autopilot_systolic.dir/memory.cc.o.d"
+  "/root/repo/src/systolic/run_report.cc" "src/systolic/CMakeFiles/autopilot_systolic.dir/run_report.cc.o" "gcc" "src/systolic/CMakeFiles/autopilot_systolic.dir/run_report.cc.o.d"
+  "/root/repo/src/systolic/tiling.cc" "src/systolic/CMakeFiles/autopilot_systolic.dir/tiling.cc.o" "gcc" "src/systolic/CMakeFiles/autopilot_systolic.dir/tiling.cc.o.d"
+  "/root/repo/src/systolic/trace.cc" "src/systolic/CMakeFiles/autopilot_systolic.dir/trace.cc.o" "gcc" "src/systolic/CMakeFiles/autopilot_systolic.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/autopilot_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autopilot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

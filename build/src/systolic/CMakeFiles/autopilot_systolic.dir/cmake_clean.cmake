@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopilot_systolic.dir/config.cc.o"
+  "CMakeFiles/autopilot_systolic.dir/config.cc.o.d"
+  "CMakeFiles/autopilot_systolic.dir/cycle_engine.cc.o"
+  "CMakeFiles/autopilot_systolic.dir/cycle_engine.cc.o.d"
+  "CMakeFiles/autopilot_systolic.dir/engine.cc.o"
+  "CMakeFiles/autopilot_systolic.dir/engine.cc.o.d"
+  "CMakeFiles/autopilot_systolic.dir/functional.cc.o"
+  "CMakeFiles/autopilot_systolic.dir/functional.cc.o.d"
+  "CMakeFiles/autopilot_systolic.dir/memory.cc.o"
+  "CMakeFiles/autopilot_systolic.dir/memory.cc.o.d"
+  "CMakeFiles/autopilot_systolic.dir/run_report.cc.o"
+  "CMakeFiles/autopilot_systolic.dir/run_report.cc.o.d"
+  "CMakeFiles/autopilot_systolic.dir/tiling.cc.o"
+  "CMakeFiles/autopilot_systolic.dir/tiling.cc.o.d"
+  "CMakeFiles/autopilot_systolic.dir/trace.cc.o"
+  "CMakeFiles/autopilot_systolic.dir/trace.cc.o.d"
+  "libautopilot_systolic.a"
+  "libautopilot_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopilot_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uav/bottleneck.cc" "src/uav/CMakeFiles/autopilot_uav.dir/bottleneck.cc.o" "gcc" "src/uav/CMakeFiles/autopilot_uav.dir/bottleneck.cc.o.d"
+  "/root/repo/src/uav/f1_model.cc" "src/uav/CMakeFiles/autopilot_uav.dir/f1_model.cc.o" "gcc" "src/uav/CMakeFiles/autopilot_uav.dir/f1_model.cc.o.d"
+  "/root/repo/src/uav/mission.cc" "src/uav/CMakeFiles/autopilot_uav.dir/mission.cc.o" "gcc" "src/uav/CMakeFiles/autopilot_uav.dir/mission.cc.o.d"
+  "/root/repo/src/uav/mission_sim.cc" "src/uav/CMakeFiles/autopilot_uav.dir/mission_sim.cc.o" "gcc" "src/uav/CMakeFiles/autopilot_uav.dir/mission_sim.cc.o.d"
+  "/root/repo/src/uav/propulsion.cc" "src/uav/CMakeFiles/autopilot_uav.dir/propulsion.cc.o" "gcc" "src/uav/CMakeFiles/autopilot_uav.dir/propulsion.cc.o.d"
+  "/root/repo/src/uav/uav_spec.cc" "src/uav/CMakeFiles/autopilot_uav.dir/uav_spec.cc.o" "gcc" "src/uav/CMakeFiles/autopilot_uav.dir/uav_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/autopilot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

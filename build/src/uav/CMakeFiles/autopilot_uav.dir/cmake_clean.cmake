@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopilot_uav.dir/bottleneck.cc.o"
+  "CMakeFiles/autopilot_uav.dir/bottleneck.cc.o.d"
+  "CMakeFiles/autopilot_uav.dir/f1_model.cc.o"
+  "CMakeFiles/autopilot_uav.dir/f1_model.cc.o.d"
+  "CMakeFiles/autopilot_uav.dir/mission.cc.o"
+  "CMakeFiles/autopilot_uav.dir/mission.cc.o.d"
+  "CMakeFiles/autopilot_uav.dir/mission_sim.cc.o"
+  "CMakeFiles/autopilot_uav.dir/mission_sim.cc.o.d"
+  "CMakeFiles/autopilot_uav.dir/propulsion.cc.o"
+  "CMakeFiles/autopilot_uav.dir/propulsion.cc.o.d"
+  "CMakeFiles/autopilot_uav.dir/uav_spec.cc.o"
+  "CMakeFiles/autopilot_uav.dir/uav_spec.cc.o.d"
+  "libautopilot_uav.a"
+  "libautopilot_uav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopilot_uav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

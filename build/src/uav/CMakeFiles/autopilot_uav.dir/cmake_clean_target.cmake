@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautopilot_uav.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopilot_util.dir/logging.cc.o"
+  "CMakeFiles/autopilot_util.dir/logging.cc.o.d"
+  "CMakeFiles/autopilot_util.dir/matrix.cc.o"
+  "CMakeFiles/autopilot_util.dir/matrix.cc.o.d"
+  "CMakeFiles/autopilot_util.dir/rng.cc.o"
+  "CMakeFiles/autopilot_util.dir/rng.cc.o.d"
+  "CMakeFiles/autopilot_util.dir/stats.cc.o"
+  "CMakeFiles/autopilot_util.dir/stats.cc.o.d"
+  "CMakeFiles/autopilot_util.dir/table.cc.o"
+  "CMakeFiles/autopilot_util.dir/table.cc.o.d"
+  "libautopilot_util.a"
+  "libautopilot_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopilot_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_airlearning.dir/test_airlearning.cc.o"
+  "CMakeFiles/test_airlearning.dir/test_airlearning.cc.o.d"
+  "test_airlearning"
+  "test_airlearning.pdb"
+  "test_airlearning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_airlearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bottleneck.dir/test_bottleneck.cc.o"
+  "CMakeFiles/test_bottleneck.dir/test_bottleneck.cc.o.d"
+  "test_bottleneck"
+  "test_bottleneck.pdb"
+  "test_bottleneck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_gp.dir/test_dse_gp.cc.o"
+  "CMakeFiles/test_dse_gp.dir/test_dse_gp.cc.o.d"
+  "test_dse_gp"
+  "test_dse_gp.pdb"
+  "test_dse_gp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_optimizers.dir/test_dse_optimizers.cc.o"
+  "CMakeFiles/test_dse_optimizers.dir/test_dse_optimizers.cc.o.d"
+  "test_dse_optimizers"
+  "test_dse_optimizers.pdb"
+  "test_dse_optimizers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

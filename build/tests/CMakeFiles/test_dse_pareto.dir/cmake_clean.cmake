@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_pareto.dir/test_dse_pareto.cc.o"
+  "CMakeFiles/test_dse_pareto.dir/test_dse_pareto.cc.o.d"
+  "test_dse_pareto"
+  "test_dse_pareto.pdb"
+  "test_dse_pareto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

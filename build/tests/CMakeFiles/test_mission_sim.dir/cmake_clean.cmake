@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mission_sim.dir/test_mission_sim.cc.o"
+  "CMakeFiles/test_mission_sim.dir/test_mission_sim.cc.o.d"
+  "test_mission_sim"
+  "test_mission_sim.pdb"
+  "test_mission_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mission_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_portfolio.dir/test_portfolio.cc.o"
+  "CMakeFiles/test_portfolio.dir/test_portfolio.cc.o.d"
+  "test_portfolio"
+  "test_portfolio.pdb"
+  "test_portfolio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spa.dir/test_spa.cc.o"
+  "CMakeFiles/test_spa.dir/test_spa.cc.o.d"
+  "test_spa"
+  "test_spa.pdb"
+  "test_spa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

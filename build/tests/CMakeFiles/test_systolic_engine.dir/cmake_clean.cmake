@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_systolic_engine.dir/test_systolic_engine.cc.o"
+  "CMakeFiles/test_systolic_engine.dir/test_systolic_engine.cc.o.d"
+  "test_systolic_engine"
+  "test_systolic_engine.pdb"
+  "test_systolic_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_systolic_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_systolic_functional.dir/test_systolic_functional.cc.o"
+  "CMakeFiles/test_systolic_functional.dir/test_systolic_functional.cc.o.d"
+  "test_systolic_functional"
+  "test_systolic_functional.pdb"
+  "test_systolic_functional[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_systolic_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_systolic_memory.dir/test_systolic_memory.cc.o"
+  "CMakeFiles/test_systolic_memory.dir/test_systolic_memory.cc.o.d"
+  "test_systolic_memory"
+  "test_systolic_memory.pdb"
+  "test_systolic_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_systolic_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_systolic_tiling.dir/test_systolic_tiling.cc.o"
+  "CMakeFiles/test_systolic_tiling.dir/test_systolic_tiling.cc.o.d"
+  "test_systolic_tiling"
+  "test_systolic_tiling.pdb"
+  "test_systolic_tiling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_systolic_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_systolic_trace.dir/test_systolic_trace.cc.o"
+  "CMakeFiles/test_systolic_trace.dir/test_systolic_trace.cc.o.d"
+  "test_systolic_trace"
+  "test_systolic_trace.pdb"
+  "test_systolic_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_systolic_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

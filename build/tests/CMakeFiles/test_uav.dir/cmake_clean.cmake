@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uav.dir/test_uav.cc.o"
+  "CMakeFiles/test_uav.dir/test_uav.cc.o.d"
+  "test_uav"
+  "test_uav.pdb"
+  "test_uav[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_systolic_tiling[1]_include.cmake")
+include("/root/repo/build/tests/test_systolic_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_systolic_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_uav[1]_include.cmake")
+include("/root/repo/build/tests/test_airlearning[1]_include.cmake")
+include("/root/repo/build/tests/test_dse_pareto[1]_include.cmake")
+include("/root/repo/build/tests/test_dse_gp[1]_include.cmake")
+include("/root/repo/build/tests/test_dse_optimizers[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_spa[1]_include.cmake")
+include("/root/repo/build/tests/test_systolic_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_systolic_functional[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_bottleneck[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_mission_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_portfolio[1]_include.cmake")
+include("/root/repo/build/tests/test_golden[1]_include.cmake")
