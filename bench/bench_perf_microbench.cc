@@ -1,14 +1,21 @@
 /**
  * @file
  * google-benchmark microbenchmarks for the library's hot paths: the two
- * systolic engines, the GP surrogate, hypervolume, and episode rollouts.
- * These quantify the cost of one Phase 2 evaluation and one Phase 1
- * validation - the quantities that set AutoPilot's end-to-end runtime.
+ * systolic engines, the GP surrogate, hypervolume, episode rollouts, and
+ * the batch-parallel evaluation core at 1/2/4/8 worker threads. These
+ * quantify the cost of one Phase 2 evaluation and one Phase 1 validation
+ * - the quantities that set AutoPilot's end-to-end runtime - and the
+ * wall-clock speedup evaluateBatch() buys on a cold memo cache.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <set>
+
 #include "airlearning/rollout.h"
+#include "airlearning/trainer.h"
+#include "dse/evaluator.h"
 #include "dse/gaussian_process.h"
 #include "dse/hypervolume.h"
 #include "nn/e2e_template.h"
@@ -16,6 +23,7 @@
 #include "systolic/cycle_engine.h"
 #include "systolic/engine.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 using namespace autopilot;
 
@@ -142,6 +150,70 @@ BM_PolicyValidation(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PolicyValidation);
+
+const autopilot::airlearning::PolicyDatabase &
+benchDatabase()
+{
+    static const autopilot::airlearning::PolicyDatabase db = [] {
+        autopilot::airlearning::TrainerConfig config;
+        config.validationEpisodes = 30;
+        const autopilot::airlearning::Trainer trainer(config);
+        autopilot::airlearning::PolicyDatabase built;
+        trainer.trainAll(nn::PolicySpace(),
+                         autopilot::airlearning::ObstacleDensity::Dense,
+                         built);
+        return built;
+    }();
+    return db;
+}
+
+/**
+ * Cold-cache batch evaluation of 128 distinct design points at N worker
+ * threads: the serial-vs-parallel throughput comparison for one
+ * optimizer generation. Arg(1) runs without a pool (the strictly serial
+ * path); wall-clock time is what matters, hence UseRealTime.
+ */
+void
+BM_BatchEvaluate128(benchmark::State &state)
+{
+    const std::size_t threads =
+        static_cast<std::size_t>(state.range(0));
+    const auto &db = benchDatabase();
+
+    const dse::DesignSpace space;
+    util::Rng rng(0xBA7C);
+    std::set<dse::Encoding> seen;
+    std::vector<dse::Encoding> points;
+    while (points.size() < 128) {
+        const dse::Encoding encoding = space.randomEncoding(rng);
+        if (seen.insert(encoding).second)
+            points.push_back(encoding);
+    }
+
+    std::unique_ptr<util::ThreadPool> pool;
+    if (threads > 1)
+        pool = std::make_unique<util::ThreadPool>(threads);
+
+    for (auto _ : state) {
+        state.PauseTiming(); // Fresh evaluator => cold memo cache.
+        auto evaluator = std::make_unique<dse::DseEvaluator>(
+            db, autopilot::airlearning::ObstacleDensity::Dense);
+        evaluator->setThreadPool(pool.get());
+        state.ResumeTiming();
+
+        const auto results = evaluator->evaluateBatch(points);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            128);
+}
+BENCHMARK(BM_BatchEvaluate128)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -93,15 +93,21 @@ Trainer::trainBestOf(const nn::PolicyHyperParams &params,
 
 int
 Trainer::trainAll(const nn::PolicySpace &space, ObstacleDensity density,
-                  PolicyDatabase &database) const
+                  PolicyDatabase &database, util::ThreadPool *pool) const
 {
-    int added = 0;
-    for (const nn::PolicyHyperParams &params : space.enumerate()) {
-        database.upsert(
-            trainBestOf(params, density, cfg.trainingSeeds));
-        ++added;
-    }
-    return added;
+    const std::vector<nn::PolicyHyperParams> combinations =
+        space.enumerate();
+    // Each combination trains from its own derived seed, so runs are
+    // independent; records land in per-index slots and are committed in
+    // enumeration order, keeping the database identical to a serial run.
+    std::vector<PolicyRecord> records(combinations.size());
+    util::parallel_for(pool, combinations.size(), [&](std::size_t i) {
+        records[i] =
+            trainBestOf(combinations[i], density, cfg.trainingSeeds);
+    });
+    for (PolicyRecord &record : records)
+        database.upsert(std::move(record));
+    return static_cast<int>(records.size());
 }
 
 } // namespace autopilot::airlearning

@@ -17,6 +17,7 @@
 
 #include "airlearning/database.h"
 #include "airlearning/rollout.h"
+#include "util/thread_pool.h"
 
 namespace autopilot::airlearning
 {
@@ -60,10 +61,17 @@ class Trainer
      * Train and validate every combination in @p space for a scenario,
      * inserting all records into @p database.
      *
+     * Training runs fan out across @p pool when one is attached (each
+     * combination trains independently from its own derived seed);
+     * records are committed to the database in enumeration order either
+     * way, so the database contents are identical to a serial run.
+     *
+     * @param pool Optional worker pool; null trains serially.
      * @return Number of policies added.
      */
     int trainAll(const nn::PolicySpace &space, ObstacleDensity density,
-                 PolicyDatabase &database) const;
+                 PolicyDatabase &database,
+                 util::ThreadPool *pool = nullptr) const;
 
     const TrainerConfig &config() const { return cfg; }
 

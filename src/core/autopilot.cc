@@ -29,6 +29,20 @@ AutoPilot::AutoPilot(const TaskSpec &task) : taskSpec(task)
     util::fatalIf(taskSpec.successTolerance < 0.0 ||
                       taskSpec.successTolerance > 1.0,
                   "AutoPilot: success tolerance outside [0, 1]");
+    util::fatalIf(taskSpec.threads < 0,
+                  "AutoPilot: thread count must be >= 0");
+}
+
+util::ThreadPool *
+AutoPilot::workerPool()
+{
+    if (taskSpec.threads == 1)
+        return nullptr; // Serial on the calling thread.
+    if (!pool) {
+        pool = std::make_unique<util::ThreadPool>(
+            static_cast<std::size_t>(taskSpec.threads));
+    }
+    return pool.get();
 }
 
 const airlearning::PolicyDatabase &
@@ -39,7 +53,8 @@ AutoPilot::phase1()
         trainer_config.validationEpisodes = taskSpec.validationEpisodes;
         trainer_config.seed = taskSpec.seed;
         const airlearning::Trainer trainer(trainer_config);
-        trainer.trainAll(nn::PolicySpace(), taskSpec.density, database);
+        trainer.trainAll(nn::PolicySpace(), taskSpec.density, database,
+                         workerPool());
         phase1Done = true;
     }
     return database;
@@ -50,6 +65,7 @@ AutoPilot::phase2()
 {
     if (!phase2Done) {
         dse::DseEvaluator evaluator(phase1(), taskSpec.density);
+        evaluator.setThreadPool(workerPool());
         dse::BayesOpt optimizer;
         dse::OptimizerConfig config;
         config.evaluationBudget = taskSpec.dseBudget;
@@ -93,18 +109,33 @@ AutoPilot::candidatesFor(const uav::UavSpec &uav)
     for (const dse::Evaluation &eval : result.archive)
         best_success = std::max(best_success, eval.successRate);
 
+    // Map the surviving archive entries to full-system designs in
+    // parallel (the mission-model evaluation per candidate is
+    // independent), then partition in archive order so the candidate
+    // list is identical across thread counts.
+    std::vector<std::size_t> survivors;
+    for (std::size_t i = 0; i < result.archive.size(); ++i) {
+        if (result.archive[i].successRate + taskSpec.successTolerance >=
+            best_success)
+            survivors.push_back(i);
+    }
+    std::vector<FullSystemDesign> mapped(survivors.size());
+    util::parallel_for(workerPool(), survivors.size(),
+                       [&](std::size_t s) {
+                           mapped[s] = mapToFullSystem(
+                               result.archive[survivors[s]], uav);
+                       });
+
     std::vector<FullSystemDesign> candidates;
     std::vector<FullSystemDesign> latency_violators;
-    for (const dse::Evaluation &eval : result.archive) {
-        if (eval.successRate + taskSpec.successTolerance < best_success)
-            continue;
-        FullSystemDesign design = mapToFullSystem(eval, uav);
+    for (std::size_t s = 0; s < survivors.size(); ++s) {
+        const dse::Evaluation &eval = result.archive[survivors[s]];
         if (taskSpec.maxLatencyMs > 0.0 &&
             eval.latencyMs > taskSpec.maxLatencyMs) {
-            latency_violators.push_back(std::move(design));
+            latency_violators.push_back(std::move(mapped[s]));
             continue;
         }
-        candidates.push_back(std::move(design));
+        candidates.push_back(std::move(mapped[s]));
     }
     if (candidates.empty() && !latency_violators.empty()) {
         util::warn("AutoPilot: no candidate meets the " +

@@ -24,6 +24,7 @@
 #define AUTOPILOT_CORE_AUTOPILOT_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,7 @@
 #include "dse/optimizer.h"
 #include "uav/mission.h"
 #include "uav/uav_spec.h"
+#include "util/thread_pool.h"
 
 namespace autopilot::core
 {
@@ -51,6 +53,13 @@ struct TaskSpec
     /// fallback to the unconstrained set when nothing survives).
     double maxLatencyMs = 0.0;
     std::uint64_t seed = 0xA070D1; ///< Reproducibility seed.
+    /// Worker threads for the batch-parallel pipeline stages (Phase 1
+    /// training fan-out, Phase 2 batch evaluation and acquisition
+    /// screening, Phase 3 candidate mapping). 1 runs fully serial on
+    /// the calling thread; 0 uses the hardware concurrency. Results are
+    /// byte-identical across thread counts for a fixed seed: every
+    /// parallel stage commits its results in proposal order.
+    int threads = 1;
 };
 
 /** A Phase 2 candidate lowered to a full UAV system (Phase 3 view). */
@@ -129,12 +138,20 @@ class AutoPilot
 
     const TaskSpec &task() const { return taskSpec; }
 
+    /**
+     * The worker pool shared by all pipeline stages; null when the task
+     * requested serial execution (threads == 1). Lazily started so a
+     * pipeline that only replays cached phases never spawns threads.
+     */
+    util::ThreadPool *workerPool();
+
   private:
     TaskSpec taskSpec;
     bool phase1Done = false;
     bool phase2Done = false;
     airlearning::PolicyDatabase database;
     dse::OptimizerResult dseResult;
+    std::unique_ptr<util::ThreadPool> pool;
 };
 
 } // namespace autopilot::core

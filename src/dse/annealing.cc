@@ -22,6 +22,8 @@ SimulatedAnnealing::SimulatedAnnealing(const Settings &settings)
                   "SimulatedAnnealing: bad schedule parameters");
     util::fatalIf(cfg.weightResamplePeriod < 1,
                   "SimulatedAnnealing: bad weight resample period");
+    util::fatalIf(cfg.restartFanout < 1,
+                  "SimulatedAnnealing: restart fanout must be positive");
 }
 
 OptimizerResult
@@ -104,13 +106,31 @@ SimulatedAnnealing::optimize(DseEvaluator &evaluator,
         temperature *= cfg.coolingRate;
 
         // Occasional restart keeps the chain from freezing in a corner of
-        // the discrete lattice once the temperature is tiny.
+        // the discrete lattice once the temperature is tiny. The fan-out
+        // candidates are evaluated as one batch (parallel when the
+        // evaluator has a pool) and the chain resumes from the candidate
+        // with the lowest current scalarized energy; earliest proposal
+        // wins ties, so the walk is identical across thread counts.
         if (temperature < 1e-3) {
             temperature = cfg.initialTemperature * 0.5;
-            current = space.randomEncoding(rng);
-            if (recordEvaluation(evaluator, current, config, result))
-                ++evaluated;
+            std::vector<Encoding> restarts;
+            restarts.reserve(cfg.restartFanout);
+            for (int i = 0; i < cfg.restartFanout; ++i)
+                restarts.push_back(space.randomEncoding(rng));
+            evaluated += recordEvaluations(
+                evaluator, restarts, config, result,
+                config.evaluationBudget - evaluated);
+            current = restarts.front();
             current_objectives = evaluator.evaluate(current).objectives;
+            for (std::size_t i = 1; i < restarts.size(); ++i) {
+                const Objectives &objectives =
+                    evaluator.evaluate(restarts[i]).objectives;
+                if (scalarize(objectives, weights) <
+                    scalarize(current_objectives, weights)) {
+                    current = restarts[i];
+                    current_objectives = objectives;
+                }
+            }
         }
     }
 

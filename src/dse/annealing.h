@@ -27,6 +27,12 @@ class SimulatedAnnealing : public Optimizer
         double initialTemperature = 1.0;
         double coolingRate = 0.97;    ///< Per accepted-or-rejected step.
         int weightResamplePeriod = 25; ///< Steps between weight redraws.
+        /// Random restart candidates proposed per reheat. The chain is
+        /// logically serial, but the fan-out is evaluated as one
+        /// parallel batch and the chain resumes from the candidate with
+        /// the best current scalarized energy. 1 reproduces the classic
+        /// single-restart chain.
+        int restartFanout = 1;
     };
 
     /** Construct with default settings. */

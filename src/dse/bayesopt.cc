@@ -22,6 +22,8 @@ BayesOpt::BayesOpt(const Settings &settings) : cfg(settings)
                   "BayesOpt: need at least 2 initial samples");
     util::fatalIf(cfg.candidatePool < 1,
                   "BayesOpt: candidate pool must be positive");
+    util::fatalIf(cfg.batchSize < 1,
+                  "BayesOpt: batch size must be positive");
 }
 
 OptimizerResult
@@ -33,22 +35,23 @@ BayesOpt::optimize(DseEvaluator &evaluator, const OptimizerConfig &config)
     OptimizerResult result;
     std::set<Encoding> visited;
 
-    auto record = [&](const Encoding &encoding) {
-        const bool fresh =
-            recordEvaluation(evaluator, encoding, config, result);
-        visited.insert(encoding);
-        return fresh;
-    };
-
-    // --- Initial random design ---
+    // --- Initial random design (chunked parallel batches) ---
     int evaluated = 0;
     long attempts = 0;
     const int initial =
         std::min(cfg.initialSamples, config.evaluationBudget);
     while (evaluated < initial && attempts < 100000) {
-        ++attempts;
-        if (record(space.randomEncoding(rng)))
-            ++evaluated;
+        const long chunk = std::min<long>(initial - evaluated,
+                                          100000 - attempts);
+        std::vector<Encoding> proposals;
+        proposals.reserve(static_cast<std::size_t>(chunk));
+        for (long i = 0; i < chunk; ++i)
+            proposals.push_back(space.randomEncoding(rng));
+        attempts += chunk;
+        evaluated += recordEvaluations(evaluator, proposals, config,
+                                       result, initial - evaluated);
+        for (const Encoding &proposal : proposals)
+            visited.insert(proposal);
     }
 
     // --- Model-guided iterations ---
@@ -98,46 +101,67 @@ BayesOpt::optimize(DseEvaluator &evaluator, const OptimizerConfig &config)
         if (pool.empty())
             break; // Space exhausted around the archive.
 
-        // Score the pool with the SMS-EGO acquisition.
-        double best_score = -std::numeric_limits<double>::infinity();
-        const Encoding *best_candidate = nullptr;
-        for (const Encoding &candidate : pool) {
-            const std::vector<double> features = space.features(candidate);
-            Objectives lcb(num_objectives, 0.0);
-            for (std::size_t d = 0; d < num_objectives; ++d) {
-                const GpPrediction prediction =
-                    models[d].predict(features);
-                lcb[d] = prediction.mean -
-                         cfg.confidenceGain * prediction.stddev();
-            }
-
-            double score =
-                hypervolumeContribution(front, lcb, reference);
-            if (score <= 0.0) {
-                // Epsilon-dominated candidate: penalty grows with how far
-                // inside the dominated region the LCB point lies.
-                double worst_excess = 0.0;
-                for (const Objectives &member : front) {
-                    if (!epsilonDominates(member, lcb, cfg.epsilon))
-                        continue;
-                    double excess = 0.0;
-                    for (std::size_t d = 0; d < num_objectives; ++d)
-                        excess += std::max(0.0, lcb[d] - member[d]);
-                    worst_excess = std::max(worst_excess, excess);
+        // Score the pool with the SMS-EGO acquisition, screening the
+        // candidates in parallel on the evaluator's pool. Each score is
+        // a pure function of one candidate, so the ranking (and thus
+        // the whole search trajectory) is identical across thread
+        // counts.
+        std::vector<double> scores(pool.size());
+        util::parallel_for(
+            evaluator.threadPool(), pool.size(), [&](std::size_t c) {
+                const std::vector<double> features =
+                    space.features(pool[c]);
+                Objectives lcb(num_objectives, 0.0);
+                for (std::size_t d = 0; d < num_objectives; ++d) {
+                    const GpPrediction prediction =
+                        models[d].predict(features);
+                    lcb[d] = prediction.mean -
+                             cfg.confidenceGain * prediction.stddev();
                 }
-                score = -worst_excess;
-            }
 
-            if (score > best_score) {
-                best_score = score;
-                best_candidate = &candidate;
-            }
-        }
+                double score =
+                    hypervolumeContribution(front, lcb, reference);
+                if (score <= 0.0) {
+                    // Epsilon-dominated candidate: penalty grows with
+                    // how far inside the dominated region the LCB point
+                    // lies.
+                    double worst_excess = 0.0;
+                    for (const Objectives &member : front) {
+                        if (!epsilonDominates(member, lcb, cfg.epsilon))
+                            continue;
+                        double excess = 0.0;
+                        for (std::size_t d = 0; d < num_objectives; ++d)
+                            excess += std::max(0.0, lcb[d] - member[d]);
+                        worst_excess = std::max(worst_excess, excess);
+                    }
+                    score = -worst_excess;
+                }
+                scores[c] = score;
+            });
 
-        if (best_candidate == nullptr)
-            break;
-        if (record(*best_candidate))
-            ++evaluated;
+        // q-batch suggestion: take the top scorers (earliest proposal
+        // wins ties) and evaluate them as one parallel batch, committed
+        // in score order.
+        std::vector<std::size_t> order(pool.size());
+        for (std::size_t c = 0; c < order.size(); ++c)
+            order[c] = c;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return scores[a] > scores[b];
+                         });
+        const int remaining = config.evaluationBudget - evaluated;
+        const std::size_t batch = std::min<std::size_t>(
+            {static_cast<std::size_t>(cfg.batchSize),
+             static_cast<std::size_t>(remaining), order.size()});
+        std::vector<Encoding> suggestions;
+        suggestions.reserve(batch);
+        for (std::size_t r = 0; r < batch; ++r)
+            suggestions.push_back(pool[order[r]]);
+
+        evaluated += recordEvaluations(evaluator, suggestions, config,
+                                       result, remaining);
+        for (const Encoding &suggestion : suggestions)
+            visited.insert(suggestion);
     }
 
     return result;

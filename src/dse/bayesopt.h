@@ -32,6 +32,12 @@ class BayesOpt : public Optimizer
         int candidatePool = 256;   ///< Random candidates per iteration.
         double confidenceGain = 1.0; ///< LCB multiplier on sigma.
         double epsilon = 1e-3;     ///< Epsilon-dominance band.
+        /// Suggestions evaluated per model refit (q-batch BO). The top-q
+        /// acquisition scorers are evaluated as one parallel batch and
+        /// committed in score order; 1 reproduces classic sequential
+        /// SMS-EGO. Larger q trades a slightly staler surrogate for
+        /// batch-parallel simulation throughput.
+        int batchSize = 1;
         GaussianProcess::Params gp; ///< Shared kernel parameters.
     };
 

@@ -8,29 +8,153 @@
 namespace autopilot::dse
 {
 
+namespace
+{
+
+/** FNV-1a over the choice indices; selects the cache shard. */
+std::size_t
+encodingHash(const Encoding &encoding)
+{
+    std::uint64_t hash = 0xCBF29CE484222325ull;
+    for (int value : encoding) {
+        hash ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(value));
+        hash *= 0x100000001B3ull;
+    }
+    return static_cast<std::size_t>(hash);
+}
+
+} // namespace
+
 DseEvaluator::DseEvaluator(const airlearning::PolicyDatabase &database,
                            airlearning::ObstacleDensity density)
     : policyDb(database), scenario(density)
 {
 }
 
+DseEvaluator::Shard &
+DseEvaluator::shardFor(const Encoding &encoding)
+{
+    return shards[encodingHash(encoding) % shardCount];
+}
+
+const DseEvaluator::Shard &
+DseEvaluator::shardFor(const Encoding &encoding) const
+{
+    return shards[encodingHash(encoding) % shardCount];
+}
+
 const Evaluation &
 DseEvaluator::evaluate(const Encoding &encoding)
 {
-    auto it = cache.find(encoding);
-    if (it == cache.end())
-        it = cache.emplace(encoding, compute(encoding)).first;
-    return it->second;
+    return *evaluateBatch(std::span<const Encoding>(&encoding, 1))
+                .front()
+                .evaluation;
+}
+
+std::vector<BatchResult>
+DseEvaluator::evaluateBatch(std::span<const Encoding> encodings)
+{
+    std::vector<BatchResult> results(encodings.size());
+
+    // --- Reservation pass (request order, on the calling thread) ---
+    // First occurrence of an uncached key inserts a not-yet-ready node
+    // and claims it for this batch; everything else is a cache hit
+    // (possibly on a node another thread is still simulating). Doing
+    // this serially in request order is what makes the evaluation-order
+    // sequence - and therefore allEvaluations() - deterministic for a
+    // fixed request sequence.
+    std::vector<Node *> claimed; // Ours to simulate, in request order.
+    for (std::size_t i = 0; i < encodings.size(); ++i) {
+        Shard &shard = shardFor(encodings[i]);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.entries.find(encodings[i]);
+        if (it == shard.entries.end()) {
+            auto node = std::make_unique<Node>();
+            node->evaluation.encoding = encodings[i];
+            Node *raw = node.get();
+            {
+                std::lock_guard<std::mutex> orderLock(orderMutex);
+                raw->sequence = evaluationOrder.size();
+                evaluationOrder.push_back(raw);
+            }
+            shard.entries.emplace(encodings[i], std::move(node));
+            claimed.push_back(raw);
+            results[i] = {&raw->evaluation, true};
+            missCount.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            results[i] = {&it->second->evaluation, false};
+            hitCount.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    // --- Simulation pass (parallel over the claimed distinct points) ---
+    util::parallel_for(
+        workers, claimed.size(), [this, &claimed](std::size_t i) {
+            Node *node = claimed[i];
+            Evaluation evaluation = compute(node->evaluation.encoding);
+            Shard &shard = shardFor(evaluation.encoding);
+            {
+                std::lock_guard<std::mutex> lock(shard.mutex);
+                node->evaluation = std::move(evaluation);
+                node->ready.store(true, std::memory_order_release);
+            }
+            shard.ready.notify_all();
+        });
+
+    // --- Completion pass: wait out other threads' in-flight nodes ---
+    // Our own claims are ready after the parallel_for join; a hit on a
+    // node claimed by a concurrent batch may still be simulating.
+    for (std::size_t i = 0; i < encodings.size(); ++i) {
+        Shard &shard = shardFor(encodings[i]);
+        std::unique_lock<std::mutex> lock(shard.mutex);
+        auto it = shard.entries.find(encodings[i]);
+        Node *node = it->second.get();
+        if (!node->ready.load(std::memory_order_acquire)) {
+            inflightWaitCount.fetch_add(1, std::memory_order_relaxed);
+            shard.ready.wait(lock, [node] {
+                return node->ready.load(std::memory_order_acquire);
+            });
+        }
+    }
+
+    return results;
+}
+
+std::size_t
+DseEvaluator::evaluationCount() const
+{
+    std::lock_guard<std::mutex> lock(orderMutex);
+    return evaluationOrder.size();
 }
 
 std::vector<Evaluation>
 DseEvaluator::allEvaluations() const
 {
+    std::vector<const Node *> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(orderMutex);
+        snapshot = evaluationOrder;
+    }
     std::vector<Evaluation> all;
-    all.reserve(cache.size());
-    for (const auto &[encoding, evaluation] : cache)
-        all.push_back(evaluation);
+    all.reserve(snapshot.size());
+    for (const Node *node : snapshot) {
+        // Skip nodes another thread is still simulating; completed
+        // entries keep their first-request order.
+        if (node->ready.load(std::memory_order_acquire))
+            all.push_back(node->evaluation);
+    }
     return all;
+}
+
+CacheStats
+DseEvaluator::cacheStats() const
+{
+    CacheStats stats;
+    stats.hits = hitCount.load(std::memory_order_relaxed);
+    stats.misses = missCount.load(std::memory_order_relaxed);
+    stats.inflightWaits =
+        inflightWaitCount.load(std::memory_order_relaxed);
+    return stats;
 }
 
 Evaluation

@@ -10,19 +10,29 @@
  *
  * Evaluations are memoized: architectural simulation is the expensive step
  * the paper's Bayesian optimization is designed to conserve, and the
- * optimizers must never pay twice for the same point.
+ * optimizers must never pay twice for the same point. The cache is
+ * concurrent - evaluateBatch() fans distinct points out across an
+ * attached util::ThreadPool, and a per-key in-flight guard ensures two
+ * threads never simulate the same point twice even when they race on it.
  */
 
 #ifndef AUTOPILOT_DSE_EVALUATOR_H
 #define AUTOPILOT_DSE_EVALUATOR_H
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
 #include "airlearning/database.h"
 #include "dse/design_space.h"
 #include "dse/pareto.h"
+#include "util/thread_pool.h"
 
 namespace autopilot::dse
 {
@@ -40,6 +50,31 @@ struct Evaluation
     Objectives objectives; ///< {1 - success, socPowerW, latencyMs}.
 };
 
+/** One entry of an evaluateBatch() result, aligned with the request. */
+struct BatchResult
+{
+    /// Stable pointer into the memo cache; valid for the evaluator's
+    /// lifetime.
+    const Evaluation *evaluation = nullptr;
+    /// True when this request triggered the simulation: the encoding was
+    /// not cached before the batch and this is its first occurrence
+    /// within the batch. Exactly the points that count against an
+    /// optimizer budget.
+    bool fresh = false;
+};
+
+/** Cache traffic counters (monotonic; hits + misses == requests). */
+struct CacheStats
+{
+    std::uint64_t hits = 0;   ///< Served from the memo cache.
+    std::uint64_t misses = 0; ///< Triggered a simulation.
+    /// Subset of hits that had to wait for another thread's in-flight
+    /// simulation of the same point.
+    std::uint64_t inflightWaits = 0;
+
+    std::uint64_t requests() const { return hits + misses; }
+};
+
 /** Memoizing evaluator bound to one deployment scenario. */
 class DseEvaluator
 {
@@ -52,23 +87,95 @@ class DseEvaluator
     DseEvaluator(const airlearning::PolicyDatabase &database,
                  airlearning::ObstacleDensity density);
 
-    /** Evaluate (or return the memoized result for) an encoding. */
+    /**
+     * Attach a worker pool (non-owning; may be null for serial
+     * operation). evaluateBatch() uses it to simulate the distinct
+     * uncached points of a batch in parallel. Results are independent of
+     * the pool: evaluations are pure functions of the encoding, and batch
+     * results are returned in request order.
+     */
+    void setThreadPool(util::ThreadPool *pool) { workers = pool; }
+
+    util::ThreadPool *threadPool() const { return workers; }
+
+    /**
+     * Evaluate (or return the memoized result for) an encoding.
+     * Thread-safe; equivalent to a one-element evaluateBatch().
+     */
     const Evaluation &evaluate(const Encoding &encoding);
 
-    /** Number of distinct points evaluated so far. */
-    std::size_t evaluationCount() const { return cache.size(); }
+    /**
+     * Evaluate a batch of encodings, simulating the distinct uncached
+     * points in parallel on the attached pool (serially without one).
+     *
+     * Thread-safe: concurrent batches (including overlapping ones) are
+     * coordinated through per-key in-flight guards, so each distinct
+     * point is simulated exactly once process-wide. The returned vector
+     * is aligned with @p encodings; `fresh` marks first-time points in
+     * request order (duplicates within a batch are fresh only at their
+     * first position).
+     */
+    std::vector<BatchResult> evaluateBatch(std::span<const Encoding> encodings);
 
-    /** All distinct evaluations so far (unspecified order). */
+    /** Number of distinct points evaluated so far. Thread-safe. */
+    std::size_t evaluationCount() const;
+
+    /**
+     * All distinct evaluations so far, in evaluation order: the order in
+     * which the points were first requested (for batches, request order
+     * within the batch). This order is deterministic for a fixed request
+     * sequence, which makes seeded runs reproducible end to end.
+     * Thread-safe.
+     */
     std::vector<Evaluation> allEvaluations() const;
+
+    /** Cache traffic counters so far. Thread-safe. */
+    CacheStats cacheStats() const;
 
     const DesignSpace &space() const { return designSpace; }
     airlearning::ObstacleDensity density() const { return scenario; }
 
   private:
+    /// Memo-cache node: the payload plus its in-flight state. Nodes are
+    /// heap-allocated once and never move, so Evaluation pointers handed
+    /// to callers stay valid while shard maps rehash/rebalance.
+    struct Node
+    {
+        Evaluation evaluation;
+        std::atomic<bool> ready{false};
+        std::size_t sequence = 0; ///< Evaluation-order index.
+    };
+
+    /// One lock-domain of the cache. Encodings hash-partition across
+    /// shards so unrelated points do not contend on one mutex; the
+    /// per-shard condition variable parks threads waiting on another
+    /// thread's in-flight simulation of the same key.
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::condition_variable ready;
+        std::map<Encoding, std::unique_ptr<Node>> entries;
+    };
+
+    static constexpr std::size_t shardCount = 16;
+
+    Shard &shardFor(const Encoding &encoding);
+    const Shard &shardFor(const Encoding &encoding) const;
+
     const airlearning::PolicyDatabase &policyDb;
     airlearning::ObstacleDensity scenario;
     DesignSpace designSpace;
-    std::map<Encoding, Evaluation> cache;
+    util::ThreadPool *workers = nullptr;
+
+    std::array<Shard, shardCount> shards;
+    /// Nodes in first-request order; guards its own mutex because
+    /// appends come from whichever thread wins the key reservation.
+    mutable std::mutex orderMutex;
+    std::vector<const Node *> evaluationOrder;
+
+    std::atomic<std::uint64_t> hitCount{0};
+    std::atomic<std::uint64_t> missCount{0};
+    std::atomic<std::uint64_t> inflightWaitCount{0};
 
     Evaluation compute(const Encoding &encoding) const;
 };

@@ -45,26 +45,34 @@ GeneticAlgorithm::optimize(DseEvaluator &evaluator,
     OptimizerResult result;
     int evaluated = 0;
 
-    auto evaluate_individual = [&](const Encoding &genes) {
-        if (evaluated < config.evaluationBudget &&
-            recordEvaluation(evaluator, genes, config, result)) {
-            ++evaluated;
-        }
-        Individual individual;
-        individual.genes = genes;
-        individual.objectives = evaluator.evaluate(genes).objectives;
-        return individual;
-    };
+    // Evaluate one generation of proposals as a single batch: the
+    // distinct uncached points run in parallel on the evaluator's pool,
+    // and the archive is committed in proposal order (capped at the
+    // remaining budget), so the result is byte-identical across thread
+    // counts.
+    auto evaluate_generation =
+        [&](const std::vector<Encoding> &proposals) {
+            evaluated += recordEvaluations(
+                evaluator, proposals, config, result,
+                config.evaluationBudget - evaluated);
+            std::vector<Individual> individuals;
+            individuals.reserve(proposals.size());
+            for (const Encoding &genes : proposals) {
+                Individual individual;
+                individual.genes = genes;
+                individual.objectives =
+                    evaluator.evaluate(genes).objectives; // Memo hit.
+                individuals.push_back(individual);
+            }
+            return individuals;
+        };
 
     // Initial population.
-    std::vector<Individual> population;
-    population.reserve(cfg.populationSize);
-    for (int i = 0; i < cfg.populationSize &&
-                    evaluated < config.evaluationBudget;
-         ++i) {
-        population.push_back(
-            evaluate_individual(space.randomEncoding(rng)));
-    }
+    std::vector<Encoding> seeds;
+    seeds.reserve(cfg.populationSize);
+    for (int i = 0; i < cfg.populationSize; ++i)
+        seeds.push_back(space.randomEncoding(rng));
+    std::vector<Individual> population = evaluate_generation(seeds);
     if (population.size() < 4)
         return result;
 
@@ -103,11 +111,11 @@ GeneticAlgorithm::optimize(DseEvaluator &evaluator,
             return population[crowding[a] > crowding[b] ? a : b];
         };
 
-        // Offspring generation.
-        std::vector<Individual> offspring;
-        offspring.reserve(cfg.populationSize);
-        while (static_cast<int>(offspring.size()) < cfg.populationSize &&
-               evaluated < config.evaluationBudget) {
+        // Offspring generation: breed the whole generation first (pure
+        // RNG work), then evaluate it as one parallel batch.
+        std::vector<Encoding> children;
+        children.reserve(cfg.populationSize);
+        while (static_cast<int>(children.size()) < cfg.populationSize) {
             const Individual &parent_a = tournament();
             const Individual &parent_b = tournament();
             Encoding child = parent_a.genes;
@@ -123,8 +131,10 @@ GeneticAlgorithm::optimize(DseEvaluator &evaluator,
                         0, space.dimensionSizes()[g] - 1);
                 }
             }
-            offspring.push_back(evaluate_individual(child));
+            children.push_back(child);
         }
+        const std::vector<Individual> offspring =
+            evaluate_generation(children);
 
         // Environmental selection over parents + offspring.
         std::vector<Individual> combined = population;

@@ -38,15 +38,30 @@ bool
 recordEvaluation(DseEvaluator &evaluator, const Encoding &encoding,
                  const OptimizerConfig &config, OptimizerResult &result)
 {
-    const std::size_t before = evaluator.evaluationCount();
-    const Evaluation &evaluation = evaluator.evaluate(encoding);
-    if (evaluator.evaluationCount() == before)
-        return false; // Memoized repeat.
+    return recordEvaluations(evaluator,
+                             std::span<const Encoding>(&encoding, 1),
+                             config, result, 1) == 1;
+}
 
-    result.archive.push_back(evaluation);
-    result.hypervolumeHistory.push_back(
-        result.finalHypervolume(config.referencePoint));
-    return true;
+int
+recordEvaluations(DseEvaluator &evaluator,
+                  std::span<const Encoding> encodings,
+                  const OptimizerConfig &config, OptimizerResult &result,
+                  int maxNewPoints)
+{
+    const std::vector<BatchResult> batch =
+        evaluator.evaluateBatch(encodings);
+
+    int recorded = 0;
+    for (const BatchResult &entry : batch) {
+        if (!entry.fresh || recorded >= maxNewPoints)
+            continue;
+        result.archive.push_back(*entry.evaluation);
+        result.hypervolumeHistory.push_back(
+            result.finalHypervolume(config.referencePoint));
+        ++recorded;
+    }
+    return recorded;
 }
 
 } // namespace autopilot::dse

@@ -13,6 +13,7 @@
 #define AUTOPILOT_DSE_OPTIMIZER_H
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,24 @@ class Optimizer
 bool recordEvaluation(DseEvaluator &evaluator, const Encoding &encoding,
                       const OptimizerConfig &config,
                       OptimizerResult &result);
+
+/**
+ * Batch-aware bookkeeping: evaluate all of @p encodings through the
+ * evaluator's batch API (parallel when the evaluator has a thread pool
+ * attached), then commit results in PROPOSAL ORDER - never completion
+ * order - so archives and hypervolume histories are byte-identical
+ * across thread counts.
+ *
+ * Fresh points are appended to the archive, at most @p maxNewPoints of
+ * them; fresh points past that limit stay memoized but unrecorded,
+ * matching the serial semantics of proposing past an exhausted budget.
+ *
+ * @return Number of fresh points recorded (counts against the budget).
+ */
+int recordEvaluations(DseEvaluator &evaluator,
+                      std::span<const Encoding> encodings,
+                      const OptimizerConfig &config,
+                      OptimizerResult &result, int maxNewPoints);
 
 } // namespace autopilot::dse
 

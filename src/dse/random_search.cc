@@ -1,5 +1,7 @@
 #include "dse/random_search.h"
 
+#include <algorithm>
+
 #include "util/rng.h"
 
 namespace autopilot::dse
@@ -13,16 +15,23 @@ RandomSearch::optimize(DseEvaluator &evaluator,
     OptimizerResult result;
     int evaluated = 0;
     // Distinct-point budget; cap proposal attempts so a tiny space cannot
-    // loop forever.
+    // loop forever. Proposals are drawn in chunks of the remaining budget
+    // and evaluated as one parallel batch; committing in proposal order
+    // keeps the archive identical to the one-at-a-time serial path.
     long attempts = 0;
     const long max_attempts = 1000L * config.evaluationBudget + 1000;
     while (evaluated < config.evaluationBudget &&
            attempts < max_attempts) {
-        ++attempts;
-        const Encoding encoding =
-            evaluator.space().randomEncoding(rng);
-        if (recordEvaluation(evaluator, encoding, config, result))
-            ++evaluated;
+        const int remaining = config.evaluationBudget - evaluated;
+        const long chunk = std::min<long>(remaining,
+                                          max_attempts - attempts);
+        std::vector<Encoding> proposals;
+        proposals.reserve(static_cast<std::size_t>(chunk));
+        for (long i = 0; i < chunk; ++i)
+            proposals.push_back(evaluator.space().randomEncoding(rng));
+        attempts += chunk;
+        evaluated += recordEvaluations(evaluator, proposals, config,
+                                       result, remaining);
     }
     return result;
 }

@@ -1,0 +1,139 @@
+#include "util/thread_pool.h"
+
+#include <exception>
+
+namespace autopilot::util
+{
+
+void
+Latch::countDown()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (remaining > 0 && --remaining == 0)
+        cv.notify_all();
+}
+
+void
+Latch::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return remaining == 0; });
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    workers.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    available.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            available.wait(lock,
+                           [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained.
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (count == 1) {
+        body(0);
+        return;
+    }
+
+    // Shared claim counter + completion latch + first-error slot.
+    // Helpers (one per worker, capped at the iteration count) and the
+    // caller all drain the same counter, so the caller always makes
+    // progress even when every worker is busy with unrelated tasks.
+    // The caller waits on the latch, NOT on the helper tasks: a helper
+    // that never gets scheduled (e.g. nested parallelFor from a worker)
+    // is harmless - once all iterations are claimed it would exit
+    // without touching caller state, so no self-deadlock is possible.
+    struct State
+    {
+        explicit State(std::ptrdiff_t n) : done(n) {}
+        std::atomic<std::size_t> next{0};
+        Latch done;
+        std::atomic<bool> failed{false};
+        std::exception_ptr error;
+        std::mutex errorMutex;
+    };
+    auto state =
+        std::make_shared<State>(static_cast<std::ptrdiff_t>(count));
+
+    auto drain = [state, count, &body]() {
+        for (;;) {
+            const std::size_t i =
+                state->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            if (!state->failed.load(std::memory_order_relaxed)) {
+                try {
+                    body(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(state->errorMutex);
+                    if (!state->error)
+                        state->error = std::current_exception();
+                    state->failed.store(true,
+                                        std::memory_order_relaxed);
+                }
+            }
+            state->done.countDown();
+        }
+    };
+
+    const std::size_t helpers = std::min(workers.size(), count - 1);
+    for (std::size_t h = 0; h < helpers; ++h)
+        submit(drain);
+
+    drain(); // Caller participates.
+    state->done.wait();
+
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+void
+parallel_for(ThreadPool *pool, std::size_t count,
+             const std::function<void(std::size_t)> &body)
+{
+    if (pool != nullptr) {
+        pool->parallelFor(count, body);
+        return;
+    }
+    for (std::size_t i = 0; i < count; ++i)
+        body(i);
+}
+
+} // namespace autopilot::util

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Fixed-size worker thread pool with a shared task queue.
+ *
+ * The batch-parallel evaluation core (dse::DseEvaluator::evaluateBatch,
+ * Phase 1 training fan-out, Phase 3 candidate mapping) runs on this pool:
+ * one pool per pipeline, sized once, reused across batches so worker
+ * startup cost is paid a single time rather than per generation.
+ *
+ * Determinism contract: the pool executes tasks in an unspecified order
+ * on unspecified workers; callers that need reproducible results must
+ * make each task pure (output depends only on its input) and commit
+ * results in submission order. parallel_for() helps with that: it indexes
+ * tasks by position so results land in caller-owned slots.
+ */
+
+#ifndef AUTOPILOT_UTIL_THREAD_POOL_H
+#define AUTOPILOT_UTIL_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace autopilot::util
+{
+
+/**
+ * Single-use countdown latch: countDown() n times releases wait().
+ *
+ * (std::latch exists in C++20 but is missing from some libstdc++
+ * configurations this project targets; this is the minimal subset.)
+ */
+class Latch
+{
+  public:
+    /** @param count Number of countDown() calls that release wait(). */
+    explicit Latch(std::ptrdiff_t count) : remaining(count) {}
+
+    Latch(const Latch &) = delete;
+    Latch &operator=(const Latch &) = delete;
+
+    /** Decrement; the final decrement wakes all waiters. */
+    void countDown();
+
+    /** Block until the count reaches zero. */
+    void wait();
+
+  private:
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::ptrdiff_t remaining;
+};
+
+/** Fixed worker threads pulling from one task queue until shutdown. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers. A count of 0 falls back to
+     * std::thread::hardware_concurrency() (minimum 1).
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Drains nothing: pending tasks are completed, then workers join. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t threadCount() const { return workers.size(); }
+
+    /**
+     * Enqueue a callable; the future resolves with its result (or
+     * exception). Safe to call from any thread, including pool workers
+     * submitting follow-up work - but a worker must never block on a
+     * future of a task queued behind it (classic self-deadlock).
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using Result = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (stopping)
+                throw std::runtime_error(
+                    "ThreadPool::submit after shutdown");
+            queue.emplace_back([task]() { (*task)(); });
+        }
+        available.notify_one();
+        return future;
+    }
+
+    /**
+     * Run body(i) for every i in [0, count) across the pool and block
+     * until all iterations finish. The calling thread participates, so a
+     * pool of one worker still makes progress and the call is safe even
+     * from within a pool task. Iterations are claimed dynamically (one
+     * atomic counter), so uneven per-iteration cost load-balances.
+     *
+     * The first exception thrown by any iteration is rethrown on the
+     * caller after all iterations complete or are abandoned.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mutex;
+    std::condition_variable available;
+    bool stopping = false;
+};
+
+/**
+ * Convenience: run body(i) for i in [0, count) on @p pool, or serially on
+ * the calling thread when @p pool is null (the single-threaded path used
+ * whenever a component has no pool attached).
+ */
+void parallel_for(ThreadPool *pool, std::size_t count,
+                  const std::function<void(std::size_t)> &body);
+
+} // namespace autopilot::util
+
+#endif // AUTOPILOT_UTIL_THREAD_POOL_H

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Tests for the batch-parallel evaluation core: the util::ThreadPool,
+ * the concurrent memo cache of DseEvaluator::evaluateBatch, and the
+ * hard determinism requirement that every optimizer produces a
+ * byte-identical result with and without worker threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "airlearning/trainer.h"
+#include "core/autopilot.h"
+#include "dse/annealing.h"
+#include "dse/bayesopt.h"
+#include "dse/evaluator.h"
+#include "dse/genetic.h"
+#include "dse/optimizer.h"
+#include "dse/random_search.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dse = autopilot::dse;
+namespace al = autopilot::airlearning;
+namespace util = autopilot::util;
+
+namespace
+{
+
+/** One shared Phase 1 database for every test here (cheap config). */
+const al::PolicyDatabase &
+sharedDatabase()
+{
+    static const al::PolicyDatabase db = [] {
+        al::TrainerConfig config;
+        config.validationEpisodes = 40;
+        const al::Trainer trainer(config);
+        al::PolicyDatabase built;
+        trainer.trainAll(autopilot::nn::PolicySpace(),
+                         al::ObstacleDensity::Dense, built);
+        return built;
+    }();
+    return db;
+}
+
+std::vector<dse::Encoding>
+distinctEncodings(std::size_t count, std::uint64_t seed)
+{
+    const dse::DesignSpace space;
+    util::Rng rng(seed);
+    std::vector<dse::Encoding> out;
+    std::set<dse::Encoding> seen;
+    while (out.size() < count) {
+        const dse::Encoding encoding = space.randomEncoding(rng);
+        if (seen.insert(encoding).second)
+            out.push_back(encoding);
+    }
+    return out;
+}
+
+} // namespace
+
+// --------------------------------------------------------- thread pool ----
+
+TEST(ThreadPool, SubmitReturnsFutureResults)
+{
+    util::ThreadPool pool(3);
+    EXPECT_EQ(pool.threadCount(), 3u);
+    auto doubled = pool.submit([] { return 21 * 2; });
+    auto greeting = pool.submit([] { return std::string("hi"); });
+    EXPECT_EQ(doubled.get(), 42);
+    EXPECT_EQ(greeting.get(), "hi");
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions)
+{
+    util::ThreadPool pool(2);
+    auto failing =
+        pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(failing.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    util::ThreadPool pool(4);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> touched(n);
+    pool.parallelFor(n, [&](std::size_t i) {
+        touched[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstError)
+{
+    util::ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(
+                     64,
+                     [](std::size_t i) {
+                         if (i == 7)
+                             throw std::runtime_error("bad iteration");
+                     }),
+                 std::runtime_error);
+    // The pool must survive an erroring parallelFor.
+    std::atomic<int> sum{0};
+    pool.parallelFor(10, [&](std::size_t i) {
+        sum.fetch_add(static_cast<int>(i));
+    });
+    EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // A pool task running its own parallelFor must not self-deadlock
+    // even when the pool has a single worker.
+    util::ThreadPool pool(1);
+    std::atomic<int> total{0};
+    auto outer = pool.submit([&] {
+        pool.parallelFor(8, [&](std::size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    outer.get();
+    EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ThreadPool, FreeFunctionRunsSeriallyWithoutPool)
+{
+    std::vector<std::size_t> order;
+    util::parallel_for(nullptr, 5,
+                       [&](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Latch, ReleasesAfterFullCountdown)
+{
+    util::Latch latch(2);
+    std::atomic<bool> released{false};
+    std::thread waiter([&] {
+        latch.wait();
+        released.store(true);
+    });
+    latch.countDown();
+    EXPECT_FALSE(released.load());
+    latch.countDown();
+    waiter.join();
+    EXPECT_TRUE(released.load());
+}
+
+// ----------------------------------------------------- concurrent cache ----
+
+TEST(BatchEvaluator, FreshFlagsMarkFirstOccurrencesOnly)
+{
+    dse::DseEvaluator evaluator(sharedDatabase(),
+                                al::ObstacleDensity::Dense);
+    const auto points = distinctEncodings(3, 11);
+    const std::vector<dse::Encoding> batch = {points[0], points[1],
+                                              points[0], points[2],
+                                              points[1]};
+    const auto results = evaluator.evaluateBatch(batch);
+    ASSERT_EQ(results.size(), 5u);
+    EXPECT_TRUE(results[0].fresh);
+    EXPECT_TRUE(results[1].fresh);
+    EXPECT_FALSE(results[2].fresh);
+    EXPECT_TRUE(results[3].fresh);
+    EXPECT_FALSE(results[4].fresh);
+    // Duplicates resolve to the same cached node.
+    EXPECT_EQ(results[0].evaluation, results[2].evaluation);
+    EXPECT_EQ(results[1].evaluation, results[4].evaluation);
+    EXPECT_EQ(evaluator.evaluationCount(), 3u);
+
+    const dse::CacheStats stats = evaluator.cacheStats();
+    EXPECT_EQ(stats.misses, 3u);
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.requests(), 5u);
+
+    // A later batch only pays for the genuinely new point.
+    const auto next = evaluator.evaluateBatch(
+        std::vector<dse::Encoding>{points[0], points[2]});
+    EXPECT_FALSE(next[0].fresh);
+    EXPECT_FALSE(next[1].fresh);
+    EXPECT_EQ(evaluator.evaluationCount(), 3u);
+}
+
+TEST(BatchEvaluator, MatchesSerialEvaluateExactly)
+{
+    dse::DseEvaluator serial(sharedDatabase(),
+                             al::ObstacleDensity::Dense);
+    util::ThreadPool pool(4);
+    dse::DseEvaluator parallel(sharedDatabase(),
+                               al::ObstacleDensity::Dense);
+    parallel.setThreadPool(&pool);
+
+    const auto points = distinctEncodings(32, 23);
+    const auto batch = parallel.evaluateBatch(points);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const dse::Evaluation &expected = serial.evaluate(points[i]);
+        const dse::Evaluation &actual = *batch[i].evaluation;
+        EXPECT_EQ(expected.objectives, actual.objectives);
+        EXPECT_EQ(expected.latencyMs, actual.latencyMs);
+        EXPECT_EQ(expected.socPowerW, actual.socPowerW);
+        EXPECT_EQ(expected.fps, actual.fps);
+    }
+}
+
+TEST(BatchEvaluator, AllEvaluationsReturnsFirstRequestOrder)
+{
+    dse::DseEvaluator evaluator(sharedDatabase(),
+                                al::ObstacleDensity::Dense);
+    util::ThreadPool pool(4);
+    evaluator.setThreadPool(&pool);
+
+    const auto points = distinctEncodings(10, 37);
+    evaluator.evaluate(points[0]);
+    evaluator.evaluateBatch(std::vector<dse::Encoding>{
+        points[1], points[2], points[0], points[3]});
+    evaluator.evaluate(points[4]);
+    evaluator.evaluateBatch(std::vector<dse::Encoding>{
+        points[5], points[4], points[6], points[7], points[8],
+        points[9]});
+
+    const std::vector<dse::Evaluation> all =
+        evaluator.allEvaluations();
+    ASSERT_EQ(all.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(all[i].encoding, points[i]) << "position " << i;
+}
+
+TEST(BatchEvaluator, ConcurrentHammerSimulatesEachPointOnce)
+{
+    dse::DseEvaluator evaluator(sharedDatabase(),
+                                al::ObstacleDensity::Dense);
+    util::ThreadPool pool(4);
+    evaluator.setThreadPool(&pool);
+
+    constexpr std::size_t distinct = 12;
+    constexpr std::size_t callers = 8;
+    constexpr std::size_t rounds = 16;
+    const auto points = distinctEncodings(distinct, 51);
+
+    // Every caller hammers the same distinct points, shuffled and
+    // duplicated differently per round, racing both the pool workers
+    // and each other on the per-key in-flight guards.
+    std::vector<std::thread> threads;
+    threads.reserve(callers);
+    std::atomic<std::uint64_t> requested{0};
+    for (std::size_t t = 0; t < callers; ++t) {
+        threads.emplace_back([&, t] {
+            util::Rng rng(0x7A3B + t);
+            for (std::size_t round = 0; round < rounds; ++round) {
+                std::vector<dse::Encoding> batch;
+                batch.reserve(2 * distinct);
+                for (std::size_t rep = 0; rep < 2; ++rep)
+                    for (const dse::Encoding &point : points)
+                        batch.push_back(point);
+                rng.shuffle(batch);
+                requested.fetch_add(batch.size());
+                const auto results = evaluator.evaluateBatch(batch);
+                for (std::size_t i = 0; i < batch.size(); ++i) {
+                    ASSERT_NE(results[i].evaluation, nullptr);
+                    EXPECT_EQ(results[i].evaluation->encoding,
+                              batch[i]);
+                }
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    // Each distinct point was simulated exactly once process-wide.
+    EXPECT_EQ(evaluator.evaluationCount(), distinct);
+    const dse::CacheStats stats = evaluator.cacheStats();
+    EXPECT_EQ(stats.misses, distinct);
+    EXPECT_EQ(stats.requests(), requested.load());
+    EXPECT_EQ(stats.hits + stats.misses, requested.load());
+
+    // Values agree with an independent serial evaluator.
+    dse::DseEvaluator reference(sharedDatabase(),
+                                al::ObstacleDensity::Dense);
+    for (const dse::Encoding &point : points) {
+        EXPECT_EQ(evaluator.evaluate(point).objectives,
+                  reference.evaluate(point).objectives);
+    }
+}
+
+// ------------------------------------- serial/parallel optimizer parity ----
+
+namespace
+{
+
+std::unique_ptr<dse::Optimizer>
+makeOptimizer(int kind)
+{
+    switch (kind) {
+      case 0: return std::make_unique<dse::RandomSearch>();
+      case 1: {
+          // Batched BO: q-batch suggestions plus parallel screening.
+          dse::BayesOpt::Settings settings;
+          settings.initialSamples = 8;
+          settings.candidatePool = 64;
+          settings.batchSize = 4;
+          return std::make_unique<dse::BayesOpt>(settings);
+      }
+      case 2: return std::make_unique<dse::GeneticAlgorithm>();
+      case 3: {
+          // Restart-heavy SA so the batch fan-out path actually runs.
+          dse::SimulatedAnnealing::Settings settings;
+          settings.initialTemperature = 5e-4;
+          settings.coolingRate = 0.5;
+          settings.restartFanout = 3;
+          return std::make_unique<dse::SimulatedAnnealing>(settings);
+      }
+    }
+    return nullptr;
+}
+
+} // namespace
+
+class SerialParallelParity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SerialParallelParity, ByteIdenticalResultAcrossThreadCounts)
+{
+    dse::OptimizerConfig config;
+    config.evaluationBudget = 40;
+    config.seed = 0xC0FFEE;
+
+    dse::DseEvaluator serial_eval(sharedDatabase(),
+                                  al::ObstacleDensity::Dense);
+    const dse::OptimizerResult serial =
+        makeOptimizer(GetParam())->optimize(serial_eval, config);
+
+    for (std::size_t threads : {2u, 4u}) {
+        util::ThreadPool pool(threads);
+        dse::DseEvaluator parallel_eval(sharedDatabase(),
+                                        al::ObstacleDensity::Dense);
+        parallel_eval.setThreadPool(&pool);
+        const dse::OptimizerResult parallel =
+            makeOptimizer(GetParam())->optimize(parallel_eval, config);
+
+        ASSERT_EQ(serial.archive.size(), parallel.archive.size())
+            << threads << " threads";
+        for (std::size_t i = 0; i < serial.archive.size(); ++i) {
+            EXPECT_EQ(serial.archive[i].encoding,
+                      parallel.archive[i].encoding)
+                << "archive position " << i;
+            EXPECT_EQ(serial.archive[i].objectives,
+                      parallel.archive[i].objectives)
+                << "archive position " << i;
+        }
+        ASSERT_EQ(serial.hypervolumeHistory.size(),
+                  parallel.hypervolumeHistory.size());
+        for (std::size_t i = 0; i < serial.hypervolumeHistory.size();
+             ++i) {
+            EXPECT_EQ(serial.hypervolumeHistory[i],
+                      parallel.hypervolumeHistory[i])
+                << "history position " << i;
+        }
+        EXPECT_EQ(serial.frontIndices(), parallel.frontIndices());
+    }
+}
+
+namespace
+{
+
+std::string
+parityCaseName(const ::testing::TestParamInfo<int> &info)
+{
+    static const char *const names[] = {"Random", "BatchedBO", "Nsga2",
+                                        "FanoutSA"};
+    return names[info.param];
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(All, SerialParallelParity,
+                         ::testing::Values(0, 1, 2, 3), parityCaseName);
+
+// -------------------------------------------------- pipeline threading ----
+
+TEST(AutoPilotThreads, PipelineIsByteIdenticalAcrossThreadCounts)
+{
+    autopilot::core::TaskSpec task;
+    task.validationEpisodes = 30;
+    task.dseBudget = 20;
+    task.threads = 1;
+    autopilot::core::TaskSpec task4 = task;
+    task4.threads = 4;
+
+    autopilot::core::AutoPilot serial(task);
+    autopilot::core::AutoPilot threaded(task4);
+    const auto run_serial =
+        serial.designFor(autopilot::uav::zhangNano());
+    const auto run_threaded =
+        threaded.designFor(autopilot::uav::zhangNano());
+
+    ASSERT_EQ(run_serial.dseResult.archive.size(),
+              run_threaded.dseResult.archive.size());
+    for (std::size_t i = 0; i < run_serial.dseResult.archive.size();
+         ++i) {
+        EXPECT_EQ(run_serial.dseResult.archive[i].encoding,
+                  run_threaded.dseResult.archive[i].encoding);
+        EXPECT_EQ(run_serial.dseResult.archive[i].objectives,
+                  run_threaded.dseResult.archive[i].objectives);
+    }
+    ASSERT_EQ(run_serial.candidates.size(),
+              run_threaded.candidates.size());
+    for (std::size_t i = 0; i < run_serial.candidates.size(); ++i) {
+        EXPECT_EQ(run_serial.candidates[i].eval.encoding,
+                  run_threaded.candidates[i].eval.encoding);
+        EXPECT_EQ(run_serial.candidates[i].mission.numMissions,
+                  run_threaded.candidates[i].mission.numMissions);
+    }
+    EXPECT_EQ(run_serial.selected.eval.encoding,
+              run_threaded.selected.eval.encoding);
+    EXPECT_EQ(run_serial.selected.mission.numMissions,
+              run_threaded.selected.mission.numMissions);
+}
+
+// ------------------------------------------------- budget bookkeeping ----
+
+TEST(RecordEvaluations, CapsFreshPointsAtMaxNewPoints)
+{
+    dse::DseEvaluator evaluator(sharedDatabase(),
+                                al::ObstacleDensity::Dense);
+    const auto points = distinctEncodings(6, 91);
+    dse::OptimizerConfig config;
+    dse::OptimizerResult result;
+
+    const int recorded = dse::recordEvaluations(
+        evaluator, points, config, result, 4);
+    EXPECT_EQ(recorded, 4);
+    ASSERT_EQ(result.archive.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(result.archive[i].encoding, points[i]);
+    EXPECT_EQ(result.hypervolumeHistory.size(), 4u);
+
+    // The over-budget points are memoized but unrecorded; re-proposing
+    // them records nothing new.
+    dse::OptimizerResult second;
+    const int again = dse::recordEvaluations(evaluator, points, config,
+                                             second, 10);
+    EXPECT_EQ(again, 0);
+    EXPECT_TRUE(second.archive.empty());
+    EXPECT_EQ(evaluator.evaluationCount(), 6u);
+}
+
