@@ -23,6 +23,7 @@
 #include "systolic/cycle_engine.h"
 #include "systolic/engine.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 using namespace autopilot;
@@ -194,6 +195,13 @@ BM_BatchEvaluate128(benchmark::State &state)
     if (threads > 1)
         pool = std::make_unique<util::ThreadPool>(threads);
 
+    // Collect the evaluator/pool telemetry for this thread count so the
+    // benchmark report shows where the wall-clock goes (queue wait vs
+    // task run) next to the throughput numbers.
+    util::Telemetry &telemetry = util::Telemetry::instance();
+    telemetry.reset();
+    telemetry.setEnabled(true);
+
     for (auto _ : state) {
         state.PauseTiming(); // Fresh evaluator => cold memo cache.
         auto evaluator = std::make_unique<dse::DseEvaluator>(
@@ -206,6 +214,34 @@ BM_BatchEvaluate128(benchmark::State &state)
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             128);
+
+    telemetry.setEnabled(false);
+    const util::MetricsRegistry &metrics = telemetry.metrics();
+    const util::MetricSample hits = metrics.find("dse.cache.hit");
+    const util::MetricSample misses = metrics.find("dse.cache.miss");
+    const util::MetricSample tasks = metrics.find("pool.tasks");
+    const util::MetricSample run_s = metrics.find("pool.task_run_s");
+    const util::MetricSample wait_s = metrics.find("pool.queue_wait_s");
+    const util::MetricSample sim_s = metrics.find("dse.simulate_s");
+    state.counters["cache_hits"] =
+        benchmark::Counter(static_cast<double>(hits.count));
+    state.counters["cache_misses"] =
+        benchmark::Counter(static_cast<double>(misses.count));
+    state.counters["pool_tasks"] =
+        benchmark::Counter(static_cast<double>(tasks.count));
+    auto mean_ms = [](const util::MetricSample &sample) {
+        return sample.count == 0
+                   ? 0.0
+                   : sample.sum / static_cast<double>(sample.count) *
+                         1e3;
+    };
+    state.counters["task_run_ms_mean"] =
+        benchmark::Counter(mean_ms(run_s));
+    state.counters["queue_wait_ms_mean"] =
+        benchmark::Counter(mean_ms(wait_s));
+    state.counters["simulate_ms_mean"] =
+        benchmark::Counter(mean_ms(sim_s));
+    telemetry.reset();
 }
 BENCHMARK(BM_BatchEvaluate128)
     ->Arg(1)

@@ -2,6 +2,7 @@
 
 #include "airlearning/training_curve.h"
 #include "util/logging.h"
+#include "util/telemetry.h"
 
 namespace autopilot::airlearning
 {
@@ -102,6 +103,7 @@ Trainer::trainAll(const nn::PolicySpace &space, ObstacleDensity density,
     // enumeration order, keeping the database identical to a serial run.
     std::vector<PolicyRecord> records(combinations.size());
     util::parallel_for(pool, combinations.size(), [&](std::size_t i) {
+        util::TraceSpan span("phase1.train_policy", "phase1");
         records[i] =
             trainBestOf(combinations[i], density, cfg.trainingSeeds);
     });

@@ -5,6 +5,7 @@
 #include "power/mass_model.h"
 #include "uav/f1_model.h"
 #include "util/logging.h"
+#include "util/telemetry.h"
 
 namespace autopilot::core
 {
@@ -31,6 +32,8 @@ AutoPilot::AutoPilot(const TaskSpec &task) : taskSpec(task)
                   "AutoPilot: success tolerance outside [0, 1]");
     util::fatalIf(taskSpec.threads < 0,
                   "AutoPilot: thread count must be >= 0");
+    if (taskSpec.telemetry)
+        util::Telemetry::instance().setEnabled(true);
 }
 
 util::ThreadPool *
@@ -49,6 +52,7 @@ const airlearning::PolicyDatabase &
 AutoPilot::phase1()
 {
     if (!phase1Done) {
+        util::TraceSpan span("phase1", "autopilot");
         airlearning::TrainerConfig trainer_config;
         trainer_config.validationEpisodes = taskSpec.validationEpisodes;
         trainer_config.seed = taskSpec.seed;
@@ -65,6 +69,7 @@ AutoPilot::phase2()
 {
     if (!phase2Done) {
         dse::DseEvaluator evaluator(phase1(), taskSpec.density);
+        util::TraceSpan span("phase2", "autopilot");
         evaluator.setThreadPool(workerPool());
         dse::BayesOpt optimizer;
         dse::OptimizerConfig config;
@@ -199,7 +204,8 @@ AutoPilot::designFor(const uav::UavSpec &uav)
     AutoPilotRun run;
     run.uav = uav;
     run.task = taskSpec;
-    run.dseResult = phase2();
+    run.dseResult = phase2(); // Before the span: phases must not nest.
+    util::TraceSpan span("phase3", "autopilot");
     run.candidates = candidatesFor(uav);
     run.selected = selectByStrategy(run.candidates,
                                     DesignStrategy::AutoPilotPick);

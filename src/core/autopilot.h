@@ -60,6 +60,14 @@ struct TaskSpec
     /// byte-identical across thread counts for a fixed seed: every
     /// parallel stage commits its results in proposal order.
     int threads = 1;
+    /// Enable the run-telemetry subsystem (util::Telemetry): Phase
+    /// 1/2/3 trace spans, per-evaluation simulate spans, cache/pool
+    /// metrics, and a summary table appended to printRunReport(). Off
+    /// by default so reports and golden outputs are unchanged. The flag
+    /// switches the process-wide telemetry context on; it never turns
+    /// it off, so several AutoPilot instances can share one enabled
+    /// context.
+    bool telemetry = false;
 };
 
 /** A Phase 2 candidate lowered to a full UAV system (Phase 3 view). */

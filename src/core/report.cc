@@ -1,6 +1,7 @@
 #include "core/report.h"
 
 #include "util/table.h"
+#include "util/telemetry.h"
 
 namespace autopilot::core
 {
@@ -57,6 +58,11 @@ printRunReport(const AutoPilotRun &run, std::ostream &os)
        << run.candidates.size() << "\n\n";
     os << "Selected design:\n";
     printDesignReport(run.selected, os);
+
+    if (util::Telemetry::instance().enabled()) {
+        os << "\nRun telemetry:\n";
+        printTelemetrySummary(os);
+    }
 }
 
 void
@@ -83,6 +89,12 @@ printStrategyComparison(const std::vector<FullSystemDesign> &candidates,
              formatDouble(design.mission.numMissions, 1)});
     }
     table.print(os);
+}
+
+void
+printTelemetrySummary(std::ostream &os)
+{
+    util::Telemetry::instance().printSummary(os);
 }
 
 } // namespace autopilot::core

@@ -31,6 +31,15 @@ void printRunReport(const AutoPilotRun &run, std::ostream &os);
 void printStrategyComparison(
     const std::vector<FullSystemDesign> &candidates, std::ostream &os);
 
+/**
+ * Print the global run-telemetry metrics as a human-readable table
+ * (counters, gauges and latency histograms collected while
+ * TaskSpec::telemetry was on). printRunReport() appends this
+ * automatically when telemetry is enabled; with telemetry off the
+ * report output is unchanged.
+ */
+void printTelemetrySummary(std::ostream &os);
+
 } // namespace autopilot::core
 
 #endif // AUTOPILOT_CORE_REPORT_H

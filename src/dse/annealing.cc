@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 
 namespace autopilot::dse
 {
@@ -73,7 +74,11 @@ SimulatedAnnealing::optimize(DseEvaluator &evaluator,
     int steps_since_resample = 0;
     int stagnant = 0;
 
+    util::Telemetry &telemetry = util::Telemetry::instance();
     while (evaluated < config.evaluationBudget && stagnant < 2000) {
+        util::TraceSpan step_span("sa.step", "optimizer");
+        if (telemetry.enabled())
+            telemetry.metrics().counter("sa.steps").add();
         if (++steps_since_resample >= cfg.weightResamplePeriod) {
             weights = random_weights(current_objectives.size());
             steps_since_resample = 0;
@@ -112,6 +117,9 @@ SimulatedAnnealing::optimize(DseEvaluator &evaluator,
         // with the lowest current scalarized energy; earliest proposal
         // wins ties, so the walk is identical across thread counts.
         if (temperature < 1e-3) {
+            util::TraceSpan restart_span("sa.restart", "optimizer");
+            if (telemetry.enabled())
+                telemetry.metrics().counter("sa.restarts").add();
             temperature = cfg.initialTemperature * 0.5;
             std::vector<Encoding> restarts;
             restarts.reserve(cfg.restartFanout);

@@ -8,6 +8,7 @@
 #include "dse/hypervolume.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 
 namespace autopilot::dse
 {
@@ -37,25 +38,33 @@ BayesOpt::optimize(DseEvaluator &evaluator, const OptimizerConfig &config)
 
     // --- Initial random design (chunked parallel batches) ---
     int evaluated = 0;
-    long attempts = 0;
     const int initial =
         std::min(cfg.initialSamples, config.evaluationBudget);
-    while (evaluated < initial && attempts < 100000) {
-        const long chunk = std::min<long>(initial - evaluated,
-                                          100000 - attempts);
-        std::vector<Encoding> proposals;
-        proposals.reserve(static_cast<std::size_t>(chunk));
-        for (long i = 0; i < chunk; ++i)
-            proposals.push_back(space.randomEncoding(rng));
-        attempts += chunk;
-        evaluated += recordEvaluations(evaluator, proposals, config,
-                                       result, initial - evaluated);
-        for (const Encoding &proposal : proposals)
-            visited.insert(proposal);
+    {
+        util::TraceSpan init_span("bo.initial_design", "optimizer");
+        long attempts = 0;
+        while (evaluated < initial && attempts < 100000) {
+            const long chunk = std::min<long>(initial - evaluated,
+                                              100000 - attempts);
+            std::vector<Encoding> proposals;
+            proposals.reserve(static_cast<std::size_t>(chunk));
+            for (long i = 0; i < chunk; ++i)
+                proposals.push_back(space.randomEncoding(rng));
+            attempts += chunk;
+            evaluated += recordEvaluations(evaluator, proposals, config,
+                                           result, initial - evaluated);
+            for (const Encoding &proposal : proposals)
+                visited.insert(proposal);
+        }
     }
 
     // --- Model-guided iterations ---
+    util::Telemetry &telemetry = util::Telemetry::instance();
     while (evaluated < config.evaluationBudget) {
+        util::TraceSpan iteration_span("bo.iteration", "optimizer");
+        if (telemetry.enabled())
+            telemetry.metrics().counter("bo.iterations").add();
+
         // Fit one GP per objective on the full archive.
         std::vector<std::vector<double>> inputs;
         inputs.reserve(result.archive.size());
@@ -66,14 +75,21 @@ BayesOpt::optimize(DseEvaluator &evaluator, const OptimizerConfig &config)
             result.archive.front().objectives.size();
         std::vector<GaussianProcess> models;
         models.reserve(num_objectives);
-        for (std::size_t d = 0; d < num_objectives; ++d) {
-            std::vector<double> targets;
-            targets.reserve(result.archive.size());
-            for (const Evaluation &evaluation : result.archive)
-                targets.push_back(evaluation.objectives[d]);
-            GaussianProcess gp(cfg.gp);
-            gp.fit(inputs, targets);
-            models.push_back(std::move(gp));
+        {
+            util::TraceSpan fit_span("bo.fit_gp", "optimizer");
+            util::ScopedTimer fit_timer(
+                telemetry.enabled()
+                    ? &telemetry.metrics().histogram("bo.fit_gp_s")
+                    : nullptr);
+            for (std::size_t d = 0; d < num_objectives; ++d) {
+                std::vector<double> targets;
+                targets.reserve(result.archive.size());
+                for (const Evaluation &evaluation : result.archive)
+                    targets.push_back(evaluation.objectives[d]);
+                GaussianProcess gp(cfg.gp);
+                gp.fit(inputs, targets);
+                models.push_back(std::move(gp));
+            }
         }
 
         // Current front and reference for the S-metric.
@@ -107,6 +123,12 @@ BayesOpt::optimize(DseEvaluator &evaluator, const OptimizerConfig &config)
         // the whole search trajectory) is identical across thread
         // counts.
         std::vector<double> scores(pool.size());
+        const std::int64_t screen_start =
+            telemetry.enabled() ? telemetry.trace().nowUs() : 0;
+        util::ScopedTimer screen_timer(
+            telemetry.enabled()
+                ? &telemetry.metrics().histogram("bo.screen_s")
+                : nullptr);
         util::parallel_for(
             evaluator.threadPool(), pool.size(), [&](std::size_t c) {
                 const std::vector<double> features =
@@ -138,6 +160,12 @@ BayesOpt::optimize(DseEvaluator &evaluator, const OptimizerConfig &config)
                 }
                 scores[c] = score;
             });
+        screen_timer.stop();
+        if (telemetry.enabled()) {
+            telemetry.trace().record(
+                "bo.screen", "optimizer", screen_start,
+                telemetry.trace().nowUs() - screen_start);
+        }
 
         // q-batch suggestion: take the top scorers (earliest proposal
         // wins ties) and evaluate them as one parallel batch, committed

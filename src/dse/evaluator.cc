@@ -4,6 +4,7 @@
 #include "power/soc_power.h"
 #include "systolic/engine.h"
 #include "util/logging.h"
+#include "util/telemetry.h"
 
 namespace autopilot::dse
 {
@@ -54,6 +55,10 @@ DseEvaluator::evaluate(const Encoding &encoding)
 std::vector<BatchResult>
 DseEvaluator::evaluateBatch(std::span<const Encoding> encodings)
 {
+    util::Telemetry &telemetry = util::Telemetry::instance();
+    const bool telemetry_on = telemetry.enabled();
+    util::TraceSpan batch_span("dse.evaluateBatch", "dse");
+
     std::vector<BatchResult> results(encodings.size());
 
     // --- Reservation pass (request order, on the calling thread) ---
@@ -86,12 +91,33 @@ DseEvaluator::evaluateBatch(std::span<const Encoding> encodings)
             hitCount.fetch_add(1, std::memory_order_relaxed);
         }
     }
+    if (telemetry_on && !encodings.empty()) {
+        // Route the cache traffic through the registry at the same
+        // granularity as the atomics, so the exported metrics CSV always
+        // agrees with cacheStats().
+        telemetry.metrics()
+            .counter("dse.cache.miss")
+            .add(claimed.size());
+        telemetry.metrics()
+            .counter("dse.cache.hit")
+            .add(encodings.size() - claimed.size());
+    }
 
     // --- Simulation pass (parallel over the claimed distinct points) ---
+    util::Histogram *simulate_hist =
+        telemetry_on
+            ? &telemetry.metrics().histogram("dse.simulate_s")
+            : nullptr;
     util::parallel_for(
-        workers, claimed.size(), [this, &claimed](std::size_t i) {
+        workers, claimed.size(),
+        [this, &claimed, simulate_hist](std::size_t i) {
             Node *node = claimed[i];
-            Evaluation evaluation = compute(node->evaluation.encoding);
+            Evaluation evaluation;
+            {
+                util::TraceSpan span("dse.simulate", "dse");
+                util::ScopedTimer timer(simulate_hist);
+                evaluation = compute(node->evaluation.encoding);
+            }
             Shard &shard = shardFor(evaluation.encoding);
             {
                 std::lock_guard<std::mutex> lock(shard.mutex);
@@ -111,6 +137,11 @@ DseEvaluator::evaluateBatch(std::span<const Encoding> encodings)
         Node *node = it->second.get();
         if (!node->ready.load(std::memory_order_acquire)) {
             inflightWaitCount.fetch_add(1, std::memory_order_relaxed);
+            if (telemetry_on) {
+                telemetry.metrics()
+                    .counter("dse.cache.inflight_wait")
+                    .add();
+            }
             shard.ready.wait(lock, [node] {
                 return node->ready.load(std::memory_order_acquire);
             });

@@ -14,6 +14,13 @@
  * concurrent - evaluateBatch() fans distinct points out across an
  * attached util::ThreadPool, and a per-key in-flight guard ensures two
  * threads never simulate the same point twice even when they race on it.
+ *
+ * Telemetry: when the global util::Telemetry is enabled, cache traffic
+ * is mirrored into the registry counters "dse.cache.hit",
+ * "dse.cache.miss" and "dse.cache.inflight_wait" (always equal to
+ * cacheStats()), per-point simulation time is recorded into the
+ * "dse.simulate_s" histogram, and each batch/simulation emits a trace
+ * span ("dse.evaluateBatch" / "dse.simulate").
  */
 
 #ifndef AUTOPILOT_DSE_EVALUATOR_H

@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 
 namespace autopilot::dse
 {
@@ -97,7 +98,11 @@ GeneticAlgorithm::optimize(DseEvaluator &evaluator,
         }
     };
 
+    util::Telemetry &telemetry = util::Telemetry::instance();
     while (evaluated < config.evaluationBudget) {
+        util::TraceSpan generation_span("ga.generation", "optimizer");
+        if (telemetry.enabled())
+            telemetry.metrics().counter("ga.generations").add();
         const int evaluated_before_generation = evaluated;
         std::vector<int> rank;
         std::vector<double> crowding;

@@ -1,6 +1,7 @@
 #include "dse/optimizer.h"
 
 #include "dse/hypervolume.h"
+#include "util/telemetry.h"
 
 namespace autopilot::dse
 {
@@ -52,13 +53,22 @@ recordEvaluations(DseEvaluator &evaluator,
     const std::vector<BatchResult> batch =
         evaluator.evaluateBatch(encodings);
 
+    util::Telemetry &telemetry = util::Telemetry::instance();
+    util::Histogram *hv_hist =
+        telemetry.enabled()
+            ? &telemetry.metrics().histogram("dse.hv_update_s")
+            : nullptr;
+
     int recorded = 0;
     for (const BatchResult &entry : batch) {
         if (!entry.fresh || recorded >= maxNewPoints)
             continue;
         result.archive.push_back(*entry.evaluation);
-        result.hypervolumeHistory.push_back(
-            result.finalHypervolume(config.referencePoint));
+        {
+            util::ScopedTimer timer(hv_hist);
+            result.hypervolumeHistory.push_back(
+                result.finalHypervolume(config.referencePoint));
+        }
         ++recorded;
     }
     return recorded;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/rng.h"
+#include "util/telemetry.h"
 
 namespace autopilot::dse
 {
@@ -20,8 +21,12 @@ RandomSearch::optimize(DseEvaluator &evaluator,
     // keeps the archive identical to the one-at-a-time serial path.
     long attempts = 0;
     const long max_attempts = 1000L * config.evaluationBudget + 1000;
+    util::Telemetry &telemetry = util::Telemetry::instance();
     while (evaluated < config.evaluationBudget &&
            attempts < max_attempts) {
+        util::TraceSpan chunk_span("rs.chunk", "optimizer");
+        if (telemetry.enabled())
+            telemetry.metrics().counter("rs.chunks").add();
         const int remaining = config.evaluationBudget - evaluated;
         const long chunk = std::min<long>(remaining,
                                           max_attempts - attempts);

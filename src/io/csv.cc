@@ -1,5 +1,6 @@
 #include "io/csv.h"
 
+#include <cctype>
 #include <cstdlib>
 #include <sstream>
 
@@ -9,6 +10,37 @@ namespace autopilot::io
 {
 
 using util::fatalIf;
+
+namespace
+{
+
+/** True when @p text starts or ends with ASCII whitespace. */
+bool
+hasOuterWhitespace(const std::string &text)
+{
+    return !text.empty() &&
+           (std::isspace(static_cast<unsigned char>(text.front())) ||
+            std::isspace(static_cast<unsigned char>(text.back())));
+}
+
+/**
+ * Reject fields the strtoX family would silently tolerate: empty input
+ * parses to "no conversion" only sometimes, and leading whitespace is
+ * skipped outright. A CSV field is machine-written, so both indicate a
+ * corrupted file and deserve a fatal with the offending text.
+ */
+void
+checkNumericField(const std::string &text, const char *what,
+                  const char *kind)
+{
+    fatalIf(text.empty(), std::string(what) + ": bad " + kind +
+                              " '' (empty field)");
+    fatalIf(hasOuterWhitespace(text),
+            std::string(what) + ": bad " + kind + " '" + text +
+                "' (leading/trailing whitespace)");
+}
+
+} // namespace
 
 std::vector<std::string>
 splitCsvLine(const std::string &line)
@@ -20,20 +52,36 @@ splitCsvLine(const std::string &line)
         fields.push_back(field);
     if (!line.empty() && line.back() == ',')
         fields.emplace_back();
+    // Tolerate a CRLF line ending that leaked through: the '\r' would
+    // otherwise stick to the last field and corrupt it.
+    if (!fields.empty() && !fields.back().empty() &&
+        fields.back().back() == '\r')
+        fields.back().pop_back();
     return fields;
 }
 
 std::vector<std::vector<std::string>>
 readCsv(std::istream &is, const std::vector<std::string> &expected_header)
 {
+    // getline() splits on '\n' only, so files written with CRLF line
+    // endings (Windows tools, some spreadsheet exports) leave a '\r' on
+    // every line; strip it so both conventions round-trip identically.
+    auto getCsvLine = [&is](std::string &line) {
+        if (!std::getline(is, line))
+            return false;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        return true;
+    };
+
     std::string line;
-    fatalIf(!std::getline(is, line), "readCsv: empty stream");
+    fatalIf(!getCsvLine(line), "readCsv: empty stream");
     const std::vector<std::string> header = splitCsvLine(line);
     fatalIf(header != expected_header,
             "readCsv: unexpected header '" + line + "'");
 
     std::vector<std::vector<std::string>> rows;
-    while (std::getline(is, line)) {
+    while (getCsvLine(line)) {
         if (line.empty())
             continue;
         std::vector<std::string> fields = splitCsvLine(line);
@@ -47,6 +95,7 @@ readCsv(std::istream &is, const std::vector<std::string> &expected_header)
 double
 parseDouble(const std::string &text)
 {
+    checkNumericField(text, "parseDouble", "number");
     char *end = nullptr;
     const double value = std::strtod(text.c_str(), &end);
     fatalIf(end == text.c_str() || *end != '\0',
@@ -57,6 +106,7 @@ parseDouble(const std::string &text)
 int
 parseInt(const std::string &text)
 {
+    checkNumericField(text, "parseInt", "integer");
     char *end = nullptr;
     const long value = std::strtol(text.c_str(), &end, 10);
     fatalIf(end == text.c_str() || *end != '\0',
@@ -67,6 +117,7 @@ parseInt(const std::string &text)
 long long
 parseInt64(const std::string &text)
 {
+    checkNumericField(text, "parseInt64", "integer");
     char *end = nullptr;
     const long long value = std::strtoll(text.c_str(), &end, 10);
     fatalIf(end == text.c_str() || *end != '\0',

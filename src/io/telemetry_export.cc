@@ -1,0 +1,50 @@
+#include "io/telemetry_export.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+#include "util/telemetry.h"
+
+namespace autopilot::io
+{
+
+namespace
+{
+
+std::ofstream
+openForWrite(const std::string &path)
+{
+    std::ofstream os(path);
+    util::fatalIf(!os, "telemetry export: cannot open '" + path + "'");
+    return os;
+}
+
+} // namespace
+
+void
+saveTraceJson(const std::string &path)
+{
+    std::ofstream os = openForWrite(path);
+    util::Telemetry::instance().trace().writeChromeTrace(os);
+    util::fatalIf(!os, "telemetry export: write failed for '" + path +
+                           "'");
+}
+
+void
+saveMetricsCsv(const std::string &path)
+{
+    std::ofstream os = openForWrite(path);
+    util::Telemetry::instance().metrics().writeCsv(os);
+    util::fatalIf(!os, "telemetry export: write failed for '" + path +
+                           "'");
+}
+
+void
+saveTelemetry(const std::string &trace_path,
+              const std::string &metrics_path)
+{
+    saveTraceJson(trace_path);
+    saveMetricsCsv(metrics_path);
+}
+
+} // namespace autopilot::io

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * File export for the run-telemetry subsystem: save the process-wide
+ * util::Telemetry state as a Chrome/Perfetto trace JSON plus a flat
+ * metrics CSV, so a run can be inspected offline (load the trace in
+ * https://ui.perfetto.dev, feed the CSV to any table tool).
+ */
+
+#ifndef AUTOPILOT_IO_TELEMETRY_EXPORT_H
+#define AUTOPILOT_IO_TELEMETRY_EXPORT_H
+
+#include <string>
+
+namespace autopilot::io
+{
+
+/**
+ * Write the global trace log as Chrome trace-event JSON to @p path
+ * (fatal when the file cannot be opened).
+ */
+void saveTraceJson(const std::string &path);
+
+/**
+ * Write the global metrics registry as CSV (header
+ * `name,kind,count,sum,min,max,value`) to @p path (fatal when the file
+ * cannot be opened).
+ */
+void saveMetricsCsv(const std::string &path);
+
+/** Save both artifacts of one telemetry-enabled run. */
+void saveTelemetry(const std::string &trace_path,
+                   const std::string &metrics_path);
+
+} // namespace autopilot::io
+
+#endif // AUTOPILOT_IO_TELEMETRY_EXPORT_H

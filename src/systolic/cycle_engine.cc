@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/telemetry.h"
 
 namespace autopilot::systolic
 {
@@ -15,6 +16,13 @@ CycleEngine::CycleEngine(const AcceleratorConfig &config) : cfg(config)
 LayerResult
 CycleEngine::runLayer(const nn::Layer &layer) const
 {
+    util::Telemetry &telemetry = util::Telemetry::instance();
+    util::ScopedTimer sim_timer(
+        telemetry.enabled()
+            ? &telemetry.metrics().histogram(
+                  "systolic.cycle.layer_sim_s")
+            : nullptr);
+
     const FoldSchedule schedule = scheduleGemm(layer.gemm(), cfg);
     const std::int64_t fold_count = schedule.foldCount();
     const std::int64_t bw = cfg.dramBytesPerCycle;
@@ -68,6 +76,13 @@ CycleEngine::runLayer(const nn::Layer &layer) const
     result.traffic = computeTraffic(layer, schedule, cfg);
     result.totalCycles = std::max(compute_done, last_writeback_done);
     result.stallCycles = result.totalCycles - result.computeCycles;
+
+    if (telemetry.enabled()) {
+        telemetry.metrics().counter("systolic.cycle.layers").add();
+        telemetry.metrics()
+            .counter("systolic.cycle.cycles")
+            .add(static_cast<std::uint64_t>(result.totalCycles));
+    }
     return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/telemetry.h"
 
 namespace autopilot::systolic
 {
@@ -45,6 +46,7 @@ RunResult
 Engine::run(const nn::Model &model) const
 {
     util::fatalIf(model.empty(), "Engine::run: empty model");
+    util::TraceSpan span("systolic.run", "systolic");
     RunResult result;
     for (const nn::Layer &layer : model.layers()) {
         LayerResult lr = runLayer(layer);
@@ -54,6 +56,13 @@ Engine::run(const nn::Model &model) const
         result.totalMacs += lr.gemm.macs();
         result.traffic.accumulate(lr.traffic);
         result.layers.push_back(std::move(lr));
+    }
+    util::Telemetry &telemetry = util::Telemetry::instance();
+    if (telemetry.enabled()) {
+        telemetry.metrics().counter("systolic.runs").add();
+        telemetry.metrics()
+            .counter("systolic.cycles")
+            .add(static_cast<std::uint64_t>(result.totalCycles));
     }
     return result;
 }

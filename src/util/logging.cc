@@ -1,5 +1,7 @@
 #include "util/logging.h"
 
+#include <mutex>
+
 namespace autopilot::util
 {
 
@@ -23,7 +25,17 @@ levelPrefix(LogLevel level)
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    std::cerr << levelPrefix(level) << msg << std::endl;
+    // Compose the whole line first and emit it as one insertion under a
+    // lock: separate << calls interleave when worker threads log
+    // concurrently, producing garbled half-lines.
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += levelPrefix(level);
+    line += msg;
+    line += '\n';
+    static std::mutex log_mutex;
+    std::lock_guard<std::mutex> guard(log_mutex);
+    std::cerr << line << std::flush;
 }
 
 void

@@ -29,7 +29,7 @@ ThreadPool::ThreadPool(std::size_t threads)
     }
     workers.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -44,10 +44,10 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(std::size_t worker)
 {
     for (;;) {
-        std::function<void()> task;
+        QueuedTask task;
         {
             std::unique_lock<std::mutex> lock(mutex);
             available.wait(lock,
@@ -56,8 +56,38 @@ ThreadPool::workerLoop()
                 return; // stopping and drained.
             task = std::move(queue.front());
             queue.pop_front();
+            if (task.enqueuedAtNs != 0) {
+                Telemetry::instance()
+                    .metrics()
+                    .gauge("pool.queue_depth")
+                    .set(static_cast<std::int64_t>(queue.size()));
+            }
         }
-        task();
+
+        Telemetry &telemetry = Telemetry::instance();
+        if (!telemetry.enabled()) {
+            task.run();
+            continue;
+        }
+
+        const std::int64_t started_ns = nowNs();
+        if (task.enqueuedAtNs != 0) {
+            telemetry.metrics()
+                .histogram("pool.queue_wait_s")
+                .record(static_cast<double>(started_ns -
+                                            task.enqueuedAtNs) *
+                        1e-9);
+        }
+        task.run(); // packaged_task: exceptions land in the future.
+        const std::int64_t busy_ns = nowNs() - started_ns;
+        MetricsRegistry &metrics = telemetry.metrics();
+        metrics.histogram("pool.task_run_s")
+            .record(static_cast<double>(busy_ns) * 1e-9);
+        metrics.counter("pool.tasks").add();
+        metrics
+            .counter("pool.worker." + std::to_string(worker) +
+                     ".busy_us")
+            .add(static_cast<std::uint64_t>(busy_ns / 1000));
     }
 }
 

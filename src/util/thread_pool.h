@@ -12,14 +12,23 @@
  * make each task pure (output depends only on its input) and commit
  * results in submission order. parallel_for() helps with that: it indexes
  * tasks by position so results land in caller-owned slots.
+ *
+ * Telemetry: when the global util::Telemetry is enabled the pool exports
+ * a queue-depth gauge ("pool.queue_depth"), queue-wait and task-run
+ * latency histograms ("pool.queue_wait_s", "pool.task_run_s"), a task
+ * counter ("pool.tasks") and per-worker busy-time counters
+ * ("pool.worker.N.busy_us") from which per-worker utilization can be
+ * derived. With telemetry off (the default) none of this is touched.
  */
 
 #ifndef AUTOPILOT_UTIL_THREAD_POOL_H
 #define AUTOPILOT_UTIL_THREAD_POOL_H
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -27,6 +36,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/telemetry.h"
 
 namespace autopilot::util
 {
@@ -96,7 +107,16 @@ class ThreadPool
             if (stopping)
                 throw std::runtime_error(
                     "ThreadPool::submit after shutdown");
-            queue.emplace_back([task]() { (*task)(); });
+            QueuedTask queued;
+            queued.run = [task]() { (*task)(); };
+            Telemetry &telemetry = Telemetry::instance();
+            if (telemetry.enabled()) {
+                queued.enqueuedAtNs = nowNs();
+                telemetry.metrics()
+                    .gauge("pool.queue_depth")
+                    .set(static_cast<std::int64_t>(queue.size() + 1));
+            }
+            queue.push_back(std::move(queued));
         }
         available.notify_one();
         return future;
@@ -116,10 +136,26 @@ class ThreadPool
                      const std::function<void(std::size_t)> &body);
 
   private:
-    void workerLoop();
+    /// One queue entry: the callable plus its enqueue timestamp (0 when
+    /// telemetry was off at submit time, so the wait is not measured).
+    struct QueuedTask
+    {
+        std::function<void()> run;
+        std::int64_t enqueuedAtNs = 0;
+    };
+
+    /** steady_clock now in nanoseconds since its epoch. */
+    static std::int64_t nowNs()
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    }
+
+    void workerLoop(std::size_t worker);
 
     std::vector<std::thread> workers;
-    std::deque<std::function<void()>> queue;
+    std::deque<QueuedTask> queue;
     std::mutex mutex;
     std::condition_variable available;
     bool stopping = false;

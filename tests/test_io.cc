@@ -69,6 +69,80 @@ TEST(CsvDeath, ParseRejectsGarbage)
                 "bad integer");
 }
 
+TEST(CsvDeath, ParseRejectsWhitespaceAndEmpty)
+{
+    // strtod/strtol silently skip leading whitespace; the CSV parsers
+    // must not, since whitespace in a machine-written numeric field
+    // means the file is corrupt.
+    EXPECT_EXIT(io::parseDouble(" 2.5"), ::testing::ExitedWithCode(1),
+                "bad number");
+    EXPECT_EXIT(io::parseDouble("2.5 "), ::testing::ExitedWithCode(1),
+                "bad number");
+    EXPECT_EXIT(io::parseDouble(""), ::testing::ExitedWithCode(1),
+                "bad number.*empty");
+    EXPECT_EXIT(io::parseInt(" 42"), ::testing::ExitedWithCode(1),
+                "bad integer.*whitespace");
+    EXPECT_EXIT(io::parseInt("42\t"), ::testing::ExitedWithCode(1),
+                "bad integer");
+    EXPECT_EXIT(io::parseInt64(""), ::testing::ExitedWithCode(1),
+                "bad integer.*empty");
+    EXPECT_EXIT(io::parseInt64(" 7"), ::testing::ExitedWithCode(1),
+                "bad integer");
+}
+
+TEST(Csv, SplitToleratesTrailingCarriageReturn)
+{
+    EXPECT_EQ(io::splitCsvLine("a,b,c\r"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(io::splitCsvLine("x\r"), (std::vector<std::string>{"x"}));
+    // A lone '\r' field (from "a,\r\n" minus the '\n') is the empty
+    // last field of a trailing comma, not data.
+    EXPECT_EQ(io::splitCsvLine("a,\r"),
+              (std::vector<std::string>{"a", ""}));
+}
+
+TEST(Csv, CrlfRoundTripsIdenticallyToLf)
+{
+    const std::string lf = "x,y\n1,2\n3,4\n";
+    const std::string crlf = "x,y\r\n1,2\r\n3,4\r\n";
+    std::istringstream lf_is(lf);
+    std::istringstream crlf_is(crlf);
+    const auto lf_rows = io::readCsv(lf_is, {"x", "y"});
+    const auto crlf_rows = io::readCsv(crlf_is, {"x", "y"});
+    EXPECT_EQ(crlf_rows, lf_rows);
+    ASSERT_EQ(crlf_rows.size(), 2u);
+    EXPECT_EQ(crlf_rows[1][1], "4");
+}
+
+TEST(Csv, CrlfPolicyDatabaseLoads)
+{
+    // A database exported on a CRLF platform must load exactly like the
+    // LF original; the '\r' must not leak into the last column.
+    al::TrainerConfig config;
+    config.validationEpisodes = 30;
+    const al::Trainer trainer(config);
+    al::PolicyDatabase db;
+    trainer.trainAll(nn::PolicySpace(), al::ObstacleDensity::Low, db);
+
+    std::stringstream buffer;
+    io::writePolicyDatabase(db, buffer);
+    std::string crlf;
+    for (const char c : buffer.str()) {
+        if (c == '\n')
+            crlf += '\r';
+        crlf += c;
+    }
+    std::istringstream crlf_is(crlf);
+    const al::PolicyDatabase restored = io::readPolicyDatabase(crlf_is);
+    ASSERT_EQ(restored.size(), db.size());
+    for (const al::PolicyRecord &record : db.all()) {
+        const auto loaded = restored.find(record.params, record.density);
+        ASSERT_TRUE(loaded.has_value()) << record.policyId;
+        EXPECT_EQ(loaded->converged, record.converged);
+        EXPECT_EQ(loaded->trainingSteps, record.trainingSteps);
+    }
+}
+
 // ------------------------------------------------- database round-trip ---
 
 TEST(Persistence, PolicyDatabaseRoundTrip)
