@@ -7,11 +7,21 @@
  *  2. Analytical vs cycle-stepped engine: the fast DSE path must track
  *     the reference prefetch-timeline engine within a few percent across
  *     random layers and configurations.
+ *  3. Cost-model backend agreement: the same fixed pool of design points
+ *     through the analytical, cycle and tiered backends; the tiered
+ *     screen must recover (nearly) the pure-cycle Pareto front while
+ *     paying for several times fewer cycle-accurate simulations.
  */
 
 #include <algorithm>
 #include <iostream>
+#include <set>
 
+#include "airlearning/trainer.h"
+#include "dse/eval_backend.h"
+#include "dse/evaluator.h"
+#include "dse/hypervolume.h"
+#include "dse/pareto.h"
 #include "nn/e2e_template.h"
 #include "systolic/cycle_engine.h"
 #include "systolic/engine.h"
@@ -119,5 +129,82 @@ main()
               << " %, max " << util::formatDouble(worst_error, 2)
               << " %\n\nWorst case:\n";
     worst.print(std::cout);
+
+    // --- 3. Backend agreement on a fixed design-point pool ---
+    std::cout << "\n(3) Cost-model backends on one fixed pool of 160 "
+                 "random design points:\n";
+    airlearning::TrainerConfig trainer_config;
+    trainer_config.validationEpisodes = 30;
+    const airlearning::Trainer trainer(trainer_config);
+    airlearning::PolicyDatabase db;
+    trainer.trainAll(nn::PolicySpace(),
+                     airlearning::ObstacleDensity::Dense, db);
+
+    const dse::DesignSpace design_space;
+    util::Rng pool_rng(0xBEC0);
+    std::set<dse::Encoding> seen;
+    std::vector<dse::Encoding> points;
+    while (points.size() < 160) {
+        const dse::Encoding encoding =
+            design_space.randomEncoding(pool_rng);
+        if (seen.insert(encoding).second)
+            points.push_back(encoding);
+    }
+
+    const dse::Objectives reference = {1.0, 12.0, 120.0};
+    util::Table backends({"backend", "cycle sims", "front size",
+                          "hypervolume", "dHV vs cycle %"});
+    double cycle_hv = 0.0;
+    double tiered_hv = 0.0;
+    std::size_t tiered_sims = 0;
+    for (const char *backend_name : {"analytical", "cycle", "tiered"}) {
+        dse::DseEvaluator evaluator(
+            db, airlearning::ObstacleDensity::Dense, backend_name);
+        evaluator.evaluateBatch(points);
+
+        std::vector<dse::Objectives> objectives;
+        for (const dse::Evaluation &eval : evaluator.allEvaluations())
+            objectives.push_back(eval.objectives);
+        const auto front = dse::paretoFront(objectives);
+        const double hv = dse::hypervolume(front, reference);
+
+        std::size_t cycle_sims = 0;
+        if (std::string(backend_name) == "cycle")
+            cycle_sims = points.size();
+        else if (const auto *tiered =
+                     dynamic_cast<const dse::TieredBackend *>(
+                         &evaluator.backend()))
+            cycle_sims = tiered->promotedCount();
+
+        if (std::string(backend_name) == "cycle")
+            cycle_hv = hv;
+        if (std::string(backend_name) == "tiered") {
+            tiered_hv = hv;
+            tiered_sims = cycle_sims;
+        }
+        const double dhv =
+            cycle_hv > 0.0 ? 100.0 * (hv - cycle_hv) / cycle_hv : 0.0;
+        backends.addRow({backend_name, std::to_string(cycle_sims),
+                         std::to_string(front.size()),
+                         util::formatDouble(hv, 4),
+                         std::string(backend_name) == "analytical"
+                             ? "-"
+                             : util::formatDouble(dhv, 3)});
+    }
+    backends.print(std::cout);
+    const double saving =
+        tiered_sims == 0 ? 0.0
+                         : double(points.size()) / double(tiered_sims);
+    std::cout << "tiered backend: " << tiered_sims << "/"
+              << points.size() << " points promoted to cycle-accurate ("
+              << util::formatDouble(saving, 1)
+              << "x fewer cycle sims), front hypervolume within "
+              << util::formatDouble(
+                     cycle_hv > 0.0 ? 100.0 *
+                                          std::abs(tiered_hv - cycle_hv) /
+                                          cycle_hv
+                                    : 0.0,
+                     3)
+              << " % of pure cycle\n";
     return 0;
 }

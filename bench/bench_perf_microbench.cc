@@ -15,6 +15,7 @@
 
 #include "airlearning/rollout.h"
 #include "airlearning/trainer.h"
+#include "dse/eval_backend.h"
 #include "dse/evaluator.h"
 #include "dse/gaussian_process.h"
 #include "dse/hypervolume.h"
@@ -248,6 +249,128 @@ BENCHMARK(BM_BatchEvaluate128)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Cold-cache batch evaluation of 160 distinct points through each
+ * cost-model backend at 4 worker threads (the bench_engine_validation
+ * pool): the per-generation price of fidelity. The cycle_sims counter
+ * shows how many cycle-accurate engine runs each backend paid for the
+ * batch - the quantity the tiered backend exists to conserve (0 for
+ * analytical, 160 for cycle, only the Pareto-competitive subset for
+ * tiered).
+ */
+void
+BM_BackendBatchEvaluate160(benchmark::State &state,
+                           const char *backend_name)
+{
+    const auto &db = benchDatabase();
+
+    const dse::DesignSpace space;
+    util::Rng rng(0xBEC0);
+    std::set<dse::Encoding> seen;
+    std::vector<dse::Encoding> points;
+    while (points.size() < 160) {
+        const dse::Encoding encoding = space.randomEncoding(rng);
+        if (seen.insert(encoding).second)
+            points.push_back(encoding);
+    }
+
+    util::ThreadPool pool(4);
+    util::Telemetry &telemetry = util::Telemetry::instance();
+    telemetry.reset();
+    telemetry.setEnabled(true);
+
+    std::size_t promoted_total = 0;
+    for (auto _ : state) {
+        state.PauseTiming(); // Fresh evaluator => cold memo cache.
+        auto evaluator = std::make_unique<dse::DseEvaluator>(
+            db, autopilot::airlearning::ObstacleDensity::Dense,
+            backend_name);
+        evaluator->setThreadPool(&pool);
+        state.ResumeTiming();
+
+        const auto results = evaluator->evaluateBatch(points);
+        benchmark::DoNotOptimize(results.data());
+
+        state.PauseTiming();
+        if (const auto *tiered = dynamic_cast<const dse::TieredBackend *>(
+                &evaluator->backend()))
+            promoted_total += tiered->promotedCount();
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 160);
+
+    telemetry.setEnabled(false);
+    const std::string name(backend_name);
+    double cycle_sims = 0.0;
+    if (name == "cycle")
+        cycle_sims = 160.0;
+    else if (name == "tiered")
+        cycle_sims = static_cast<double>(promoted_total) /
+                     static_cast<double>(state.iterations());
+    state.counters["cycle_sims"] = benchmark::Counter(cycle_sims);
+    telemetry.reset();
+}
+BENCHMARK_CAPTURE(BM_BackendBatchEvaluate160, analytical, "analytical")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BackendBatchEvaluate160, cycle, "cycle")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BackendBatchEvaluate160, tiered, "tiered")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Chunked-claiming sweep: a cheap per-iteration body over 64k indices
+ * at 8 workers, with the claim grain at 1 / 16 / 256. At grain 1 every
+ * index is its own fetch_add and the latch takes 64k one-count
+ * count-downs; larger grains amortize both. queue_wait_ms_mean tracks
+ * how long helper tasks sat in the pool queue before draining.
+ */
+void
+BM_ParallelForGrain(benchmark::State &state)
+{
+    const std::size_t grain = static_cast<std::size_t>(state.range(0));
+    constexpr std::size_t n = 1 << 16;
+    util::ThreadPool pool(8);
+    std::vector<double> data(n, 1.0);
+
+    util::Telemetry &telemetry = util::Telemetry::instance();
+    telemetry.reset();
+    telemetry.setEnabled(true);
+
+    for (auto _ : state) {
+        pool.parallelFor(
+            n,
+            [&](std::size_t i) {
+                benchmark::DoNotOptimize(data[i] += 1.0);
+            },
+            grain);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+
+    telemetry.setEnabled(false);
+    const util::MetricsRegistry &metrics = telemetry.metrics();
+    const util::MetricSample wait_s = metrics.find("pool.queue_wait_s");
+    const util::MetricSample tasks = metrics.find("pool.tasks");
+    state.counters["pool_tasks"] =
+        benchmark::Counter(static_cast<double>(tasks.count));
+    state.counters["queue_wait_ms_mean"] = benchmark::Counter(
+        wait_s.count == 0
+            ? 0.0
+            : wait_s.sum / static_cast<double>(wait_s.count) * 1e3);
+    telemetry.reset();
+}
+BENCHMARK(BM_ParallelForGrain)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -3,7 +3,11 @@
  * Telemetry demo: run a small three-phase pipeline with the run-telemetry
  * subsystem enabled and export its artifacts.
  *
- *   telemetry_demo [trace.json] [metrics.csv]
+ *   telemetry_demo [trace.json] [metrics.csv] [backend]
+ *
+ * The optional third argument selects the Phase 2 cost-model backend
+ * ("analytical" (default), "cycle", "tiered"); the tiered run is what
+ * the CI smoke step uses to validate the per-backend counters.
  *
  * Writes a Chrome/Perfetto trace (open it at https://ui.perfetto.dev or
  * chrome://tracing to see the phase 1/2/3 spans and the per-evaluation
@@ -35,6 +39,8 @@ main(int argc, char **argv)
     task.dseBudget = 24;
     task.threads = 4;
     task.telemetry = true;
+    if (argc > 3)
+        task.backend = argv[3];
 
     core::AutoPilot pilot(task);
     const uav::UavSpec vehicle = uav::zhangNano();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dse/eval_backend.h"
 #include "power/mass_model.h"
 #include "uav/f1_model.h"
 #include "util/logging.h"
@@ -32,6 +33,10 @@ AutoPilot::AutoPilot(const TaskSpec &task) : taskSpec(task)
                   "AutoPilot: success tolerance outside [0, 1]");
     util::fatalIf(taskSpec.threads < 0,
                   "AutoPilot: thread count must be >= 0");
+    util::fatalIf(
+        !dse::BackendRegistry::instance().knows(taskSpec.backend),
+        "AutoPilot: unknown cost-model backend '" + taskSpec.backend +
+            "'");
     if (taskSpec.telemetry)
         util::Telemetry::instance().setEnabled(true);
 }
@@ -68,7 +73,8 @@ const dse::OptimizerResult &
 AutoPilot::phase2()
 {
     if (!phase2Done) {
-        dse::DseEvaluator evaluator(phase1(), taskSpec.density);
+        dse::DseEvaluator evaluator(phase1(), taskSpec.density,
+                                    taskSpec.backend);
         util::TraceSpan span("phase2", "autopilot");
         evaluator.setThreadPool(workerPool());
         dse::BayesOpt optimizer;

@@ -60,6 +60,16 @@ struct TaskSpec
     /// byte-identical across thread counts for a fixed seed: every
     /// parallel stage commits its results in proposal order.
     int threads = 1;
+    /// Cost-model backend for the Phase 2 evaluator, by registry name
+    /// (dse::BackendRegistry): "analytical" (default; the closed-form
+    /// path, bit-identical to the historical pipeline), "cycle" (the
+    /// cycle-stepped reference engine), "tiered" (analytical screen +
+    /// cycle-accurate verification of Pareto-competitive points), or
+    /// any custom backend registered at startup. Fatal on an unknown
+    /// name. Each archived evaluation records the fidelity that
+    /// produced it; printRunReport() shows the per-fidelity breakdown
+    /// for non-default backends.
+    std::string backend = "analytical";
     /// Enable the run-telemetry subsystem (util::Telemetry): Phase
     /// 1/2/3 trace spans, per-evaluation simulate spans, cache/pool
     /// metrics, and a summary table appended to printRunReport(). Off

@@ -10,7 +10,8 @@ using util::formatDouble;
 using util::formatRatio;
 
 void
-printDesignReport(const FullSystemDesign &design, std::ostream &os)
+printDesignReport(const FullSystemDesign &design, std::ostream &os,
+                  bool showFidelity)
 {
     util::Table table({"property", "value"});
     table.addRow({"policy", nn::policyName(design.eval.point.policy)});
@@ -43,6 +44,9 @@ printDesignReport(const FullSystemDesign &design, std::ostream &os)
                       " m/s"});
     table.addRow({"missions / charge",
                   formatDouble(design.mission.numMissions, 1)});
+    if (showFidelity)
+        table.addRow({"eval fidelity",
+                      dse::fidelityName(design.eval.fidelity)});
     table.print(os);
 }
 
@@ -55,9 +59,24 @@ printRunReport(const AutoPilotRun &run, std::ostream &os)
     os << "Phase 2 archive: " << run.dseResult.archive.size()
        << " designs (" << run.dseResult.front().size()
        << " Pareto-optimal); Phase 3 candidates: "
-       << run.candidates.size() << "\n\n";
-    os << "Selected design:\n";
-    printDesignReport(run.selected, os);
+       << run.candidates.size() << "\n";
+    // Per-fidelity breakdown only for non-default backends, so the
+    // analytical report stays byte-identical to the historical output.
+    const bool mixed_fidelity = run.task.backend != "analytical";
+    if (mixed_fidelity) {
+        std::size_t analytical = 0, cycle = 0;
+        for (const dse::Evaluation &eval : run.dseResult.archive) {
+            if (eval.fidelity == dse::Fidelity::CycleAccurate)
+                ++cycle;
+            else
+                ++analytical;
+        }
+        os << "Phase 2 backend: " << run.task.backend << " (fidelity: "
+           << cycle << " cycle-accurate, " << analytical
+           << " analytical)\n";
+    }
+    os << "\nSelected design:\n";
+    printDesignReport(run.selected, os, mixed_fidelity);
 
     if (util::Telemetry::instance().enabled()) {
         os << "\nRun telemetry:\n";

@@ -15,12 +15,23 @@
 namespace autopilot::core
 {
 
-/** Print one full-system design as a two-column property table. */
-void printDesignReport(const FullSystemDesign &design, std::ostream &os);
+/**
+ * Print one full-system design as a two-column property table.
+ *
+ * @param showFidelity Append an "eval fidelity" row naming the cost
+ *        model that produced the compute numbers. Off by default so
+ *        reports from the default analytical backend are unchanged.
+ */
+void printDesignReport(const FullSystemDesign &design, std::ostream &os,
+                       bool showFidelity = false);
 
 /**
  * Print the whole run: task, Phase 2 statistics, the candidate set and
- * the selected design with its mission metrics.
+ * the selected design with its mission metrics. For a non-default
+ * cost-model backend the Phase 2 line gains a per-fidelity breakdown
+ * of the archive and the design table an "eval fidelity" row; with the
+ * default "analytical" backend the output is byte-identical to the
+ * pre-backend report.
  */
 void printRunReport(const AutoPilotRun &run, std::ostream &os);
 

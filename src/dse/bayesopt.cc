@@ -159,7 +159,8 @@ BayesOpt::optimize(DseEvaluator &evaluator, const OptimizerConfig &config)
                     score = -worst_excess;
                 }
                 scores[c] = score;
-            });
+            },
+            /*grain=*/4);
         screen_timer.stop();
         if (telemetry.enabled()) {
             telemetry.trace().record(

@@ -1,0 +1,387 @@
+#include "dse/eval_backend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dse/hypervolume.h"
+#include "nn/e2e_template.h"
+#include "power/npu_power.h"
+#include "power/soc_power.h"
+#include "systolic/cycle_engine.h"
+#include "systolic/engine.h"
+#include "util/logging.h"
+#include "util/telemetry.h"
+
+namespace autopilot::dse
+{
+
+namespace
+{
+
+/**
+ * Shared evaluation path: look up the Phase 1 success rate, run the
+ * policy on @p engine, and lower the run through the NPU/SoC power
+ * stack. Exactly the historical DseEvaluator::compute() sequence, so
+ * the analytical backend stays bit-identical to the pre-backend
+ * evaluator.
+ */
+Evaluation
+evaluateWithEngine(const systolic::Engine &engine,
+                   const DesignPoint &point, const BackendContext &ctx)
+{
+    Evaluation evaluation;
+    evaluation.point = point;
+
+    const auto record = ctx.database->find(point.policy, ctx.density);
+    util::fatalIf(!record.has_value(),
+                  "EvalBackend: no Phase 1 record for policy " +
+                      nn::policyName(point.policy) +
+                      " - run the trainer first");
+    evaluation.successRate = record->successRate;
+
+    const nn::Model model = nn::buildE2EModel(point.policy);
+    const systolic::RunResult run = engine.run(model);
+
+    const power::NpuPowerModel npu(point.accel);
+    evaluation.npuPowerW = npu.averagePowerW(run);
+    evaluation.socPowerW =
+        power::socPower(evaluation.npuPowerW).totalW();
+
+    const double clock = point.accel.clockGhz;
+    evaluation.latencyMs = run.runtimeSeconds(clock) * 1e3;
+    evaluation.fps = run.framesPerSecond(clock);
+
+    evaluation.objectives = {1.0 - evaluation.successRate,
+                             evaluation.socPowerW, evaluation.latencyMs};
+    return evaluation;
+}
+
+void
+checkContext(const BackendContext &context, const char *who)
+{
+    util::fatalIf(context.database == nullptr,
+                  std::string(who) + ": BackendContext has no policy "
+                                     "database");
+}
+
+} // namespace
+
+// ------------------------------------------------------------ interface ----
+
+void
+EvalBackend::evaluateBatch(std::span<const DesignPoint> points,
+                           util::ThreadPool *pool, const CommitFn &commit)
+{
+    util::Telemetry &telemetry = util::Telemetry::instance();
+    util::Histogram *simulate_hist =
+        telemetry.enabled()
+            ? &telemetry.metrics().histogram("dse.simulate_s")
+            : nullptr;
+    if (telemetry.enabled() && !points.empty()) {
+        telemetry.metrics()
+            .counter("dse.backend." + name() + ".points")
+            .add(points.size());
+    }
+    util::parallel_for(pool, points.size(), [&](std::size_t i) {
+        Evaluation evaluation;
+        {
+            util::TraceSpan span("dse.simulate", "dse");
+            util::ScopedTimer timer(simulate_hist);
+            evaluation = evaluate(points[i]);
+        }
+        commit(i, std::move(evaluation));
+    });
+}
+
+// ------------------------------------------------------------- registry ----
+
+BackendRegistry::BackendRegistry()
+{
+    factories["analytical"] = [](const BackendContext &context) {
+        return std::make_unique<AnalyticalBackend>(context);
+    };
+    factories["cycle"] = [](const BackendContext &context) {
+        return std::make_unique<CycleBackend>(context);
+    };
+    factories["tiered"] = [](const BackendContext &context) {
+        return std::make_unique<TieredBackend>(context);
+    };
+}
+
+BackendRegistry &
+BackendRegistry::instance()
+{
+    static BackendRegistry registry;
+    return registry;
+}
+
+void
+BackendRegistry::registerFactory(const std::string &name, Factory factory)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    factories[name] = std::move(factory);
+}
+
+bool
+BackendRegistry::knows(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return factories.count(name) != 0;
+}
+
+std::vector<std::string>
+BackendRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<std::string> out;
+    out.reserve(factories.size());
+    for (const auto &[name, factory] : factories)
+        out.push_back(name);
+    return out;
+}
+
+std::unique_ptr<EvalBackend>
+BackendRegistry::create(const std::string &name,
+                        const BackendContext &context) const
+{
+    Factory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = factories.find(name);
+        if (it != factories.end())
+            factory = it->second;
+    }
+    if (!factory) {
+        std::string known;
+        for (const std::string &candidate : names())
+            known += (known.empty() ? "" : ", ") + candidate;
+        util::fatal("BackendRegistry: unknown backend '" + name +
+                    "' (registered: " + known + ")");
+    }
+    return factory(context);
+}
+
+std::unique_ptr<EvalBackend>
+makeBackend(const std::string &name, const BackendContext &context)
+{
+    return BackendRegistry::instance().create(name, context);
+}
+
+// ----------------------------------------------------- concrete backends ----
+
+AnalyticalBackend::AnalyticalBackend(const BackendContext &context)
+    : ctx(context)
+{
+    checkContext(ctx, "AnalyticalBackend");
+}
+
+Evaluation
+AnalyticalBackend::evaluate(const DesignPoint &point)
+{
+    const systolic::AnalyticalEngine engine(point.accel);
+    Evaluation evaluation = evaluateWithEngine(engine, point, ctx);
+    evaluation.fidelity = Fidelity::Analytical;
+    evaluation.backend = name();
+    return evaluation;
+}
+
+CycleBackend::CycleBackend(const BackendContext &context) : ctx(context)
+{
+    checkContext(ctx, "CycleBackend");
+}
+
+Evaluation
+CycleBackend::evaluate(const DesignPoint &point)
+{
+    const systolic::CycleEngine engine(point.accel);
+    Evaluation evaluation = evaluateWithEngine(engine, point, ctx);
+    evaluation.fidelity = Fidelity::CycleAccurate;
+    evaluation.backend = name();
+    return evaluation;
+}
+
+// ---------------------------------------------------------------- tiered ----
+
+TieredBackend::TieredBackend(const BackendContext &context,
+                             const TieredPolicy &policy)
+    : screen(context), verify(context), tierPolicy(policy)
+{
+    util::fatalIf(tierPolicy.promotionBand <= 0.0 ||
+                      tierPolicy.promotionBand >= 1.0,
+                  "TieredBackend: promotion band outside (0, 1)");
+    util::fatalIf(tierPolicy.referencePoint.size() != 3,
+                  "TieredBackend: reference point must have 3 "
+                  "objectives");
+}
+
+std::size_t
+TieredBackend::screenedCount() const
+{
+    std::lock_guard<std::mutex> lock(stateMutex);
+    return screened_;
+}
+
+std::size_t
+TieredBackend::promotedCount() const
+{
+    std::lock_guard<std::mutex> lock(stateMutex);
+    return promoted_;
+}
+
+void
+TieredBackend::absorb(const Objectives &screenedObjectives)
+{
+    for (const Objectives &member : analyticalFront) {
+        if (dominates(member, screenedObjectives))
+            return;
+    }
+    std::erase_if(analyticalFront, [&](const Objectives &member) {
+        return dominates(screenedObjectives, member);
+    });
+    analyticalFront.push_back(screenedObjectives);
+}
+
+bool
+TieredBackend::shouldPromote(const Objectives &screenedObjectives) const
+{
+    // Band semantics: improve the candidate componentwise by the band
+    // fraction; promote when that relaxed point still contributes
+    // fresh hypervolume against the analytical front. Front members
+    // always pass (their relaxation dominates their own front entry,
+    // adding a shell of volume); points within the band behind the
+    // front pass because the relaxation lifts them past it; deeply
+    // dominated points fail.
+    Objectives relaxed = screenedObjectives;
+    for (double &component : relaxed)
+        component *= 1.0 - tierPolicy.promotionBand;
+    return hypervolumeContribution(analyticalFront, relaxed,
+                                   tierPolicy.referencePoint) > 0.0;
+}
+
+void
+TieredBackend::evaluateBatch(std::span<const DesignPoint> points,
+                             util::ThreadPool *pool,
+                             const CommitFn &commit)
+{
+    if (points.empty())
+        return;
+
+    util::Telemetry &telemetry = util::Telemetry::instance();
+    const bool telemetry_on = telemetry.enabled();
+    if (telemetry_on) {
+        telemetry.metrics()
+            .counter("dse.backend." + name() + ".points")
+            .add(points.size());
+    }
+
+    // --- 1. Analytical screen (parallel; pure per point) ---
+    std::vector<Evaluation> screenedEvals(points.size());
+    {
+        util::TraceSpan span("dse.tiered.screen", "dse");
+        util::Histogram *screen_hist =
+            telemetry_on
+                ? &telemetry.metrics().histogram("dse.screen_s")
+                : nullptr;
+        util::parallel_for(pool, points.size(), [&](std::size_t i) {
+            util::ScopedTimer timer(screen_hist);
+            screenedEvals[i] = screen.evaluate(points[i]);
+        });
+    }
+
+    // --- 2. Promotion decisions (serial, request order) ---
+    // The only stateful step: sequenced on the calling thread so a
+    // fixed request sequence promotes the same points at any thread
+    // count. Concurrent callers serialize here. The whole batch is
+    // absorbed into the running front *before* any decision - every
+    // point is judged against the most mature front available, so an
+    // early batch position does not inflate the promotion rate.
+    std::vector<std::size_t> promotedIndices;
+    {
+        std::lock_guard<std::mutex> lock(stateMutex);
+        for (const Evaluation &screenedEval : screenedEvals)
+            absorb(screenedEval.objectives);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (shouldPromote(screenedEvals[i].objectives))
+                promotedIndices.push_back(i);
+        }
+        screened_ += points.size();
+        promoted_ += promotedIndices.size();
+    }
+    if (telemetry_on) {
+        telemetry.metrics()
+            .counter("dse.tiered.screened")
+            .add(points.size());
+        telemetry.metrics()
+            .counter("dse.tiered.promoted")
+            .add(promotedIndices.size());
+    }
+
+    // --- 3. Commit: analytical numbers for the screened-out points,
+    // cycle-accurate re-evaluations (parallel) for the promoted ones ---
+    std::vector<bool> promoted(points.size(), false);
+    for (std::size_t index : promotedIndices)
+        promoted[index] = true;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (promoted[i])
+            continue;
+        Evaluation evaluation = std::move(screenedEvals[i]);
+        evaluation.backend = name(); // Fidelity stays Analytical.
+        commit(i, std::move(evaluation));
+    }
+
+    util::Histogram *simulate_hist =
+        telemetry_on
+            ? &telemetry.metrics().histogram("dse.simulate_s")
+            : nullptr;
+    util::parallel_for(
+        pool, promotedIndices.size(), [&](std::size_t p) {
+            const std::size_t i = promotedIndices[p];
+            Evaluation evaluation;
+            {
+                util::TraceSpan span("dse.simulate", "dse");
+                util::ScopedTimer timer(simulate_hist);
+                evaluation = verify.evaluate(points[i]);
+            }
+            evaluation.backend = name(); // Fidelity: CycleAccurate.
+            commit(i, std::move(evaluation));
+        });
+}
+
+Evaluation
+TieredBackend::evaluate(const DesignPoint &point)
+{
+    Evaluation out;
+    const DesignPoint points[1] = {point};
+    evaluateBatch(std::span<const DesignPoint>(points, 1), nullptr,
+                  [&out](std::size_t, Evaluation &&evaluation) {
+                      out = std::move(evaluation);
+                  });
+    return out;
+}
+
+// ------------------------------------------------------------- fidelity ----
+
+std::string
+fidelityName(Fidelity fidelity)
+{
+    switch (fidelity) {
+      case Fidelity::Analytical:    return "analytical";
+      case Fidelity::CycleAccurate: return "cycle";
+      case Fidelity::Mixed:         return "mixed";
+    }
+    return "?";
+}
+
+Fidelity
+fidelityFromName(const std::string &name)
+{
+    if (name == "analytical")
+        return Fidelity::Analytical;
+    if (name == "cycle")
+        return Fidelity::CycleAccurate;
+    if (name == "mixed")
+        return Fidelity::Mixed;
+    util::fatal("fidelityFromName: unknown fidelity '" + name + "'");
+}
+
+} // namespace autopilot::dse

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Pluggable cost-model backends for the Phase 2 evaluator.
+ *
+ * The paper treats the architectural simulator as a swappable black box
+ * (Section III-B: "SCALE-Sim-style" performance plus CACTI/Micron-style
+ * power); this layer makes the swap a string. A backend turns one
+ * DesignPoint into one Evaluation; the DseEvaluator owns exactly one
+ * backend and routes every cache miss through it, so the memoization,
+ * batching and determinism machinery is shared by all cost models.
+ *
+ * Three backends ship in-tree, keyed in the BackendRegistry:
+ *
+ *  - "analytical": the closed-form AnalyticalEngine + NPU/SoC power
+ *    stack - the historical DseEvaluator::compute() path, bit-identical
+ *    to it. The default; fast enough to burn inside the DSE loop.
+ *  - "cycle": the same power stack on the cycle-stepped reference
+ *    CycleEngine (explicit double-buffered prefetch timeline). Slower,
+ *    higher fidelity; previously reachable only from the benches.
+ *  - "tiered": cheap-screen / accurate-verify. Every point is screened
+ *    analytically; only points whose screened objectives are
+ *    Pareto-competitive (within a configurable hypervolume-contribution
+ *    band of the running analytical front) are promoted to a
+ *    cycle-accurate re-evaluation. Each Evaluation records which
+ *    fidelity produced its archived numbers.
+ *
+ * Determinism: analytical and cycle evaluations are pure functions of
+ * the design point. The tiered promotion decision is stateful (it
+ * depends on every point screened before), so TieredBackend makes all
+ * promotion decisions serially in request order inside evaluateBatch();
+ * for a fixed request sequence - e.g. a seeded optimizer loop - results
+ * are byte-identical at any worker-thread count.
+ *
+ * Telemetry: with the global util::Telemetry enabled each batch bumps
+ * "dse.backend.<name>.points"; the tiered backend additionally counts
+ * "dse.tiered.screened" / "dse.tiered.promoted" and wraps its screening
+ * pass in a "dse.tiered.screen" trace span.
+ */
+
+#ifndef AUTOPILOT_DSE_EVAL_BACKEND_H
+#define AUTOPILOT_DSE_EVAL_BACKEND_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "airlearning/database.h"
+#include "dse/design_space.h"
+#include "dse/evaluation.h"
+#include "util/thread_pool.h"
+
+namespace autopilot::dse
+{
+
+/** Everything a backend needs besides the design point itself. */
+struct BackendContext
+{
+    /// Phase 1 policy database; must contain a record for every
+    /// hyperparameter combination the backend will be asked about.
+    const airlearning::PolicyDatabase *database = nullptr;
+    /// Deployment scenario being designed for.
+    airlearning::ObstacleDensity density =
+        airlearning::ObstacleDensity::Low;
+};
+
+/** Abstract cost model: DesignPoint -> Evaluation. */
+class EvalBackend
+{
+  public:
+    /// Delivers the result for one batch index; may be invoked from
+    /// pool workers concurrently, exactly once per index.
+    using CommitFn = std::function<void(std::size_t, Evaluation &&)>;
+
+    virtual ~EvalBackend() = default;
+
+    /** Registry key ("analytical", "cycle", "tiered", ...). */
+    virtual std::string name() const = 0;
+
+    /** Fidelity of the numbers this backend archives. */
+    virtual Fidelity fidelity() const = 0;
+
+    /**
+     * Evaluate one design point. The returned Evaluation carries every
+     * field except the encoding (backends deal in decoded points; the
+     * caller owns the encoding). Pure for the stateless backends;
+     * thread-safe for all of them.
+     */
+    virtual Evaluation evaluate(const DesignPoint &point) = 0;
+
+    /**
+     * Evaluate a batch, committing each result as it becomes ready.
+     *
+     * The default implementation runs evaluate() for every point via
+     * util::parallel_for on @p pool (serially when null), wrapped in
+     * the per-point "dse.simulate" span and "dse.simulate_s" histogram.
+     * Stateful backends override this to sequence their cross-point
+     * decisions deterministically (see TieredBackend).
+     */
+    virtual void evaluateBatch(std::span<const DesignPoint> points,
+                               util::ThreadPool *pool,
+                               const CommitFn &commit);
+};
+
+/**
+ * String-keyed backend factory registry.
+ *
+ * The three in-tree backends are pre-registered; anything else (a
+ * quantized-NN variant, a DRAM-contention model, a remote simulator
+ * shim) plugs in through registerFactory() and becomes reachable from
+ * TaskSpec::backend without touching the evaluator.
+ */
+class BackendRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<EvalBackend>(
+        const BackendContext &)>;
+
+    /** The process-wide registry (built-ins already registered). */
+    static BackendRegistry &instance();
+
+    /** Register (or replace) the factory for @p name. Thread-safe. */
+    void registerFactory(const std::string &name, Factory factory);
+
+    /** True when a factory for @p name exists. Thread-safe. */
+    bool knows(const std::string &name) const;
+
+    /** Registered names, sorted. Thread-safe. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Instantiate the backend registered under @p name (fatal on an
+     * unknown name, listing the registered ones). Thread-safe.
+     */
+    std::unique_ptr<EvalBackend> create(const std::string &name,
+                                        const BackendContext &context) const;
+
+  private:
+    BackendRegistry();
+
+    mutable std::mutex mutex;
+    std::map<std::string, Factory> factories;
+};
+
+/** Shorthand for BackendRegistry::instance().create(). */
+std::unique_ptr<EvalBackend> makeBackend(const std::string &name,
+                                         const BackendContext &context);
+
+/** Closed-form engine + power stack (the historical compute() path). */
+class AnalyticalBackend : public EvalBackend
+{
+  public:
+    explicit AnalyticalBackend(const BackendContext &context);
+
+    std::string name() const override { return "analytical"; }
+    Fidelity fidelity() const override { return Fidelity::Analytical; }
+    Evaluation evaluate(const DesignPoint &point) override;
+
+  private:
+    BackendContext ctx;
+};
+
+/** Cycle-stepped reference engine + the same power stack. */
+class CycleBackend : public EvalBackend
+{
+  public:
+    explicit CycleBackend(const BackendContext &context);
+
+    std::string name() const override { return "cycle"; }
+    Fidelity fidelity() const override { return Fidelity::CycleAccurate; }
+    Evaluation evaluate(const DesignPoint &point) override;
+
+  private:
+    BackendContext ctx;
+};
+
+/** Tiered-promotion policy knobs. */
+struct TieredPolicy
+{
+    /**
+     * Relative hypervolume-contribution band. A screened point is
+     * promoted to cycle-accurate re-evaluation when its analytical
+     * objectives, improved componentwise by this fraction, still
+     * contribute hypervolume against the running analytical front
+     * (batch already absorbed) - i.e. the point is on the front or
+     * within the band behind it. Must be positive: the relaxation is
+     * also what lets a front member pass against its own front entry.
+     * Wide enough to cover the analytical engine's timing error so
+     * true front members are not screened out; the default tracks the
+     * engine-validation p95 error (~1-2 %, see
+     * bench_engine_validation) with margin.
+     */
+    double promotionBand = 0.02;
+    /// Reference point for the contribution test ({1 - success, watts,
+    /// ms}, minimized). Points entirely outside the box are never
+    /// promoted - matching the OptimizerConfig default, which gives
+    /// designs hotter than ~12 W or slower than ~120 ms no credit.
+    Objectives referencePoint = {1.0, 12.0, 120.0};
+};
+
+/**
+ * Analytical screen + selective cycle-accurate verification.
+ *
+ * Batch flow: (1) screen every point analytically in parallel (pure);
+ * (2) serially, absorb the whole batch into the running analytical
+ * Pareto front, then test each screened point against that front and
+ * mark the competitive ones for promotion (deciding after absorption
+ * keeps an immature early-batch front from over-promoting);
+ * (3) re-evaluate the promoted points on the cycle engine in
+ * parallel. Non-promoted points archive their analytical numbers with
+ * Fidelity::Analytical; promoted ones archive cycle numbers with
+ * Fidelity::CycleAccurate - so downstream consumers always know which
+ * cost model produced each row.
+ *
+ * Step (2) is the only stateful step and is sequenced on the calling
+ * thread, so a fixed request sequence yields byte-identical results at
+ * any thread count. Concurrent callers are serialized by a mutex but
+ * their interleaving is then caller-determined.
+ */
+class TieredBackend : public EvalBackend
+{
+  public:
+    TieredBackend(const BackendContext &context,
+                  const TieredPolicy &policy = {});
+
+    std::string name() const override { return "tiered"; }
+    Fidelity fidelity() const override { return Fidelity::Mixed; }
+    Evaluation evaluate(const DesignPoint &point) override;
+    void evaluateBatch(std::span<const DesignPoint> points,
+                       util::ThreadPool *pool,
+                       const CommitFn &commit) override;
+
+    const TieredPolicy &policy() const { return tierPolicy; }
+
+    /** Points screened / promoted so far (monotonic). Thread-safe. */
+    std::size_t screenedCount() const;
+    std::size_t promotedCount() const;
+
+  private:
+    /// Fold one screened objective vector into the running analytical
+    /// front. Caller holds stateMutex.
+    void absorb(const Objectives &screened);
+
+    /// Band-relaxed hypervolume-contribution test against the running
+    /// front. Caller holds stateMutex.
+    bool shouldPromote(const Objectives &screened) const;
+
+    AnalyticalBackend screen;
+    CycleBackend verify;
+    TieredPolicy tierPolicy;
+
+    mutable std::mutex stateMutex;
+    /// Non-dominated analytical objectives seen so far.
+    std::vector<Objectives> analyticalFront;
+    std::size_t screened_ = 0;
+    std::size_t promoted_ = 0;
+};
+
+} // namespace autopilot::dse
+
+#endif // AUTOPILOT_DSE_EVAL_BACKEND_H

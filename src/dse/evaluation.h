@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The Phase 2 evaluation record and its fidelity tag.
+ *
+ * Split out of evaluator.h so the cost-model backend layer
+ * (eval_backend.h) and the memoizing evaluator can share the record
+ * without an include cycle.
+ */
+
+#ifndef AUTOPILOT_DSE_EVALUATION_H
+#define AUTOPILOT_DSE_EVALUATION_H
+
+#include <string>
+
+#include "dse/design_space.h"
+#include "dse/pareto.h"
+
+namespace autopilot::dse
+{
+
+/**
+ * Which cost model produced an evaluation's archived numbers.
+ *
+ * Mixed appears only as a backend-level label (TieredBackend); every
+ * individual Evaluation is either Analytical or CycleAccurate.
+ */
+enum class Fidelity
+{
+    Analytical,    ///< Closed-form engine (max(compute, DRAM) + latency).
+    CycleAccurate, ///< Cycle-stepped prefetch/writeback timeline.
+    Mixed,         ///< Backend mixes fidelities per point (tiered).
+};
+
+/** Stable lowercase label ("analytical", "cycle", "mixed"). */
+std::string fidelityName(Fidelity fidelity);
+
+/** Inverse of fidelityName (fatal on an unknown label). */
+Fidelity fidelityFromName(const std::string &name);
+
+/** Full evaluation of one design point. */
+struct Evaluation
+{
+    Encoding encoding{};
+    DesignPoint point;
+    double successRate = 0.0;
+    double npuPowerW = 0.0;
+    double socPowerW = 0.0;
+    double latencyMs = 0.0;
+    double fps = 0.0;
+    Objectives objectives; ///< {1 - success, socPowerW, latencyMs}.
+    /// Cost model that produced the performance/power numbers above.
+    Fidelity fidelity = Fidelity::Analytical;
+    /// Registry name of the backend that archived this record.
+    std::string backend = "analytical";
+};
+
+} // namespace autopilot::dse
+
+#endif // AUTOPILOT_DSE_EVALUATION_H

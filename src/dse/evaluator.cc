@@ -1,47 +1,49 @@
 #include "dse/evaluator.h"
 
-#include "power/npu_power.h"
-#include "power/soc_power.h"
-#include "systolic/engine.h"
+#include "dse/eval_backend.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
 
 namespace autopilot::dse
 {
 
-namespace
+DseEvaluator::DseEvaluator(const airlearning::PolicyDatabase &database,
+                           airlearning::ObstacleDensity density,
+                           const std::string &backend)
+    : DseEvaluator(database, density,
+                   makeBackend(backend,
+                               BackendContext{&database, density}))
 {
-
-/** FNV-1a over the choice indices; selects the cache shard. */
-std::size_t
-encodingHash(const Encoding &encoding)
-{
-    std::uint64_t hash = 0xCBF29CE484222325ull;
-    for (int value : encoding) {
-        hash ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(value));
-        hash *= 0x100000001B3ull;
-    }
-    return static_cast<std::size_t>(hash);
 }
 
-} // namespace
-
 DseEvaluator::DseEvaluator(const airlearning::PolicyDatabase &database,
-                           airlearning::ObstacleDensity density)
-    : policyDb(database), scenario(density)
+                           airlearning::ObstacleDensity density,
+                           std::unique_ptr<EvalBackend> backend)
+    : policyDb(database), scenario(density),
+      evalBackend(std::move(backend))
 {
+    util::fatalIf(evalBackend == nullptr,
+                  "DseEvaluator: backend must not be null");
+}
+
+DseEvaluator::~DseEvaluator() = default;
+
+std::string
+DseEvaluator::backendName() const
+{
+    return evalBackend->name();
 }
 
 DseEvaluator::Shard &
 DseEvaluator::shardFor(const Encoding &encoding)
 {
-    return shards[encodingHash(encoding) % shardCount];
+    return shards[hashEncoding(encoding) % shardCount];
 }
 
 const DseEvaluator::Shard &
 DseEvaluator::shardFor(const Encoding &encoding) const
 {
-    return shards[encodingHash(encoding) % shardCount];
+    return shards[hashEncoding(encoding) % shardCount];
 }
 
 const Evaluation &
@@ -103,33 +105,35 @@ DseEvaluator::evaluateBatch(std::span<const Encoding> encodings)
             .add(encodings.size() - claimed.size());
     }
 
-    // --- Simulation pass (parallel over the claimed distinct points) ---
-    util::Histogram *simulate_hist =
-        telemetry_on
-            ? &telemetry.metrics().histogram("dse.simulate_s")
-            : nullptr;
-    util::parallel_for(
-        workers, claimed.size(),
-        [this, &claimed, simulate_hist](std::size_t i) {
-            Node *node = claimed[i];
-            Evaluation evaluation;
-            {
-                util::TraceSpan span("dse.simulate", "dse");
-                util::ScopedTimer timer(simulate_hist);
-                evaluation = compute(node->evaluation.encoding);
-            }
-            Shard &shard = shardFor(evaluation.encoding);
-            {
-                std::lock_guard<std::mutex> lock(shard.mutex);
-                node->evaluation = std::move(evaluation);
-                node->ready.store(true, std::memory_order_release);
-            }
-            shard.ready.notify_all();
-        });
+    // --- Simulation pass (delegated to the cost-model backend) ---
+    // The backend computes each claimed point (fanning out over the
+    // pool as it sees fit) and commits results as they become ready;
+    // the commit publishes the node so waiters on other threads can
+    // proceed before the whole batch finishes.
+    if (!claimed.empty()) {
+        std::vector<DesignPoint> points;
+        points.reserve(claimed.size());
+        for (const Node *node : claimed)
+            points.push_back(
+                designSpace.decode(node->evaluation.encoding));
+        evalBackend->evaluateBatch(
+            points, workers,
+            [this, &claimed](std::size_t i, Evaluation &&evaluation) {
+                Node *node = claimed[i];
+                evaluation.encoding = node->evaluation.encoding;
+                Shard &shard = shardFor(evaluation.encoding);
+                {
+                    std::lock_guard<std::mutex> lock(shard.mutex);
+                    node->evaluation = std::move(evaluation);
+                    node->ready.store(true, std::memory_order_release);
+                }
+                shard.ready.notify_all();
+            });
+    }
 
     // --- Completion pass: wait out other threads' in-flight nodes ---
-    // Our own claims are ready after the parallel_for join; a hit on a
-    // node claimed by a concurrent batch may still be simulating.
+    // Our own claims are ready after the backend batch returns; a hit
+    // on a node claimed by a concurrent batch may still be simulating.
     for (std::size_t i = 0; i < encodings.size(); ++i) {
         Shard &shard = shardFor(encodings[i]);
         std::unique_lock<std::mutex> lock(shard.mutex);
@@ -153,6 +157,21 @@ DseEvaluator::evaluateBatch(std::span<const Encoding> encodings)
 
 std::size_t
 DseEvaluator::evaluationCount() const
+{
+    // Count only completed simulations, mirroring allEvaluations():
+    // nodes reserved by another thread's in-flight batch are excluded
+    // from both, so the two views always reconcile.
+    std::lock_guard<std::mutex> lock(orderMutex);
+    std::size_t ready = 0;
+    for (const Node *node : evaluationOrder) {
+        if (node->ready.load(std::memory_order_acquire))
+            ++ready;
+    }
+    return ready;
+}
+
+std::size_t
+DseEvaluator::reservedCount() const
 {
     std::lock_guard<std::mutex> lock(orderMutex);
     return evaluationOrder.size();
@@ -186,39 +205,6 @@ DseEvaluator::cacheStats() const
     stats.inflightWaits =
         inflightWaitCount.load(std::memory_order_relaxed);
     return stats;
-}
-
-Evaluation
-DseEvaluator::compute(const Encoding &encoding) const
-{
-    Evaluation evaluation;
-    evaluation.encoding = encoding;
-    evaluation.point = designSpace.decode(encoding);
-
-    const auto record =
-        policyDb.find(evaluation.point.policy, scenario);
-    util::fatalIf(!record.has_value(),
-                  "DseEvaluator: no Phase 1 record for policy " +
-                      nn::policyName(evaluation.point.policy) +
-                      " - run the trainer first");
-    evaluation.successRate = record->successRate;
-
-    const nn::Model model = nn::buildE2EModel(evaluation.point.policy);
-    const systolic::AnalyticalEngine engine(evaluation.point.accel);
-    const systolic::RunResult run = engine.run(model);
-
-    const power::NpuPowerModel npu(evaluation.point.accel);
-    evaluation.npuPowerW = npu.averagePowerW(run);
-    evaluation.socPowerW =
-        power::socPower(evaluation.npuPowerW).totalW();
-
-    const double clock = evaluation.point.accel.clockGhz;
-    evaluation.latencyMs = run.runtimeSeconds(clock) * 1e3;
-    evaluation.fps = run.framesPerSecond(clock);
-
-    evaluation.objectives = {1.0 - evaluation.successRate,
-                             evaluation.socPowerW, evaluation.latencyMs};
-    return evaluation;
 }
 
 } // namespace autopilot::dse

@@ -4,9 +4,14 @@
  *
  * Given a design point, produce the three objectives the paper optimizes
  * (Section III-B): task success rate (from the Air Learning database),
- * full-SoC power, and inference latency (both from the systolic simulator
- * plus the power models). All objectives are returned in minimization
- * form: {1 - success, SoC watts, latency ms}.
+ * full-SoC power, and inference latency (both from a pluggable cost-model
+ * backend - see dse/eval_backend.h). All objectives are returned in
+ * minimization form: {1 - success, SoC watts, latency ms}.
+ *
+ * The evaluator owns exactly one EvalBackend (selected by registry name;
+ * "analytical" by default, matching the historical hard-wired path
+ * bit for bit) and routes every cache miss through it, so memoization,
+ * batching and the determinism contract are shared by all cost models.
  *
  * Evaluations are memoized: architectural simulation is the expensive step
  * the paper's Bayesian optimization is designed to conserve, and the
@@ -19,8 +24,9 @@
  * is mirrored into the registry counters "dse.cache.hit",
  * "dse.cache.miss" and "dse.cache.inflight_wait" (always equal to
  * cacheStats()), per-point simulation time is recorded into the
- * "dse.simulate_s" histogram, and each batch/simulation emits a trace
- * span ("dse.evaluateBatch" / "dse.simulate").
+ * "dse.simulate_s" histogram, each batch/simulation emits a trace
+ * span ("dse.evaluateBatch" / "dse.simulate"), and each backend batch
+ * bumps "dse.backend.<name>.points".
  */
 
 #ifndef AUTOPILOT_DSE_EVALUATOR_H
@@ -34,28 +40,19 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "airlearning/database.h"
 #include "dse/design_space.h"
+#include "dse/evaluation.h"
 #include "dse/pareto.h"
 #include "util/thread_pool.h"
 
 namespace autopilot::dse
 {
 
-/** Full evaluation of one design point. */
-struct Evaluation
-{
-    Encoding encoding{};
-    DesignPoint point;
-    double successRate = 0.0;
-    double npuPowerW = 0.0;
-    double socPowerW = 0.0;
-    double latencyMs = 0.0;
-    double fps = 0.0;
-    Objectives objectives; ///< {1 - success, socPowerW, latencyMs}.
-};
+class EvalBackend;
 
 /** One entry of an evaluateBatch() result, aligned with the request. */
 struct BatchResult
@@ -90,16 +87,34 @@ class DseEvaluator
      * @param database Phase 1 policy database; must contain a record for
      *                 every hyperparameter combination of the space.
      * @param density  Deployment scenario being designed for.
+     * @param backend  Registry name of the cost-model backend
+     *                 ("analytical", "cycle", "tiered", or anything
+     *                 registered in BackendRegistry; fatal on an unknown
+     *                 name). The default is the closed-form path,
+     *                 bit-identical to the pre-backend evaluator.
      */
     DseEvaluator(const airlearning::PolicyDatabase &database,
-                 airlearning::ObstacleDensity density);
+                 airlearning::ObstacleDensity density,
+                 const std::string &backend = "analytical");
+
+    /**
+     * Construct with an explicit backend instance (for tests and
+     * custom-configured backends, e.g. a TieredBackend with a
+     * non-default promotion band). @p backend must not be null.
+     */
+    DseEvaluator(const airlearning::PolicyDatabase &database,
+                 airlearning::ObstacleDensity density,
+                 std::unique_ptr<EvalBackend> backend);
+
+    ~DseEvaluator();
 
     /**
      * Attach a worker pool (non-owning; may be null for serial
      * operation). evaluateBatch() uses it to simulate the distinct
      * uncached points of a batch in parallel. Results are independent of
-     * the pool: evaluations are pure functions of the encoding, and batch
-     * results are returned in request order.
+     * the pool: evaluations are pure functions of the encoding (for the
+     * tiered backend: of the request sequence), and batch results are
+     * returned in request order.
      */
     void setThreadPool(util::ThreadPool *pool) { workers = pool; }
 
@@ -124,15 +139,27 @@ class DseEvaluator
      */
     std::vector<BatchResult> evaluateBatch(std::span<const Encoding> encodings);
 
-    /** Number of distinct points evaluated so far. Thread-safe. */
+    /**
+     * Number of distinct points evaluated so far - completed
+     * simulations only, so this always equals allEvaluations().size()
+     * even while other threads' simulations are in flight. Thread-safe.
+     */
     std::size_t evaluationCount() const;
 
     /**
-     * All distinct evaluations so far, in evaluation order: the order in
-     * which the points were first requested (for batches, request order
-     * within the batch). This order is deterministic for a fixed request
-     * sequence, which makes seeded runs reproducible end to end.
+     * Number of distinct points reserved so far: completed evaluations
+     * plus simulations other threads still have in flight. Always
+     * >= evaluationCount(), equal once the process quiesces.
      * Thread-safe.
+     */
+    std::size_t reservedCount() const;
+
+    /**
+     * All distinct completed evaluations so far, in evaluation order:
+     * the order in which the points were first requested (for batches,
+     * request order within the batch). This order is deterministic for
+     * a fixed request sequence, which makes seeded runs reproducible
+     * end to end. Thread-safe.
      */
     std::vector<Evaluation> allEvaluations() const;
 
@@ -141,6 +168,12 @@ class DseEvaluator
 
     const DesignSpace &space() const { return designSpace; }
     airlearning::ObstacleDensity density() const { return scenario; }
+
+    /** The cost-model backend this evaluator routes misses through. */
+    const EvalBackend &backend() const { return *evalBackend; }
+
+    /** Registry name of the backend ("analytical" by default). */
+    std::string backendName() const;
 
   private:
     /// Memo-cache node: the payload plus its in-flight state. Nodes are
@@ -172,6 +205,7 @@ class DseEvaluator
     const airlearning::PolicyDatabase &policyDb;
     airlearning::ObstacleDensity scenario;
     DesignSpace designSpace;
+    std::unique_ptr<EvalBackend> evalBackend;
     util::ThreadPool *workers = nullptr;
 
     std::array<Shard, shardCount> shards;
@@ -183,8 +217,6 @@ class DseEvaluator
     std::atomic<std::uint64_t> hitCount{0};
     std::atomic<std::uint64_t> missCount{0};
     std::atomic<std::uint64_t> inflightWaitCount{0};
-
-    Evaluation compute(const Encoding &encoding) const;
 };
 
 } // namespace autopilot::dse

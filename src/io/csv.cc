@@ -63,6 +63,15 @@ splitCsvLine(const std::string &line)
 std::vector<std::vector<std::string>>
 readCsv(std::istream &is, const std::vector<std::string> &expected_header)
 {
+    std::size_t matched = 0;
+    return readCsvAny(is, {expected_header}, matched);
+}
+
+std::vector<std::vector<std::string>>
+readCsvAny(std::istream &is,
+           const std::vector<std::vector<std::string>> &accepted_headers,
+           std::size_t &matched_header)
+{
     // getline() splits on '\n' only, so files written with CRLF line
     // endings (Windows tools, some spreadsheet exports) leave a '\r' on
     // every line; strip it so both conventions round-trip identically.
@@ -77,15 +86,23 @@ readCsv(std::istream &is, const std::vector<std::string> &expected_header)
     std::string line;
     fatalIf(!getCsvLine(line), "readCsv: empty stream");
     const std::vector<std::string> header = splitCsvLine(line);
-    fatalIf(header != expected_header,
-            "readCsv: unexpected header '" + line + "'");
+    bool known = false;
+    for (std::size_t h = 0; h < accepted_headers.size(); ++h) {
+        if (header == accepted_headers[h]) {
+            matched_header = h;
+            known = true;
+            break;
+        }
+    }
+    fatalIf(!known, "readCsv: unexpected header '" + line + "'");
+    const std::size_t width = accepted_headers[matched_header].size();
 
     std::vector<std::vector<std::string>> rows;
     while (getCsvLine(line)) {
         if (line.empty())
             continue;
         std::vector<std::string> fields = splitCsvLine(line);
-        fatalIf(fields.size() != expected_header.size(),
+        fatalIf(fields.size() != width,
                 "readCsv: ragged row '" + line + "'");
         rows.push_back(std::move(fields));
     }

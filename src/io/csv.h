@@ -29,6 +29,19 @@ std::vector<std::string> splitCsvLine(const std::string &line);
 std::vector<std::vector<std::string>> readCsv(
     std::istream &is, const std::vector<std::string> &expected_header);
 
+/**
+ * Like readCsv, but the header may match any one of
+ * @p accepted_headers (fatal when none matches). Used by readers that
+ * accept a legacy file layout next to the current one.
+ *
+ * @param matched_header Set to the index of the header that matched;
+ *        rows are validated against that header's width.
+ */
+std::vector<std::vector<std::string>> readCsvAny(
+    std::istream &is,
+    const std::vector<std::vector<std::string>> &accepted_headers,
+    std::size_t &matched_header);
+
 /** Parse helpers that fail via fatal() with the offending text. */
 double parseDouble(const std::string &text);
 int parseInt(const std::string &text);

@@ -19,6 +19,14 @@ const std::vector<std::string> databaseHeader = {
 const std::vector<std::string> archiveHeader = {
     "layers_idx",  "filters_idx", "pe_rows_idx", "pe_cols_idx",
     "ifmap_idx",   "filter_idx",  "ofmap_idx",   "success_rate",
+    "npu_power_w", "soc_power_w", "latency_ms",  "fps",
+    "backend",     "fidelity"};
+
+/// Pre-backend-layer archive layout: no backend/fidelity columns.
+/// Still readable; such rows load as analytical-fidelity evaluations.
+const std::vector<std::string> legacyArchiveHeader = {
+    "layers_idx",  "filters_idx", "pe_rows_idx", "pe_cols_idx",
+    "ifmap_idx",   "filter_idx",  "ofmap_idx",   "success_rate",
     "npu_power_w", "soc_power_w", "latency_ms",  "fps"};
 
 airlearning::ObstacleDensity
@@ -98,7 +106,8 @@ writeDseArchive(const std::vector<dse::Evaluation> &archive,
            << formatDouble(eval.npuPowerW) << ','
            << formatDouble(eval.socPowerW) << ','
            << formatDouble(eval.latencyMs) << ','
-           << formatDouble(eval.fps) << '\n';
+           << formatDouble(eval.fps) << ',' << eval.backend << ','
+           << dse::fidelityName(eval.fidelity) << '\n';
     }
 }
 
@@ -107,7 +116,11 @@ readDseArchive(std::istream &is)
 {
     const dse::DesignSpace space;
     std::vector<dse::Evaluation> archive;
-    for (const auto &row : readCsv(is, archiveHeader)) {
+    std::size_t matched = 0;
+    const auto rows =
+        readCsvAny(is, {archiveHeader, legacyArchiveHeader}, matched);
+    const bool legacy = matched == 1;
+    for (const auto &row : rows) {
         dse::Evaluation eval;
         for (std::size_t d = 0; d < dse::designDims; ++d)
             eval.encoding[d] = parseInt(row[d]);
@@ -117,6 +130,10 @@ readDseArchive(std::istream &is)
         eval.socPowerW = parseDouble(row[9]);
         eval.latencyMs = parseDouble(row[10]);
         eval.fps = parseDouble(row[11]);
+        if (!legacy) {
+            eval.backend = row[12];
+            eval.fidelity = dse::fidelityFromName(row[13]);
+        }
         eval.objectives = {1.0 - eval.successRate, eval.socPowerW,
                            eval.latencyMs};
         archive.push_back(std::move(eval));

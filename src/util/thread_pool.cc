@@ -6,11 +6,16 @@ namespace autopilot::util
 {
 
 void
-Latch::countDown()
+Latch::countDown(std::ptrdiff_t n)
 {
     std::lock_guard<std::mutex> lock(mutex);
-    if (remaining > 0 && --remaining == 0)
-        cv.notify_all();
+    if (remaining > 0) {
+        remaining -= n;
+        if (remaining <= 0) {
+            remaining = 0;
+            cv.notify_all();
+        }
+    }
 }
 
 void
@@ -93,17 +98,21 @@ ThreadPool::workerLoop(std::size_t worker)
 
 void
 ThreadPool::parallelFor(std::size_t count,
-                        const std::function<void(std::size_t)> &body)
+                        const std::function<void(std::size_t)> &body,
+                        std::size_t grain)
 {
     if (count == 0)
         return;
-    if (count == 1) {
-        body(0);
+    if (grain == 0)
+        grain = 1;
+    if (count <= grain) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
         return;
     }
 
     // Shared claim counter + completion latch + first-error slot.
-    // Helpers (one per worker, capped at the iteration count) and the
+    // Helpers (one per worker, capped at the chunk count) and the
     // caller all drain the same counter, so the caller always makes
     // progress even when every worker is busy with unrelated tasks.
     // The caller waits on the latch, NOT on the helper tasks: a helper
@@ -122,13 +131,16 @@ ThreadPool::parallelFor(std::size_t count,
     auto state =
         std::make_shared<State>(static_cast<std::ptrdiff_t>(count));
 
-    auto drain = [state, count, &body]() {
+    auto drain = [state, count, grain, &body]() {
         for (;;) {
-            const std::size_t i =
-                state->next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= count)
+            const std::size_t begin =
+                state->next.fetch_add(grain, std::memory_order_relaxed);
+            if (begin >= count)
                 return;
-            if (!state->failed.load(std::memory_order_relaxed)) {
+            const std::size_t end = std::min(begin + grain, count);
+            for (std::size_t i = begin; i < end; ++i) {
+                if (state->failed.load(std::memory_order_relaxed))
+                    break;
                 try {
                     body(i);
                 } catch (...) {
@@ -139,11 +151,15 @@ ThreadPool::parallelFor(std::size_t count,
                                         std::memory_order_relaxed);
                 }
             }
-            state->done.countDown();
+            // One count-down per claimed chunk (abandoned iterations
+            // after a failure are counted as done: they were claimed).
+            state->done.countDown(
+                static_cast<std::ptrdiff_t>(end - begin));
         }
     };
 
-    const std::size_t helpers = std::min(workers.size(), count - 1);
+    const std::size_t chunks = (count + grain - 1) / grain;
+    const std::size_t helpers = std::min(workers.size(), chunks - 1);
     for (std::size_t h = 0; h < helpers; ++h)
         submit(drain);
 
@@ -156,10 +172,11 @@ ThreadPool::parallelFor(std::size_t count,
 
 void
 parallel_for(ThreadPool *pool, std::size_t count,
-             const std::function<void(std::size_t)> &body)
+             const std::function<void(std::size_t)> &body,
+             std::size_t grain)
 {
     if (pool != nullptr) {
-        pool->parallelFor(count, body);
+        pool->parallelFor(count, body, grain);
         return;
     }
     for (std::size_t i = 0; i < count; ++i)

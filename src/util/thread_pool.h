@@ -57,8 +57,8 @@ class Latch
     Latch(const Latch &) = delete;
     Latch &operator=(const Latch &) = delete;
 
-    /** Decrement; the final decrement wakes all waiters. */
-    void countDown();
+    /** Decrement by @p n; reaching zero wakes all waiters. */
+    void countDown(std::ptrdiff_t n = 1);
 
     /** Block until the count reaches zero. */
     void wait();
@@ -126,14 +126,21 @@ class ThreadPool
      * Run body(i) for every i in [0, count) across the pool and block
      * until all iterations finish. The calling thread participates, so a
      * pool of one worker still makes progress and the call is safe even
-     * from within a pool task. Iterations are claimed dynamically (one
-     * atomic counter), so uneven per-iteration cost load-balances.
+     * from within a pool task. Iterations are claimed dynamically from
+     * one atomic counter in chunks of @p grain consecutive indices, so
+     * uneven per-iteration cost load-balances while cheap bodies
+     * amortize the claim (one atomic RMW plus one latch count-down per
+     * chunk instead of per index). grain = 1 (the default) maximizes
+     * load balancing and is right for expensive bodies like
+     * architectural simulation; pick a larger grain for short bodies
+     * at high thread counts (0 is treated as 1).
      *
      * The first exception thrown by any iteration is rethrown on the
      * caller after all iterations complete or are abandoned.
      */
     void parallelFor(std::size_t count,
-                     const std::function<void(std::size_t)> &body);
+                     const std::function<void(std::size_t)> &body,
+                     std::size_t grain = 1);
 
   private:
     /// One queue entry: the callable plus its enqueue timestamp (0 when
@@ -164,10 +171,13 @@ class ThreadPool
 /**
  * Convenience: run body(i) for i in [0, count) on @p pool, or serially on
  * the calling thread when @p pool is null (the single-threaded path used
- * whenever a component has no pool attached).
+ * whenever a component has no pool attached). @p grain is the chunked
+ * claiming granularity forwarded to ThreadPool::parallelFor (ignored on
+ * the serial path, which is naturally one chunk).
  */
 void parallel_for(ThreadPool *pool, std::size_t count,
-                  const std::function<void(std::size_t)> &body);
+                  const std::function<void(std::size_t)> &body,
+                  std::size_t grain = 1);
 
 } // namespace autopilot::util
 

@@ -211,7 +211,62 @@ TEST(Persistence, DseArchiveRoundTrip)
         EXPECT_DOUBLE_EQ(restored[i].latencyMs,
                          result.archive[i].latencyMs);
         EXPECT_EQ(restored[i].objectives, result.archive[i].objectives);
+        EXPECT_EQ(restored[i].backend, result.archive[i].backend);
+        EXPECT_EQ(restored[i].fidelity, result.archive[i].fidelity);
     }
+}
+
+TEST(Persistence, MixedFidelityArchiveRoundTrips)
+{
+    // A tiered-backend archive carries per-row fidelity tags; both tag
+    // values must survive the trip.
+    al::TrainerConfig trainer_config;
+    trainer_config.validationEpisodes = 30;
+    const al::Trainer trainer(trainer_config);
+    al::PolicyDatabase db;
+    trainer.trainAll(nn::PolicySpace(), al::ObstacleDensity::Dense, db);
+
+    dse::DseEvaluator evaluator(db, al::ObstacleDensity::Dense,
+                                "tiered");
+    dse::RandomSearch search;
+    dse::OptimizerConfig config;
+    config.evaluationBudget = 20;
+    const auto result = search.optimize(evaluator, config);
+
+    std::stringstream buffer;
+    io::writeDseArchive(result.archive, buffer);
+    const auto restored = io::readDseArchive(buffer);
+
+    ASSERT_EQ(restored.size(), result.archive.size());
+    bool sawAnalytical = false;
+    bool sawCycle = false;
+    for (std::size_t i = 0; i < restored.size(); ++i) {
+        EXPECT_EQ(restored[i].backend, "tiered");
+        EXPECT_EQ(restored[i].fidelity, result.archive[i].fidelity);
+        sawAnalytical |=
+            restored[i].fidelity == dse::Fidelity::Analytical;
+        sawCycle |=
+            restored[i].fidelity == dse::Fidelity::CycleAccurate;
+    }
+    EXPECT_TRUE(sawAnalytical);
+    EXPECT_TRUE(sawCycle);
+}
+
+TEST(Persistence, LegacyArchiveHeaderStillReads)
+{
+    // Pre-backend-layer archives have no backend/fidelity columns; they
+    // must load with the analytical defaults.
+    std::istringstream is(
+        "layers_idx,filters_idx,pe_rows_idx,pe_cols_idx,ifmap_idx,"
+        "filter_idx,ofmap_idx,success_rate,npu_power_w,soc_power_w,"
+        "latency_ms,fps\n"
+        "0,1,1,1,0,1,0,0.75,1.5,3.25,12.5,80\n");
+    const auto restored = io::readDseArchive(is);
+    ASSERT_EQ(restored.size(), 1u);
+    EXPECT_EQ(restored[0].backend, "analytical");
+    EXPECT_EQ(restored[0].fidelity, dse::Fidelity::Analytical);
+    EXPECT_DOUBLE_EQ(restored[0].successRate, 0.75);
+    EXPECT_DOUBLE_EQ(restored[0].latencyMs, 12.5);
 }
 
 TEST(Persistence, EmptyArchiveRoundTrips)

@@ -269,11 +269,36 @@ TEST(BatchEvaluator, ConcurrentHammerSimulatesEachPointOnce)
             }
         });
     }
+    // While the hammer runs, the counters must stay reconciled at every
+    // instant: evaluationCount() covers completed simulations only (and
+    // so always matches allEvaluations()), while reservedCount() also
+    // includes other threads' in-flight work.
+    std::atomic<bool> done{false};
+    std::thread monitor([&] {
+        while (!done.load(std::memory_order_acquire)) {
+            const std::size_t before = evaluator.evaluationCount();
+            const std::size_t snapshot =
+                evaluator.allEvaluations().size();
+            const std::size_t after = evaluator.evaluationCount();
+            EXPECT_LE(before, snapshot);
+            EXPECT_LE(snapshot, after);
+            EXPECT_LE(after, evaluator.reservedCount());
+            EXPECT_LE(evaluator.reservedCount(), distinct);
+            std::this_thread::yield();
+        }
+    });
     for (std::thread &thread : threads)
         thread.join();
+    done.store(true, std::memory_order_release);
+    monitor.join();
 
-    // Each distinct point was simulated exactly once process-wide.
+    // Each distinct point was simulated exactly once process-wide, and
+    // the two progress counters reconcile now that the cache quiesced:
+    // no reservation is left without a completed evaluation.
     EXPECT_EQ(evaluator.evaluationCount(), distinct);
+    EXPECT_EQ(evaluator.reservedCount(), distinct);
+    EXPECT_EQ(evaluator.allEvaluations().size(),
+              evaluator.evaluationCount());
     const dse::CacheStats stats = evaluator.cacheStats();
     EXPECT_EQ(stats.misses, distinct);
     EXPECT_EQ(stats.requests(), requested.load());
