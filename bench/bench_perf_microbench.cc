@@ -10,8 +10,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <memory>
 #include <set>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "airlearning/rollout.h"
 #include "airlearning/trainer.h"
@@ -19,6 +23,7 @@
 #include "dse/evaluator.h"
 #include "dse/gaussian_process.h"
 #include "dse/hypervolume.h"
+#include "io/journal.h"
 #include "nn/e2e_template.h"
 #include "power/npu_power.h"
 #include "systolic/cycle_engine.h"
@@ -371,6 +376,114 @@ BENCHMARK(BM_ParallelForGrain)
     ->Arg(1)
     ->Arg(16)
     ->Arg(256)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Per-batch journal flush overhead: the BM_BatchEvaluate128 workload
+ * (cold cache, serial) with Arg(1) attaching an EvalJournalWriter sink
+ * that appends+flushes the batch, Arg(0) running journal-free. The
+ * delta between the two is what checkpoint durability costs one
+ * optimizer generation - the ISSUE budget is < 5 % of the no-journal
+ * batch time.
+ */
+void
+BM_JournalAppend(benchmark::State &state)
+{
+    const bool journaled = state.range(0) != 0;
+    const auto &db = benchDatabase();
+
+    const dse::DesignSpace space;
+    util::Rng rng(0xBA7C);
+    std::set<dse::Encoding> seen;
+    std::vector<dse::Encoding> points;
+    while (points.size() < 128) {
+        const dse::Encoding encoding = space.randomEncoding(rng);
+        if (seen.insert(encoding).second)
+            points.push_back(encoding);
+    }
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "autopilot_bench_journal.csv")
+            .string();
+
+    for (auto _ : state) {
+        state.PauseTiming(); // Fresh evaluator => cold memo cache.
+        auto evaluator = std::make_unique<dse::DseEvaluator>(
+            db, autopilot::airlearning::ObstacleDensity::Dense);
+        std::unique_ptr<io::EvalJournalWriter> writer;
+        if (journaled) {
+            writer = std::make_unique<io::EvalJournalWriter>(path, 0x1);
+            evaluator->setJournalSink(
+                [&writer](std::span<const dse::Evaluation> batch) {
+                    writer->append(batch);
+                });
+        }
+        state.ResumeTiming();
+
+        const auto results = evaluator->evaluateBatch(points);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            128);
+    std::filesystem::remove(path);
+}
+BENCHMARK(BM_JournalAppend)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Resume warm-start cost: replaying a 128-row journal prefix into a
+ * fresh evaluator (preload: cache inserts + backend warm-start) versus
+ * re-simulating the same 128 points from scratch (the work a resume
+ * avoids). The ratio is the payoff of checkpoint/resume for one
+ * generation-sized prefix; tiered replays re-screen analytically, so
+ * they cost more than analytical replays but still skip every cycle-
+ * accurate run.
+ */
+void
+BM_ResumeWarmStart(benchmark::State &state, const char *backend_name)
+{
+    const auto &db = benchDatabase();
+
+    const dse::DesignSpace space;
+    util::Rng rng(0xBA7C);
+    std::set<dse::Encoding> seen;
+    std::vector<dse::Encoding> points;
+    while (points.size() < 128) {
+        const dse::Encoding encoding = space.randomEncoding(rng);
+        if (seen.insert(encoding).second)
+            points.push_back(encoding);
+    }
+
+    // The "journal": one uninterrupted run's evaluations.
+    dse::DseEvaluator source(
+        db, autopilot::airlearning::ObstacleDensity::Dense,
+        backend_name);
+    source.evaluateBatch(points);
+    const std::vector<dse::Evaluation> journal =
+        source.allEvaluations();
+
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto resumed = std::make_unique<dse::DseEvaluator>(
+            db, autopilot::airlearning::ObstacleDensity::Dense,
+            backend_name);
+        state.ResumeTiming();
+
+        resumed->preload(journal);
+        benchmark::DoNotOptimize(resumed->evaluationCount());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            128);
+}
+BENCHMARK_CAPTURE(BM_ResumeWarmStart, analytical, "analytical")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ResumeWarmStart, tiered, "tiered")
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -1,8 +1,11 @@
 #include "core/autopilot.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <sstream>
 
 #include "dse/eval_backend.h"
+#include "io/journal.h"
 #include "power/mass_model.h"
 #include "uav/f1_model.h"
 #include "util/logging.h"
@@ -23,6 +26,24 @@ strategyName(DesignStrategy strategy)
     return "?";
 }
 
+std::uint64_t
+taskFingerprint(const TaskSpec &task)
+{
+    std::ostringstream key;
+    key.precision(17);
+    key << airlearning::densityName(task.density) << '|'
+        << task.validationEpisodes << '|' << task.dseBudget << '|'
+        << task.successTolerance << '|' << task.maxLatencyMs << '|'
+        << task.seed << '|' << task.backend << '|' << task.optimizer;
+    // FNV-1a, 64-bit.
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : key.str()) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
 AutoPilot::AutoPilot(const TaskSpec &task) : taskSpec(task)
 {
     util::fatalIf(taskSpec.validationEpisodes <= 0 ||
@@ -37,6 +58,13 @@ AutoPilot::AutoPilot(const TaskSpec &task) : taskSpec(task)
         !dse::BackendRegistry::instance().knows(taskSpec.backend),
         "AutoPilot: unknown cost-model backend '" + taskSpec.backend +
             "'");
+    bool optimizerKnown = false;
+    for (const std::string &candidate : dse::optimizerNames())
+        optimizerKnown = optimizerKnown || candidate == taskSpec.optimizer;
+    util::fatalIf(!optimizerKnown, "AutoPilot: unknown optimizer '" +
+                                       taskSpec.optimizer + "'");
+    if (!taskSpec.checkpointDir.empty())
+        std::filesystem::create_directories(taskSpec.checkpointDir);
     if (taskSpec.telemetry)
         util::Telemetry::instance().setEnabled(true);
 }
@@ -56,7 +84,35 @@ AutoPilot::workerPool()
 const airlearning::PolicyDatabase &
 AutoPilot::phase1()
 {
-    if (!phase1Done) {
+    if (phase1Done)
+        return database;
+
+    const std::string checkpointPath =
+        taskSpec.checkpointDir.empty()
+            ? std::string()
+            : taskSpec.checkpointDir + "/policies.chk";
+    const std::uint64_t fingerprint = taskFingerprint(taskSpec);
+
+    if (taskSpec.resume && !checkpointPath.empty()) {
+        const io::PolicyCheckpoint checkpoint =
+            io::readPolicyCheckpoint(checkpointPath);
+        if (checkpoint.found && checkpoint.ok &&
+            checkpoint.fingerprint == fingerprint) {
+            database = checkpoint.db;
+            phase1Done = true;
+            return database;
+        }
+        if (checkpoint.found) {
+            util::warn(
+                "AutoPilot: ignoring policy checkpoint '" +
+                checkpointPath + "' (" +
+                (checkpoint.ok ? std::string("task fingerprint mismatch")
+                               : "corrupt: " + checkpoint.reason) +
+                "); retraining Phase 1");
+        }
+    }
+
+    {
         util::TraceSpan span("phase1", "autopilot");
         airlearning::TrainerConfig trainer_config;
         trainer_config.validationEpisodes = taskSpec.validationEpisodes;
@@ -66,24 +122,69 @@ AutoPilot::phase1()
                          workerPool());
         phase1Done = true;
     }
+    if (!checkpointPath.empty())
+        io::writePolicyCheckpoint(checkpointPath, fingerprint, database);
     return database;
 }
 
 const dse::OptimizerResult &
 AutoPilot::phase2()
 {
-    if (!phase2Done) {
-        dse::DseEvaluator evaluator(phase1(), taskSpec.density,
-                                    taskSpec.backend);
-        util::TraceSpan span("phase2", "autopilot");
-        evaluator.setThreadPool(workerPool());
-        dse::BayesOpt optimizer;
-        dse::OptimizerConfig config;
-        config.evaluationBudget = taskSpec.dseBudget;
-        config.seed = taskSpec.seed ^ 0xB0;
-        dseResult = optimizer.optimize(evaluator, config);
-        phase2Done = true;
+    if (phase2Done)
+        return dseResult;
+
+    dse::DseEvaluator evaluator(phase1(), taskSpec.density,
+                                taskSpec.backend);
+    util::TraceSpan span("phase2", "autopilot");
+    evaluator.setThreadPool(workerPool());
+
+    // Journaling: replay any fingerprint-matched journal prefix into
+    // the memo cache (the optimizer then replays its recorded
+    // trajectory with those points costing no simulation), and hook
+    // the evaluator so each newly committed batch is appended and
+    // flushed - a kill loses at most the in-flight batch.
+    std::unique_ptr<io::EvalJournalWriter> journal;
+    if (!taskSpec.checkpointDir.empty()) {
+        const std::string journalPath =
+            taskSpec.checkpointDir + "/journal.csv";
+        const std::uint64_t fingerprint = taskFingerprint(taskSpec);
+        std::vector<dse::Evaluation> replayed;
+        if (taskSpec.resume) {
+            io::JournalReplay replay = io::readEvalJournal(journalPath);
+            if (replay.found && replay.fingerprint == fingerprint) {
+                if (replay.truncated) {
+                    util::warn("AutoPilot: journal '" + journalPath +
+                               "' torn at line " +
+                               std::to_string(replay.badLine) + " (" +
+                               replay.reason + "); replaying " +
+                               std::to_string(replay.entries.size()) +
+                               " intact rows");
+                }
+                replayed = std::move(replay.entries);
+            } else if (replay.found) {
+                util::warn("AutoPilot: ignoring journal '" +
+                           journalPath +
+                           "' (task fingerprint mismatch); starting "
+                           "Phase 2 fresh");
+            }
+        }
+        evaluator.preload(replayed);
+        journal = std::make_unique<io::EvalJournalWriter>(
+            journalPath, fingerprint, replayed);
+        evaluator.setJournalSink(
+            [writer = journal.get()](
+                std::span<const dse::Evaluation> batch) {
+                writer->append(batch);
+            });
     }
+
+    const std::unique_ptr<dse::Optimizer> optimizer =
+        dse::makeOptimizer(taskSpec.optimizer);
+    dse::OptimizerConfig config;
+    config.evaluationBudget = taskSpec.dseBudget;
+    config.seed = taskSpec.seed ^ 0xB0;
+    dseResult = optimizer->optimize(evaluator, config);
+    phase2Done = true;
     return dseResult;
 }
 

@@ -70,6 +70,28 @@ struct TaskSpec
     /// produced it; printRunReport() shows the per-fidelity breakdown
     /// for non-default backends.
     std::string backend = "analytical";
+    /// Phase 2 optimizer, by report name ("bo" - the paper's Bayesian
+    /// optimization and the default - "nsga2", "sa" or "random"; see
+    /// dse::makeOptimizer). Fatal on an unknown name. All optimizers
+    /// run with default algorithm parameters; budget and seed come from
+    /// dseBudget/seed above.
+    std::string optimizer = "bo";
+    /// Directory for the run's durable state: the Phase 1 policy
+    /// checkpoint ("policies.chk") and the Phase 2 evaluation journal
+    /// ("journal.csv"), both headed by the task fingerprint. Empty
+    /// (default) disables checkpointing entirely. The directory is
+    /// created on demand.
+    std::string checkpointDir;
+    /// Warm-start from checkpointDir's files when they exist and their
+    /// fingerprint matches taskFingerprint(): Phase 1 loads the policy
+    /// checkpoint instead of retraining, Phase 2 preloads the journal
+    /// into the memo cache (and the backend's warm-start state) so the
+    /// optimizer replays its recorded trajectory without re-simulating,
+    /// then continues where the interrupted run stopped. A resumed run
+    /// with an unchanged spec produces byte-identical results to an
+    /// uninterrupted one. Mismatched or absent files fall back to a
+    /// fresh run (with a warning when a mismatched file existed).
+    bool resume = false;
     /// Enable the run-telemetry subsystem (util::Telemetry): Phase
     /// 1/2/3 trace spans, per-evaluation simulate spans, cache/pool
     /// metrics, and a summary table appended to printRunReport(). Off
@@ -79,6 +101,18 @@ struct TaskSpec
     /// context.
     bool telemetry = false;
 };
+
+/**
+ * 64-bit fingerprint (FNV-1a) over every TaskSpec field that affects
+ * results: density, budgets, tolerance, latency bound, seed, backend
+ * and optimizer. Deliberately EXCLUDES threads and telemetry (results
+ * are byte-identical across thread counts, so a journal written at
+ * --threads 4 legitimately resumes at --threads 1) and the
+ * checkpointing fields themselves. Stamped into checkpoint/journal
+ * headers so a resumed run never replays state computed for a
+ * different problem.
+ */
+std::uint64_t taskFingerprint(const TaskSpec &task);
 
 /** A Phase 2 candidate lowered to a full UAV system (Phase 3 view). */
 struct FullSystemDesign

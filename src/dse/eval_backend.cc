@@ -1,6 +1,8 @@
 #include "dse/eval_backend.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <utility>
 
 #include "dse/hypervolume.h"
@@ -67,6 +69,12 @@ checkContext(const BackendContext &context, const char *who)
 } // namespace
 
 // ------------------------------------------------------------ interface ----
+
+void
+EvalBackend::warmStart(std::span<const Evaluation> /*replayed*/)
+{
+    // Stateless backends have nothing to restore.
+}
 
 void
 EvalBackend::evaluateBatch(std::span<const DesignPoint> points,
@@ -204,7 +212,8 @@ CycleBackend::evaluate(const DesignPoint &point)
 
 TieredBackend::TieredBackend(const BackendContext &context,
                              const TieredPolicy &policy)
-    : screen(context), verify(context), tierPolicy(policy)
+    : screen(context), verify(context), tierPolicy(policy),
+      band_(policy.promotionBand)
 {
     util::fatalIf(tierPolicy.promotionBand <= 0.0 ||
                       tierPolicy.promotionBand >= 1.0,
@@ -212,6 +221,15 @@ TieredBackend::TieredBackend(const BackendContext &context,
     util::fatalIf(tierPolicy.referencePoint.size() != 3,
                   "TieredBackend: reference point must have 3 "
                   "objectives");
+    if (tierPolicy.adaptive) {
+        util::fatalIf(tierPolicy.minBand <= 0.0 ||
+                          tierPolicy.maxBand >= 1.0 ||
+                          tierPolicy.minBand > tierPolicy.maxBand,
+                      "TieredBackend: adaptive band clamp must satisfy "
+                      "0 < minBand <= maxBand < 1");
+        util::fatalIf(tierPolicy.errorMargin <= 0.0,
+                      "TieredBackend: errorMargin must be positive");
+    }
 }
 
 std::size_t
@@ -226,6 +244,13 @@ TieredBackend::promotedCount() const
 {
     std::lock_guard<std::mutex> lock(stateMutex);
     return promoted_;
+}
+
+double
+TieredBackend::currentBand() const
+{
+    std::lock_guard<std::mutex> lock(stateMutex);
+    return band_;
 }
 
 void
@@ -253,9 +278,23 @@ TieredBackend::shouldPromote(const Objectives &screenedObjectives) const
     // dominated points fail.
     Objectives relaxed = screenedObjectives;
     for (double &component : relaxed)
-        component *= 1.0 - tierPolicy.promotionBand;
+        component *= 1.0 - band_;
     return hypervolumeContribution(analyticalFront, relaxed,
                                    tierPolicy.referencePoint) > 0.0;
+}
+
+void
+TieredBackend::foldError(double analyticalLatencyMs,
+                         double cycleLatencyMs)
+{
+    if (!tierPolicy.adaptive || cycleLatencyMs <= 0.0)
+        return;
+    errorSum_ += std::abs(analyticalLatencyMs - cycleLatencyMs) /
+                 cycleLatencyMs;
+    ++errorCount_;
+    const double tuned =
+        tierPolicy.errorMargin * (errorSum_ / errorCount_);
+    band_ = std::clamp(tuned, tierPolicy.minBand, tierPolicy.maxBand);
 }
 
 void
@@ -333,6 +372,7 @@ TieredBackend::evaluateBatch(std::span<const DesignPoint> points,
         telemetry_on
             ? &telemetry.metrics().histogram("dse.simulate_s")
             : nullptr;
+    std::vector<double> cycleLatencyMs(promotedIndices.size(), 0.0);
     util::parallel_for(
         pool, promotedIndices.size(), [&](std::size_t p) {
             const std::size_t i = promotedIndices[p];
@@ -343,8 +383,51 @@ TieredBackend::evaluateBatch(std::span<const DesignPoint> points,
                 evaluation = verify.evaluate(points[i]);
             }
             evaluation.backend = name(); // Fidelity: CycleAccurate.
+            cycleLatencyMs[p] = evaluation.latencyMs;
             commit(i, std::move(evaluation));
         });
+
+    // --- 4. Adaptive band update (serial, request order) ---
+    // Every promotion measured the same point on both engines; fold
+    // the observed relative latency errors in promotion order so the
+    // band trajectory is deterministic, and let the next batch promote
+    // against the re-tuned band.
+    if (tierPolicy.adaptive && !promotedIndices.empty()) {
+        std::lock_guard<std::mutex> lock(stateMutex);
+        for (std::size_t p = 0; p < promotedIndices.size(); ++p) {
+            foldError(screenedEvals[promotedIndices[p]].latencyMs,
+                      cycleLatencyMs[p]);
+        }
+        if (telemetry_on) {
+            telemetry.metrics()
+                .gauge("dse.tiered.band_ppm")
+                .set(static_cast<std::int64_t>(band_ * 1e6));
+        }
+    }
+}
+
+void
+TieredBackend::warmStart(std::span<const Evaluation> replayed)
+{
+    if (replayed.empty())
+        return;
+    // The journal is a whole-batch, request-order prefix of the
+    // interrupted run, so re-screening it row by row performs exactly
+    // the absorb/fold sequence the original batches performed - the
+    // front, the counters and the adaptive error sums land on
+    // byte-identical values. The screen is the pure analytical engine;
+    // no cycle-accurate work is repeated (promoted rows replay their
+    // journaled cycle latency into the error fold).
+    std::lock_guard<std::mutex> lock(stateMutex);
+    for (const Evaluation &row : replayed) {
+        const Evaluation screened = screen.evaluate(row.point);
+        absorb(screened.objectives);
+        ++screened_;
+        if (row.fidelity == Fidelity::CycleAccurate) {
+            ++promoted_;
+            foldError(screened.latencyMs, row.latencyMs);
+        }
+    }
 }
 
 Evaluation
@@ -375,13 +458,24 @@ fidelityName(Fidelity fidelity)
 Fidelity
 fidelityFromName(const std::string &name)
 {
+    Fidelity fidelity = Fidelity::Analytical;
+    util::fatalIf(!tryFidelityFromName(name, fidelity),
+                  "fidelityFromName: unknown fidelity '" + name + "'");
+    return fidelity;
+}
+
+bool
+tryFidelityFromName(const std::string &name, Fidelity &fidelity)
+{
     if (name == "analytical")
-        return Fidelity::Analytical;
-    if (name == "cycle")
-        return Fidelity::CycleAccurate;
-    if (name == "mixed")
-        return Fidelity::Mixed;
-    util::fatal("fidelityFromName: unknown fidelity '" + name + "'");
+        fidelity = Fidelity::Analytical;
+    else if (name == "cycle")
+        fidelity = Fidelity::CycleAccurate;
+    else if (name == "mixed")
+        fidelity = Fidelity::Mixed;
+    else
+        return false;
+    return true;
 }
 
 } // namespace autopilot::dse

@@ -103,6 +103,19 @@ class EvalBackend
     virtual void evaluateBatch(std::span<const DesignPoint> points,
                                util::ThreadPool *pool,
                                const CommitFn &commit);
+
+    /**
+     * Rebuild internal state from a replayed evaluation journal before
+     * a resumed run re-enters the optimizer loop. @p replayed holds
+     * every journaled evaluation in original request order - a strict
+     * prefix of the interrupted run, because the journal commits whole
+     * batches in request order. No-op for stateless backends; the
+     * tiered backend re-screens the prefix to restore its analytical
+     * front, counters and adaptive error statistics to byte-identical
+     * values, so a resumed run promotes exactly as the uninterrupted
+     * one would.
+     */
+    virtual void warmStart(std::span<const Evaluation> replayed);
 };
 
 /**
@@ -199,6 +212,25 @@ struct TieredPolicy
     /// promoted - matching the OptimizerConfig default, which gives
     /// designs hotter than ~12 W or slower than ~120 ms no credit.
     Objectives referencePoint = {1.0, 12.0, 120.0};
+
+    /**
+     * Adaptive band: re-tune the promotion band from the analytical
+     * engine's *measured* error during the run instead of trusting the
+     * static default. Every promotion yields a free error sample (the
+     * same point costed by both engines); after each batch the band is
+     * set to errorMargin x the mean relative latency error observed so
+     * far, clamped to [minBand, maxBand]. An optimistic analytical
+     * model widens the band (so true front members near the boundary
+     * are not screened out); an accurate one narrows it (fewer wasted
+     * cycle-accurate runs). Deterministic: errors fold in request
+     * order, so the band trajectory is byte-identical at any thread
+     * count and across kill/resume (warmStart() reconstructs it from
+     * the journal).
+     */
+    bool adaptive = false;
+    double minBand = 0.005;  ///< Adaptive clamp floor.
+    double maxBand = 0.10;   ///< Adaptive clamp ceiling.
+    double errorMargin = 2.0; ///< Band = margin x mean observed error.
 };
 
 /**
@@ -233,11 +265,26 @@ class TieredBackend : public EvalBackend
                        util::ThreadPool *pool,
                        const CommitFn &commit) override;
 
+    /**
+     * Restore the analytical front, screen/promotion counters and
+     * adaptive error statistics from a journal prefix by re-screening
+     * every replayed point (pure, cheap) in journal order. Rows that
+     * were promoted (Fidelity::CycleAccurate) contribute their
+     * journaled cycle numbers to the adaptive error fold, so the band
+     * trajectory resumes byte-identically without re-running the cycle
+     * engine.
+     */
+    void warmStart(std::span<const Evaluation> replayed) override;
+
     const TieredPolicy &policy() const { return tierPolicy; }
 
     /** Points screened / promoted so far (monotonic). Thread-safe. */
     std::size_t screenedCount() const;
     std::size_t promotedCount() const;
+
+    /** The promotion band currently in force (== policy().promotionBand
+     * unless adaptive). Thread-safe. */
+    double currentBand() const;
 
   private:
     /// Fold one screened objective vector into the running analytical
@@ -248,6 +295,10 @@ class TieredBackend : public EvalBackend
     /// front. Caller holds stateMutex.
     bool shouldPromote(const Objectives &screened) const;
 
+    /// Fold one promoted point's analytical-vs-cycle relative latency
+    /// error and re-derive the adaptive band. Caller holds stateMutex.
+    void foldError(double analyticalLatencyMs, double cycleLatencyMs);
+
     AnalyticalBackend screen;
     CycleBackend verify;
     TieredPolicy tierPolicy;
@@ -257,6 +308,10 @@ class TieredBackend : public EvalBackend
     std::vector<Objectives> analyticalFront;
     std::size_t screened_ = 0;
     std::size_t promoted_ = 0;
+    /// Band in force; tracks the adaptive fold, else the static policy.
+    double band_;
+    double errorSum_ = 0.0;      ///< Sum of relative latency errors.
+    std::size_t errorCount_ = 0; ///< Promotions folded so far.
 };
 
 } // namespace autopilot::dse

@@ -89,7 +89,17 @@ DseEvaluator::evaluateBatch(std::span<const Encoding> encodings)
             results[i] = {&raw->evaluation, true};
             missCount.fetch_add(1, std::memory_order_relaxed);
         } else {
-            results[i] = {&it->second->evaluation, false};
+            Node *node = it->second.get();
+            // A preloaded (journal-replayed) node is fresh on its
+            // first hit: the resumed optimizer must spend budget on it
+            // at the same step the uninterrupted run did. Still a
+            // cache hit - no simulation happens.
+            bool fresh = false;
+            if (node->replayFresh) {
+                node->replayFresh = false;
+                fresh = true;
+            }
+            results[i] = {&node->evaluation, fresh};
             hitCount.fetch_add(1, std::memory_order_relaxed);
         }
     }
@@ -152,7 +162,48 @@ DseEvaluator::evaluateBatch(std::span<const Encoding> encodings)
         }
     }
 
+    // --- Journal hook: offer the batch's own simulations, whole and
+    // in request order, only after every one has committed ---
+    if (journalSink && !claimed.empty()) {
+        std::vector<Evaluation> committed;
+        committed.reserve(claimed.size());
+        for (const Node *node : claimed)
+            committed.push_back(node->evaluation);
+        journalSink(committed);
+    }
+
     return results;
+}
+
+void
+DseEvaluator::preload(std::span<const Evaluation> evaluations)
+{
+    // The backend restores its cross-point state (tiered front,
+    // adaptive band) from the same prefix the cache is loaded from.
+    evalBackend->warmStart(evaluations);
+    for (const Evaluation &evaluation : evaluations) {
+        Shard &shard = shardFor(evaluation.encoding);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (shard.entries.count(evaluation.encoding) != 0)
+            continue; // First replayed row wins; the rest are hits.
+        auto node = std::make_unique<Node>();
+        node->evaluation = evaluation;
+        node->replayFresh = true;
+        {
+            std::lock_guard<std::mutex> orderLock(orderMutex);
+            node->sequence = evaluationOrder.size();
+            evaluationOrder.push_back(node.get());
+        }
+        node->ready.store(true, std::memory_order_release);
+        shard.entries.emplace(evaluation.encoding, std::move(node));
+    }
+}
+
+void
+DseEvaluator::setJournalSink(
+    std::function<void(std::span<const Evaluation>)> sink)
+{
+    journalSink = std::move(sink);
 }
 
 std::size_t

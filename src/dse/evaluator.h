@@ -36,6 +36,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -140,6 +141,37 @@ class DseEvaluator
     std::vector<BatchResult> evaluateBatch(std::span<const Encoding> encodings);
 
     /**
+     * Warm-start the memo cache from a replayed evaluation journal.
+     *
+     * Each entry is inserted as a ready node, in @p evaluations order
+     * (defining its evaluation-order sequence), and marked
+     * *replay-fresh*: the first cache hit on it reports fresh=true and
+     * consumes the mark. A resumed optimizer therefore replays the
+     * identical trajectory as the uninterrupted run - replayed points
+     * cost no simulation yet still count against its budget exactly
+     * once, at the same step they originally did. Duplicate encodings
+     * keep the first entry. Call before any evaluateBatch(); replayed
+     * points count as cache hits in cacheStats(), never misses.
+     *
+     * Also forwards the prefix to EvalBackend::warmStart() so stateful
+     * backends (tiered) restore their cross-point state from the same
+     * replay.
+     */
+    void preload(std::span<const Evaluation> evaluations);
+
+    /**
+     * Install a sink invoked at the end of every evaluateBatch() with
+     * the batch's newly simulated evaluations, in request order. This
+     * is the journal hook: entries reach the sink only after the whole
+     * batch has committed, so a journal written from it contains whole
+     * batches in a strict request-order prefix of the run. Preloaded
+     * (replayed) points are never re-offered. Pass an empty function to
+     * detach.
+     */
+    void setJournalSink(
+        std::function<void(std::span<const Evaluation>)> sink);
+
+    /**
      * Number of distinct points evaluated so far - completed
      * simulations only, so this always equals allEvaluations().size()
      * even while other threads' simulations are in flight. Thread-safe.
@@ -184,6 +216,11 @@ class DseEvaluator
         Evaluation evaluation;
         std::atomic<bool> ready{false};
         std::size_t sequence = 0; ///< Evaluation-order index.
+        /// Preloaded from a journal and not yet re-requested: the first
+        /// hit consumes this and reports fresh=true so a resumed
+        /// optimizer's budget accounting replays exactly. Guarded by
+        /// the owning shard's mutex.
+        bool replayFresh = false;
     };
 
     /// One lock-domain of the cache. Encodings hash-partition across
@@ -213,6 +250,9 @@ class DseEvaluator
     /// appends come from whichever thread wins the key reservation.
     mutable std::mutex orderMutex;
     std::vector<const Node *> evaluationOrder;
+
+    /// Per-batch commit hook (journaling); set before the run starts.
+    std::function<void(std::span<const Evaluation>)> journalSink;
 
     std::atomic<std::uint64_t> hitCount{0};
     std::atomic<std::uint64_t> missCount{0};

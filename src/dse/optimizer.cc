@@ -1,10 +1,42 @@
 #include "dse/optimizer.h"
 
+#include "dse/annealing.h"
+#include "dse/bayesopt.h"
+#include "dse/genetic.h"
 #include "dse/hypervolume.h"
+#include "dse/random_search.h"
+#include "util/logging.h"
 #include "util/telemetry.h"
 
 namespace autopilot::dse
 {
+
+const std::vector<std::string> &
+optimizerNames()
+{
+    static const std::vector<std::string> names = {"bo", "nsga2", "sa",
+                                                   "random"};
+    return names;
+}
+
+std::unique_ptr<Optimizer>
+makeOptimizer(const std::string &name)
+{
+    if (name == "bo")
+        return std::make_unique<BayesOpt>();
+    if (name == "nsga2")
+        return std::make_unique<GeneticAlgorithm>();
+    if (name == "sa")
+        return std::make_unique<SimulatedAnnealing>();
+    if (name == "random")
+        return std::make_unique<RandomSearch>();
+    std::string known;
+    for (const std::string &candidate : optimizerNames())
+        known += (known.empty() ? "" : ", ") + candidate;
+    util::fatal("makeOptimizer: unknown optimizer '" + name +
+                "' (known: " + known + ")");
+    return nullptr;
+}
 
 std::vector<std::size_t>
 OptimizerResult::frontIndices() const

@@ -13,6 +13,7 @@
 #define AUTOPILOT_DSE_OPTIMIZER_H
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -71,6 +72,20 @@ class Optimizer
     virtual OptimizerResult optimize(DseEvaluator &evaluator,
                                      const OptimizerConfig &config) = 0;
 };
+
+/**
+ * Instantiate an optimizer by its report name: "bo" (BayesOpt,
+ * default-configured), "nsga2" (GeneticAlgorithm), "sa"
+ * (SimulatedAnnealing) or "random" (RandomSearch). Fatal on an unknown
+ * name, listing the known ones. All four run with their default
+ * algorithm parameters; budget/seed arrive through OptimizerConfig at
+ * optimize() time. Callers needing non-default algorithm parameters
+ * construct the concrete class directly.
+ */
+std::unique_ptr<Optimizer> makeOptimizer(const std::string &name);
+
+/** The names makeOptimizer() accepts, in report order. */
+const std::vector<std::string> &optimizerNames();
 
 /**
  * Shared bookkeeping helper: evaluate @p encoding through @p evaluator,

@@ -27,17 +27,18 @@ hasOuterWhitespace(const std::string &text)
  * Reject fields the strtoX family would silently tolerate: empty input
  * parses to "no conversion" only sometimes, and leading whitespace is
  * skipped outright. A CSV field is machine-written, so both indicate a
- * corrupted file and deserve a fatal with the offending text.
+ * corrupted file. Returns the reason, or empty when the field is a
+ * plausible number.
  */
-void
-checkNumericField(const std::string &text, const char *what,
-                  const char *kind)
+std::string
+checkNumericField(const std::string &text, const char *kind)
 {
-    fatalIf(text.empty(), std::string(what) + ": bad " + kind +
-                              " '' (empty field)");
-    fatalIf(hasOuterWhitespace(text),
-            std::string(what) + ": bad " + kind + " '" + text +
-                "' (leading/trailing whitespace)");
+    if (text.empty())
+        return std::string("bad ") + kind + " '' (empty field)";
+    if (hasOuterWhitespace(text))
+        return std::string("bad ") + kind + " '" + text +
+               "' (leading/trailing whitespace)";
+    return {};
 }
 
 } // namespace
@@ -109,36 +110,72 @@ readCsvAny(std::istream &is,
     return rows;
 }
 
+std::string
+tryParseDouble(const std::string &text, double &value)
+{
+    std::string reason = checkNumericField(text, "number");
+    if (!reason.empty())
+        return reason;
+    char *end = nullptr;
+    const double parsed = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        return "bad number '" + text + "'";
+    value = parsed;
+    return {};
+}
+
+std::string
+tryParseInt(const std::string &text, int &value)
+{
+    std::string reason = checkNumericField(text, "integer");
+    if (!reason.empty())
+        return reason;
+    char *end = nullptr;
+    const long parsed = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        return "bad integer '" + text + "'";
+    value = static_cast<int>(parsed);
+    return {};
+}
+
+std::string
+tryParseInt64(const std::string &text, long long &value)
+{
+    std::string reason = checkNumericField(text, "integer");
+    if (!reason.empty())
+        return reason;
+    char *end = nullptr;
+    const long long parsed = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        return "bad integer '" + text + "'";
+    value = parsed;
+    return {};
+}
+
 double
 parseDouble(const std::string &text)
 {
-    checkNumericField(text, "parseDouble", "number");
-    char *end = nullptr;
-    const double value = std::strtod(text.c_str(), &end);
-    fatalIf(end == text.c_str() || *end != '\0',
-            "parseDouble: bad number '" + text + "'");
+    double value = 0.0;
+    const std::string reason = tryParseDouble(text, value);
+    fatalIf(!reason.empty(), "parseDouble: " + reason);
     return value;
 }
 
 int
 parseInt(const std::string &text)
 {
-    checkNumericField(text, "parseInt", "integer");
-    char *end = nullptr;
-    const long value = std::strtol(text.c_str(), &end, 10);
-    fatalIf(end == text.c_str() || *end != '\0',
-            "parseInt: bad integer '" + text + "'");
-    return static_cast<int>(value);
+    int value = 0;
+    const std::string reason = tryParseInt(text, value);
+    fatalIf(!reason.empty(), "parseInt: " + reason);
+    return value;
 }
 
 long long
 parseInt64(const std::string &text)
 {
-    checkNumericField(text, "parseInt64", "integer");
-    char *end = nullptr;
-    const long long value = std::strtoll(text.c_str(), &end, 10);
-    fatalIf(end == text.c_str() || *end != '\0',
-            "parseInt64: bad integer '" + text + "'");
+    long long value = 0;
+    const std::string reason = tryParseInt64(text, value);
+    fatalIf(!reason.empty(), "parseInt64: " + reason);
     return value;
 }
 

@@ -47,6 +47,18 @@ double parseDouble(const std::string &text);
 int parseInt(const std::string &text);
 long long parseInt64(const std::string &text);
 
+/**
+ * Non-fatal parse variants for readers that must survive corrupt input
+ * (journal replay truncating at a torn record). On success the value is
+ * stored and the empty string returned; on failure the return value is
+ * the reason ("bad number 'x' (leading/trailing whitespace)", ...) and
+ * @p value is untouched. The fatal variants above are these plus
+ * fatal(), so both families reject exactly the same inputs.
+ */
+std::string tryParseDouble(const std::string &text, double &value);
+std::string tryParseInt(const std::string &text, int &value);
+std::string tryParseInt64(const std::string &text, long long &value);
+
 } // namespace autopilot::io
 
 #endif // AUTOPILOT_IO_CSV_H

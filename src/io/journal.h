@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The evaluation journal: an append-only, flush-on-commit record of
+ * every committed DSE batch, plus the Phase 1 policy checkpoint.
+ *
+ * Both files share one shape: a `fingerprint,<hex>` first line binding
+ * the file to a (seed, spec) pair, followed by the standard CSV payload
+ * (the DSE archive schema for the journal, the policy database schema
+ * for the checkpoint). A resumed run first checks the fingerprint -
+ * replaying a journal produced under a different spec would poison the
+ * memo cache with evaluations of the wrong problem - then replays every
+ * intact row. The tolerant tryRead* readers underneath mean a record
+ * torn by a mid-write kill truncates cleanly: the run loses at most the
+ * one batch that was in flight.
+ */
+
+#ifndef AUTOPILOT_IO_JOURNAL_H
+#define AUTOPILOT_IO_JOURNAL_H
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "airlearning/database.h"
+#include "dse/evaluation.h"
+
+namespace autopilot::io
+{
+
+/** Render a 64-bit fingerprint the way journal headers store it. */
+std::string formatFingerprint(std::uint64_t fingerprint);
+
+/** Result of replaying an evaluation journal. */
+struct JournalReplay
+{
+    /// File existed and began with a well-formed fingerprint line.
+    bool found = false;
+    std::uint64_t fingerprint = 0;
+    /// Every intact row, in the order batches were committed.
+    std::vector<dse::Evaluation> entries;
+    /// True when a torn/corrupt tail was dropped; badLine/reason say
+    /// where and why (1-based over the whole file).
+    bool truncated = false;
+    std::size_t badLine = 0;
+    std::string reason;
+};
+
+/** Replay a journal stream (fingerprint line + archive CSV). */
+JournalReplay readEvalJournal(std::istream &is);
+
+/** Replay the journal at @p path; found=false when it does not exist
+ * or lacks a fingerprint line. */
+JournalReplay readEvalJournal(const std::string &path);
+
+/**
+ * Append-only journal writer. Construction (re)writes the fingerprint
+ * line, the archive header, and any @p replayed rows carried over from
+ * a previous attempt; append() then adds one committed batch per call
+ * and flushes before returning, so a kill after append() returns can
+ * lose nothing and a kill during append() loses at most that batch
+ * (the torn tail is dropped on the next replay).
+ *
+ * append() is thread-safe; batches land in call order.
+ */
+class EvalJournalWriter
+{
+  public:
+    EvalJournalWriter(const std::string &path, std::uint64_t fingerprint,
+                      std::span<const dse::Evaluation> replayed = {});
+
+    void append(std::span<const dse::Evaluation> batch);
+
+    const std::string &path() const { return filePath; }
+
+  private:
+    std::string filePath;
+    std::ofstream out;
+    std::mutex mutex;
+};
+
+/** Result of loading a Phase 1 policy checkpoint. */
+struct PolicyCheckpoint
+{
+    bool found = false; ///< File existed with a fingerprint line.
+    bool ok = false;    ///< Payload parsed cleanly end to end.
+    std::uint64_t fingerprint = 0;
+    airlearning::PolicyDatabase db;
+    std::string reason; ///< Parse failure detail when !ok.
+};
+
+/**
+ * Write the Phase 1 policy database as a checkpoint (fingerprint line +
+ * policy CSV). Written via a temporary file and renamed into place, so
+ * a kill mid-write never leaves a half-written checkpoint behind.
+ */
+void writePolicyCheckpoint(const std::string &path,
+                           std::uint64_t fingerprint,
+                           const airlearning::PolicyDatabase &db);
+
+/** Load a checkpoint written by writePolicyCheckpoint. */
+PolicyCheckpoint readPolicyCheckpoint(const std::string &path);
+
+} // namespace autopilot::io
+
+#endif // AUTOPILOT_IO_JOURNAL_H

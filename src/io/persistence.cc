@@ -29,15 +29,18 @@ const std::vector<std::string> legacyArchiveHeader = {
     "ifmap_idx",   "filter_idx",  "ofmap_idx",   "success_rate",
     "npu_power_w", "soc_power_w", "latency_ms",  "fps"};
 
-airlearning::ObstacleDensity
-densityFromName(const std::string &name)
+bool
+densityFromName(const std::string &name,
+                airlearning::ObstacleDensity &density)
 {
-    for (airlearning::ObstacleDensity density :
+    for (airlearning::ObstacleDensity candidate :
          airlearning::allDensities()) {
-        if (airlearning::densityName(density) == name)
-            return density;
+        if (airlearning::densityName(candidate) == name) {
+            density = candidate;
+            return true;
+        }
     }
-    util::fatal("densityFromName: unknown density '" + name + "'");
+    return false;
 }
 
 std::string
@@ -47,6 +50,79 @@ formatDouble(double value)
     os.precision(17);
     os << value;
     return os.str();
+}
+
+/**
+ * Stream lines with CRLF tolerance and 1-based line accounting - the
+ * shared front end of every tolerant reader, so parse diagnostics can
+ * name the exact line a record was torn on.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(std::istream &is) : in(is) {}
+
+    bool
+    next(std::string &line)
+    {
+        if (!std::getline(in, line))
+            return false;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        ++lineNumber;
+        return true;
+    }
+
+    std::size_t line() const { return lineNumber; }
+
+  private:
+    std::istream &in;
+    std::size_t lineNumber = 0;
+};
+
+/** Fail @p diag at the reader's current line with @p reason. */
+void
+failAt(ParseDiag &diag, const LineReader &reader,
+       const std::string &reason)
+{
+    diag.ok = false;
+    diag.line = reader.line();
+    diag.reason = reason;
+}
+
+/**
+ * Decode one archive row (already width-checked against @p legacy).
+ * Returns the reason on a malformed field, empty on success.
+ */
+std::string
+tryDecodeArchiveRow(const std::vector<std::string> &row, bool legacy,
+                    const dse::DesignSpace &space, dse::Evaluation &eval)
+{
+    for (std::size_t d = 0; d < dse::designDims; ++d) {
+        const std::string reason = tryParseInt(row[d], eval.encoding[d]);
+        if (!reason.empty())
+            return reason;
+    }
+    std::string reason = tryParseDouble(row[7], eval.successRate);
+    if (reason.empty())
+        reason = tryParseDouble(row[8], eval.npuPowerW);
+    if (reason.empty())
+        reason = tryParseDouble(row[9], eval.socPowerW);
+    if (reason.empty())
+        reason = tryParseDouble(row[10], eval.latencyMs);
+    if (reason.empty())
+        reason = tryParseDouble(row[11], eval.fps);
+    if (!reason.empty())
+        return reason;
+    if (!legacy) {
+        eval.backend = row[12];
+        if (!dse::tryFidelityFromName(row[13], eval.fidelity))
+            return "unknown fidelity '" + row[13] + "'";
+    }
+    eval.point = space.decode(eval.encoding);
+    eval.objectives = {1.0 - eval.successRate, eval.socPowerW,
+                       eval.latencyMs};
+    return {};
 }
 
 } // namespace
@@ -70,26 +146,91 @@ writePolicyDatabase(const airlearning::PolicyDatabase &db,
 }
 
 airlearning::PolicyDatabase
-readPolicyDatabase(std::istream &is)
+tryReadPolicyDatabase(std::istream &is, ParseDiag &diag)
 {
     airlearning::PolicyDatabase db;
-    for (const auto &row : readCsv(is, databaseHeader)) {
+    LineReader reader(is);
+    std::string line;
+    if (!reader.next(line)) {
+        diag = {false, 1, "empty stream"};
+        return db;
+    }
+    if (splitCsvLine(line) != databaseHeader) {
+        failAt(diag, reader, "unexpected header '" + line + "'");
+        return db;
+    }
+    while (reader.next(line)) {
+        if (line.empty())
+            continue;
+        const std::vector<std::string> row = splitCsvLine(line);
+        if (row.size() != databaseHeader.size()) {
+            failAt(diag, reader, "ragged row '" + line + "'");
+            return db;
+        }
         airlearning::PolicyRecord record;
         record.policyId = row[0];
-        record.params.numConvLayers = parseInt(row[1]);
-        record.params.numFilters = parseInt(row[2]);
-        record.density = densityFromName(row[3]);
-        record.successRate = parseDouble(row[4]);
-        util::fatalIf(record.successRate < 0.0 ||
-                          record.successRate > 1.0,
-                      "readPolicyDatabase: success rate outside [0, 1]");
-        record.modelParams = parseInt64(row[5]);
-        record.modelMacs = parseInt64(row[6]);
-        record.trainingSteps = parseInt64(row[7]);
-        record.converged = parseInt(row[8]) != 0;
+        std::string reason =
+            tryParseInt(row[1], record.params.numConvLayers);
+        if (reason.empty())
+            reason = tryParseInt(row[2], record.params.numFilters);
+        if (reason.empty() && !densityFromName(row[3], record.density))
+            reason = "unknown density '" + row[3] + "'";
+        if (reason.empty())
+            reason = tryParseDouble(row[4], record.successRate);
+        if (reason.empty() && (record.successRate < 0.0 ||
+                               record.successRate > 1.0))
+            reason = "success rate outside [0, 1]";
+        long long parsed64 = 0;
+        if (reason.empty() &&
+            (reason = tryParseInt64(row[5], parsed64)).empty())
+            record.modelParams = parsed64;
+        if (reason.empty() &&
+            (reason = tryParseInt64(row[6], parsed64)).empty())
+            record.modelMacs = parsed64;
+        if (reason.empty() &&
+            (reason = tryParseInt64(row[7], parsed64)).empty())
+            record.trainingSteps = parsed64;
+        int converged = 0;
+        if (reason.empty())
+            reason = tryParseInt(row[8], converged);
+        if (!reason.empty()) {
+            failAt(diag, reader, reason);
+            return db;
+        }
+        record.converged = converged != 0;
         db.upsert(record);
     }
     return db;
+}
+
+airlearning::PolicyDatabase
+readPolicyDatabase(std::istream &is)
+{
+    ParseDiag diag;
+    airlearning::PolicyDatabase db = tryReadPolicyDatabase(is, diag);
+    util::fatalIf(!diag.ok, "readPolicyDatabase: " + diag.reason +
+                                " at line " +
+                                std::to_string(diag.line));
+    return db;
+}
+
+const std::vector<std::string> &
+dseArchiveHeader()
+{
+    return archiveHeader;
+}
+
+void
+writeDseArchiveRow(const dse::Evaluation &eval, std::ostream &os)
+{
+    for (int index : eval.encoding)
+        os << index << ',';
+    os << formatDouble(eval.successRate) << ','
+       << formatDouble(eval.npuPowerW) << ','
+       << formatDouble(eval.socPowerW) << ','
+       << formatDouble(eval.latencyMs) << ','
+       << formatDouble(eval.fps) << ',' << eval.backend << ','
+       << dse::fidelityName(eval.fidelity) << '\n';
 }
 
 void
@@ -99,45 +240,58 @@ writeDseArchive(const std::vector<dse::Evaluation> &archive,
     for (std::size_t i = 0; i < archiveHeader.size(); ++i)
         os << archiveHeader[i]
            << (i + 1 == archiveHeader.size() ? "\n" : ",");
-    for (const dse::Evaluation &eval : archive) {
-        for (int index : eval.encoding)
-            os << index << ',';
-        os << formatDouble(eval.successRate) << ','
-           << formatDouble(eval.npuPowerW) << ','
-           << formatDouble(eval.socPowerW) << ','
-           << formatDouble(eval.latencyMs) << ','
-           << formatDouble(eval.fps) << ',' << eval.backend << ','
-           << dse::fidelityName(eval.fidelity) << '\n';
+    for (const dse::Evaluation &eval : archive)
+        writeDseArchiveRow(eval, os);
+}
+
+std::vector<dse::Evaluation>
+tryReadDseArchive(std::istream &is, ParseDiag &diag)
+{
+    const dse::DesignSpace space;
+    std::vector<dse::Evaluation> archive;
+    LineReader reader(is);
+    std::string line;
+    if (!reader.next(line)) {
+        diag = {false, 1, "empty stream"};
+        return archive;
     }
+    const std::vector<std::string> header = splitCsvLine(line);
+    bool legacy = false;
+    if (header == legacyArchiveHeader)
+        legacy = true;
+    else if (header != archiveHeader) {
+        failAt(diag, reader, "unexpected header '" + line + "'");
+        return archive;
+    }
+    const std::size_t width =
+        legacy ? legacyArchiveHeader.size() : archiveHeader.size();
+    while (reader.next(line)) {
+        if (line.empty())
+            continue;
+        const std::vector<std::string> row = splitCsvLine(line);
+        if (row.size() != width) {
+            failAt(diag, reader, "ragged row '" + line + "'");
+            return archive;
+        }
+        dse::Evaluation eval;
+        const std::string reason =
+            tryDecodeArchiveRow(row, legacy, space, eval);
+        if (!reason.empty()) {
+            failAt(diag, reader, reason);
+            return archive;
+        }
+        archive.push_back(std::move(eval));
+    }
+    return archive;
 }
 
 std::vector<dse::Evaluation>
 readDseArchive(std::istream &is)
 {
-    const dse::DesignSpace space;
-    std::vector<dse::Evaluation> archive;
-    std::size_t matched = 0;
-    const auto rows =
-        readCsvAny(is, {archiveHeader, legacyArchiveHeader}, matched);
-    const bool legacy = matched == 1;
-    for (const auto &row : rows) {
-        dse::Evaluation eval;
-        for (std::size_t d = 0; d < dse::designDims; ++d)
-            eval.encoding[d] = parseInt(row[d]);
-        eval.point = space.decode(eval.encoding);
-        eval.successRate = parseDouble(row[7]);
-        eval.npuPowerW = parseDouble(row[8]);
-        eval.socPowerW = parseDouble(row[9]);
-        eval.latencyMs = parseDouble(row[10]);
-        eval.fps = parseDouble(row[11]);
-        if (!legacy) {
-            eval.backend = row[12];
-            eval.fidelity = dse::fidelityFromName(row[13]);
-        }
-        eval.objectives = {1.0 - eval.successRate, eval.socPowerW,
-                           eval.latencyMs};
-        archive.push_back(std::move(eval));
-    }
+    ParseDiag diag;
+    std::vector<dse::Evaluation> archive = tryReadDseArchive(is, diag);
+    util::fatalIf(!diag.ok, "readDseArchive: " + diag.reason +
+                                " at line " + std::to_string(diag.line));
     return archive;
 }
 

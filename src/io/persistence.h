@@ -5,13 +5,21 @@
  * three-phase split exists precisely so these can be computed once and
  * reused ("Phase 1 and 2 take the most time; Phase 3 is negligible");
  * persistence makes the reuse survive process boundaries.
+ *
+ * Two reader families share one decoder: the classic read*() calls are
+ * fatal on any malformed input (a corrupt archive handed to a bench is
+ * a usage error), while the tryRead*() variants return a ParseDiag
+ * naming the first bad line and keep every row before it - exactly what
+ * journal replay needs to truncate at a torn final record after a kill.
  */
 
 #ifndef AUTOPILOT_IO_PERSISTENCE_H
 #define AUTOPILOT_IO_PERSISTENCE_H
 
+#include <cstddef>
 #include <istream>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "airlearning/database.h"
@@ -19,6 +27,19 @@
 
 namespace autopilot::io
 {
+
+/**
+ * Outcome of a tolerant parse. When ok is false, @p line is the
+ * 1-based line number of the first malformed line (the header is line
+ * 1) and @p reason says what was wrong with it; all rows before that
+ * line were parsed and returned.
+ */
+struct ParseDiag
+{
+    bool ok = true;
+    std::size_t line = 0;
+    std::string reason;
+};
 
 /** Write the policy database as CSV. */
 void writePolicyDatabase(const airlearning::PolicyDatabase &db,
@@ -28,9 +49,23 @@ void writePolicyDatabase(const airlearning::PolicyDatabase &db,
  * malformed input). */
 airlearning::PolicyDatabase readPolicyDatabase(std::istream &is);
 
+/**
+ * Non-fatal readPolicyDatabase: parse until the first malformed line,
+ * reporting it in @p diag and returning the records before it.
+ */
+airlearning::PolicyDatabase tryReadPolicyDatabase(std::istream &is,
+                                                  ParseDiag &diag);
+
+/** The current DSE archive CSV column set (backend/fidelity included). */
+const std::vector<std::string> &dseArchiveHeader();
+
 /** Write a Phase 2 evaluation archive as CSV. */
 void writeDseArchive(const std::vector<dse::Evaluation> &archive,
                      std::ostream &os);
+
+/** Write one archive row (no header); the row format of both
+ * writeDseArchive and the evaluation journal. */
+void writeDseArchiveRow(const dse::Evaluation &eval, std::ostream &os);
 
 /**
  * Read an archive written by writeDseArchive. Design points are decoded
@@ -38,6 +73,14 @@ void writeDseArchive(const std::vector<dse::Evaluation> &archive,
  * the stored metrics.
  */
 std::vector<dse::Evaluation> readDseArchive(std::istream &is);
+
+/**
+ * Non-fatal readDseArchive: parse until the first malformed line
+ * (torn final record, ragged row, bad number, unknown fidelity),
+ * reporting it in @p diag and returning the evaluations before it.
+ */
+std::vector<dse::Evaluation> tryReadDseArchive(std::istream &is,
+                                               ParseDiag &diag);
 
 } // namespace autopilot::io
 

@@ -1,0 +1,96 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/telemetry.h"
+
+namespace autopilot::util
+{
+
+Deadline
+Deadline::after(double seconds)
+{
+    Deadline deadline;
+    if (seconds <= 0.0)
+        return deadline; // Unlimited.
+    deadline.bounded = true;
+    deadline.budgetSeconds = seconds;
+    deadline.expiry =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    return deadline;
+}
+
+bool
+Deadline::expired() const
+{
+    return bounded && Clock::now() >= expiry;
+}
+
+double
+Deadline::remainingSeconds() const
+{
+    if (!bounded)
+        return std::numeric_limits<double>::infinity();
+    const double remaining =
+        std::chrono::duration<double>(expiry - Clock::now()).count();
+    return std::max(remaining, 0.0);
+}
+
+void
+Deadline::check(const std::string &what) const
+{
+    if (expired()) {
+        throw DeadlineExceeded(what + ": deadline of " +
+                               std::to_string(budgetSeconds) +
+                               " s exceeded");
+    }
+}
+
+double
+retryBackoffSeconds(const RetryPolicy &policy, int attempt)
+{
+    panicIf(attempt < 2, "retryBackoffSeconds: attempt must be >= 2");
+    double backoff = policy.initialBackoffSeconds;
+    for (int a = 2; a < attempt; ++a)
+        backoff *= policy.backoffMultiplier;
+    return std::min(backoff, policy.maxBackoffSeconds);
+}
+
+void
+validateRetryPolicy(const RetryPolicy &policy)
+{
+    fatalIf(policy.maxAttempts < 1,
+            "RetryPolicy: maxAttempts must be >= 1");
+    fatalIf(policy.initialBackoffSeconds < 0.0 ||
+                policy.maxBackoffSeconds < 0.0 ||
+                policy.backoffMultiplier < 1.0,
+            "RetryPolicy: bad backoff schedule");
+}
+
+void
+sleepForRetry(const RetryPolicy &policy, int nextAttempt)
+{
+    Telemetry &telemetry = Telemetry::instance();
+    if (telemetry.enabled())
+        telemetry.metrics().counter("util.retry.attempts").add();
+    const double seconds = retryBackoffSeconds(policy, nextAttempt);
+    if (seconds > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(seconds));
+    }
+}
+
+bool
+shouldRetry(const RetryPolicy &policy, const std::exception &error)
+{
+    // The deadline is wall-clock: retrying cannot bring the time back.
+    if (dynamic_cast<const DeadlineExceeded *>(&error) != nullptr)
+        return false;
+    return !policy.retryable || policy.retryable(error);
+}
+
+} // namespace autopilot::util

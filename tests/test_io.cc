@@ -275,3 +275,163 @@ TEST(Persistence, EmptyArchiveRoundTrips)
     io::writeDseArchive({}, buffer);
     EXPECT_TRUE(io::readDseArchive(buffer).empty());
 }
+
+namespace
+{
+
+/** Hand-build one archive evaluation with a chosen fidelity tag. */
+dse::Evaluation
+madeEvaluation(int seedIndex, dse::Fidelity fidelity,
+               const std::string &backend)
+{
+    const dse::DesignSpace space;
+    dse::Evaluation eval;
+    for (std::size_t d = 0; d < dse::designDims; ++d)
+        eval.encoding[d] = seedIndex % 2;
+    eval.point = space.decode(eval.encoding);
+    eval.successRate = 0.5 + 0.1 * seedIndex;
+    eval.npuPowerW = 1.0 + seedIndex;
+    eval.socPowerW = 2.0 + seedIndex;
+    eval.latencyMs = 10.0 + seedIndex;
+    eval.fps = 100.0 - seedIndex;
+    eval.objectives = {1.0 - eval.successRate, eval.socPowerW,
+                       eval.latencyMs};
+    eval.fidelity = fidelity;
+    eval.backend = backend;
+    return eval;
+}
+
+/** Re-terminate every line of @p text with CRLF. */
+std::string
+crlfEncode(const std::string &text)
+{
+    std::string crlf;
+    for (const char c : text) {
+        if (c == '\n')
+            crlf += '\r';
+        crlf += c;
+    }
+    return crlf;
+}
+
+} // namespace
+
+TEST(Csv, CrlfDseArchiveRoundTripsBackendAndFidelity)
+{
+    // An archive exported on a CRLF platform must restore the
+    // backend/fidelity columns exactly; the '\r' lands on the fidelity
+    // field (last column) and must not corrupt the tag.
+    const std::vector<dse::Evaluation> archive = {
+        madeEvaluation(0, dse::Fidelity::Analytical, "tiered"),
+        madeEvaluation(1, dse::Fidelity::CycleAccurate, "tiered"),
+    };
+    std::stringstream buffer;
+    io::writeDseArchive(archive, buffer);
+    std::istringstream crlf_is(crlfEncode(buffer.str()));
+    const auto restored = io::readDseArchive(crlf_is);
+    ASSERT_EQ(restored.size(), 2u);
+    EXPECT_EQ(restored[0].fidelity, dse::Fidelity::Analytical);
+    EXPECT_EQ(restored[1].fidelity, dse::Fidelity::CycleAccurate);
+    EXPECT_EQ(restored[0].backend, "tiered");
+    EXPECT_EQ(restored[1].backend, "tiered");
+    EXPECT_DOUBLE_EQ(restored[1].latencyMs, 11.0);
+}
+
+TEST(Csv, CrlfLegacyArchiveStillReads)
+{
+    std::istringstream is(
+        "layers_idx,filters_idx,pe_rows_idx,pe_cols_idx,ifmap_idx,"
+        "filter_idx,ofmap_idx,success_rate,npu_power_w,soc_power_w,"
+        "latency_ms,fps\r\n"
+        "0,1,1,1,0,1,0,0.75,1.5,3.25,12.5,80\r\n");
+    const auto restored = io::readDseArchive(is);
+    ASSERT_EQ(restored.size(), 1u);
+    EXPECT_EQ(restored[0].backend, "analytical");
+    EXPECT_DOUBLE_EQ(restored[0].fps, 80.0);
+}
+
+// --------------------------------------------------- tolerant readers ---
+
+TEST(Persistence, TryReadDseArchiveDiagnosesTornTail)
+{
+    const std::vector<dse::Evaluation> archive = {
+        madeEvaluation(0, dse::Fidelity::Analytical, "analytical"),
+        madeEvaluation(1, dse::Fidelity::Analytical, "analytical"),
+    };
+    std::stringstream buffer;
+    io::writeDseArchive(archive, buffer);
+    // Simulate a kill mid-append: the final record is cut short.
+    std::string torn = buffer.str();
+    torn += "0,1,0,1,0,1,0,0.6";
+    std::istringstream is(torn);
+    io::ParseDiag diag;
+    const auto restored = io::tryReadDseArchive(is, diag);
+    EXPECT_EQ(restored.size(), 2u); // Intact prefix survives.
+    EXPECT_FALSE(diag.ok);
+    EXPECT_EQ(diag.line, 4u); // Header + 2 rows + the torn one.
+    EXPECT_NE(diag.reason.find("ragged"), std::string::npos)
+        << diag.reason;
+}
+
+TEST(Persistence, TryReadDseArchiveDiagnosesBadNumber)
+{
+    std::stringstream buffer;
+    io::writeDseArchive(
+        {madeEvaluation(0, dse::Fidelity::Analytical, "analytical")},
+        buffer);
+    std::string corrupt = buffer.str();
+    corrupt += "0,1,0,1,0,1,0,NOT_A_NUMBER,1,2,3,4,analytical,cycle\n";
+    std::istringstream is(corrupt);
+    io::ParseDiag diag;
+    const auto restored = io::tryReadDseArchive(is, diag);
+    EXPECT_EQ(restored.size(), 1u);
+    EXPECT_FALSE(diag.ok);
+    EXPECT_EQ(diag.line, 3u);
+    EXPECT_NE(diag.reason.find("bad number"), std::string::npos)
+        << diag.reason;
+}
+
+TEST(Persistence, TryReadDseArchiveDiagnosesUnknownFidelity)
+{
+    std::stringstream buffer;
+    io::writeDseArchive(
+        {madeEvaluation(0, dse::Fidelity::Analytical, "analytical")},
+        buffer);
+    std::string corrupt = buffer.str();
+    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,analytical,quantum\n";
+    std::istringstream is(corrupt);
+    io::ParseDiag diag;
+    io::tryReadDseArchive(is, diag);
+    EXPECT_FALSE(diag.ok);
+    EXPECT_NE(diag.reason.find("unknown fidelity"), std::string::npos)
+        << diag.reason;
+}
+
+TEST(Persistence, TryReadPolicyDatabaseDiagnosesBadLine)
+{
+    std::istringstream is(
+        "policy_id,layers,filters,density,success_rate,model_params,"
+        "model_macs,training_steps,converged\n"
+        "p1,5,32,low,0.9,100,200,1000,1\n"
+        "p2,5,48,low,oops,100,200,1000,1\n");
+    io::ParseDiag diag;
+    const al::PolicyDatabase db = io::tryReadPolicyDatabase(is, diag);
+    EXPECT_EQ(db.size(), 1u); // The good row before the bad one.
+    EXPECT_FALSE(diag.ok);
+    EXPECT_EQ(diag.line, 3u);
+    EXPECT_NE(diag.reason.find("bad number"), std::string::npos)
+        << diag.reason;
+}
+
+TEST(Persistence, TryReadersAcceptCleanInput)
+{
+    std::stringstream buffer;
+    io::writeDseArchive(
+        {madeEvaluation(0, dse::Fidelity::CycleAccurate, "cycle")},
+        buffer);
+    io::ParseDiag diag;
+    const auto restored = io::tryReadDseArchive(buffer, diag);
+    EXPECT_TRUE(diag.ok);
+    ASSERT_EQ(restored.size(), 1u);
+    EXPECT_EQ(restored[0].fidelity, dse::Fidelity::CycleAccurate);
+}
