@@ -11,6 +11,10 @@
  *     through the analytical, cycle and tiered backends; the tiered
  *     screen must recover (nearly) the pure-cycle Pareto front while
  *     paying for several times fewer cycle-accurate simulations.
+ *  4. Shared-DRAM contention sweep: the same pool through the
+ *     contention backend under rising background camera/host traffic;
+ *     latency must degrade monotonically and the achievable
+ *     hypervolume must shrink as the channel fills.
  */
 
 #include <algorithm>
@@ -206,5 +210,57 @@ main()
                                     : 0.0,
                      3)
               << " % of pure cycle\n";
-    return 0;
+
+    // --- 4. Shared-DRAM contention sweep over the same pool ---
+    std::cout << "\n(4) Contention backend under background DRAM "
+                 "traffic (same pool):\n";
+    util::Table sweep({"background GB/s", "mean latency ms",
+                       "max latency ms", "front size", "hypervolume"});
+    double prev_mean_latency = -1.0;
+    double prev_hv = -1.0;
+    bool latency_monotonic = true;
+    bool hv_monotonic = true;
+    for (const double background_gbps : {0.0, 1.6, 3.2, 4.8}) {
+        systolic::ContentionProfile profile;
+        profile.cameraBytesPerSec = background_gbps * 1e9;
+        dse::DseEvaluator evaluator(db,
+                                    airlearning::ObstacleDensity::Dense,
+                                    "contention", profile);
+        evaluator.evaluateBatch(points);
+
+        std::vector<double> latencies;
+        std::vector<dse::Objectives> objectives;
+        for (const dse::Evaluation &eval :
+             evaluator.allEvaluations()) {
+            latencies.push_back(eval.latencyMs);
+            objectives.push_back(eval.objectives);
+        }
+        const double mean_latency = util::mean(latencies);
+        const auto front = dse::paretoFront(objectives);
+        const double hv = dse::hypervolume(front, reference);
+        if (prev_mean_latency >= 0.0 &&
+            mean_latency < prev_mean_latency)
+            latency_monotonic = false;
+        if (prev_hv >= 0.0 && hv > prev_hv)
+            hv_monotonic = false;
+        prev_mean_latency = mean_latency;
+        prev_hv = hv;
+        sweep.addRow(
+            {util::formatDouble(background_gbps, 1),
+             util::formatDouble(mean_latency, 3),
+             util::formatDouble(
+                 *std::max_element(latencies.begin(), latencies.end()),
+                 3),
+             std::to_string(front.size()),
+             util::formatDouble(hv, 4)});
+    }
+    sweep.print(std::cout);
+    std::cout << "mean latency "
+              << (latency_monotonic ? "rises monotonically"
+                                    : "NOT MONOTONIC")
+              << " and hypervolume "
+              << (hv_monotonic ? "shrinks monotonically"
+                               : "NOT MONOTONIC")
+              << " as background traffic grows\n";
+    return latency_monotonic && hv_monotonic ? 0 : 1;
 }

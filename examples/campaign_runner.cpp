@@ -15,12 +15,22 @@
  *                      for --resume. Default: no checkpointing.
  *   --resume [DIR]     Warm-start from DIR (or the --dir value).
  *   --optimizer NAME   bo | nsga2 | sa | random     (default bo)
- *   --backend NAME     analytical | cycle | tiered  (default analytical)
+ *   --backend NAME     analytical | cycle | tiered | contention
+ *                      (default analytical)
+ *   --camera-mbps X    Background camera DRAM traffic, MB/s (default 0)
+ *   --host-mbps X      Background host DRAM traffic, MB/s   (default 0)
+ *   --npu-floor F      QoS bandwidth floor for the NPU, [0,1) (default 0)
  *   --budget N         Phase 2 evaluation budget    (default 60)
  *   --episodes N       Phase 1 validation episodes  (default 80)
  *   --threads N        Worker threads per task      (default 1)
  *   --concurrency N    Tasks run at once            (default 1)
  *   --deadline S       Per-task deadline in seconds (default off)
+ *
+ * The contention flags describe camera/host streams sharing the NPU's
+ * DRAM channel (see systolic::ContentionProfile); they shape the
+ * "contention" backend and the "tiered" verify tier, and are part of
+ * the task fingerprint, so a journal resumes only under the profile it
+ * was written with.
  */
 
 #include <cstdlib>
@@ -41,7 +51,10 @@ usage(const std::string &error)
     std::cerr << "campaign_runner: " << error << "\n"
               << "usage: campaign_runner [--dir DIR] [--resume [DIR]]\n"
               << "         [--optimizer bo|nsga2|sa|random]\n"
-              << "         [--backend analytical|cycle|tiered]\n"
+              << "         [--backend analytical|cycle|tiered|"
+                 "contention]\n"
+              << "         [--camera-mbps X] [--host-mbps X]"
+                 " [--npu-floor F]\n"
               << "         [--budget N] [--episodes N] [--threads N]\n"
               << "         [--concurrency N] [--deadline SECONDS]\n";
     std::exit(2);
@@ -63,6 +76,9 @@ main(int argc, char **argv)
     int threads = 1;
     int concurrency = 1;
     double deadlineSeconds = 0.0;
+    double cameraMbps = 0.0;
+    double hostMbps = 0.0;
+    double npuFloor = 0.0;
 
     const std::vector<std::string> args(argv + 1, argv + argc);
     auto value = [&](std::size_t &i) -> const std::string & {
@@ -93,12 +109,25 @@ main(int argc, char **argv)
             concurrency = std::atoi(value(i).c_str());
         } else if (arg == "--deadline") {
             deadlineSeconds = std::atof(value(i).c_str());
+        } else if (arg == "--camera-mbps") {
+            cameraMbps = std::atof(value(i).c_str());
+        } else if (arg == "--host-mbps") {
+            hostMbps = std::atof(value(i).c_str());
+        } else if (arg == "--npu-floor") {
+            npuFloor = std::atof(value(i).c_str());
         } else {
             usage("unknown flag '" + arg + "'");
         }
     }
     if (resume && dir.empty())
         usage("--resume needs a campaign directory (--resume DIR)");
+    if (cameraMbps < 0.0 || hostMbps < 0.0)
+        usage("contention rates must be >= 0");
+
+    systolic::ContentionProfile contention;
+    contention.cameraBytesPerSec = cameraMbps * 1e6;
+    contention.hostBytesPerSec = hostMbps * 1e6;
+    contention.npuFloorFraction = npuFloor;
 
     runner::CampaignConfig config;
     config.rootDir = dir;
@@ -118,6 +147,7 @@ main(int argc, char **argv)
         task.spec.dseBudget = budget;
         task.spec.threads = threads;
         task.spec.backend = backend;
+        task.spec.contention = contention;
         task.spec.optimizer = optimizer;
         task.uav = uav::zhangNano();
         task.deadlineSeconds = deadlineSeconds;
@@ -126,8 +156,11 @@ main(int argc, char **argv)
 
     std::cout << "Campaign: " << tasks.size() << " tasks (optimizer "
               << optimizer << ", backend " << backend << ", budget "
-              << budget << ")"
-              << (dir.empty() ? ""
+              << budget << ")";
+    if (contention.enabled())
+        std::cout << " under " << contention.totalBytesPerSec() / 1e6
+                  << " MB/s background DRAM traffic";
+    std::cout << (dir.empty() ? ""
                               : (resume ? ", resuming" : ", journaled"))
               << "\n\n";
 

@@ -34,7 +34,10 @@ taskFingerprint(const TaskSpec &task)
     key << airlearning::densityName(task.density) << '|'
         << task.validationEpisodes << '|' << task.dseBudget << '|'
         << task.successTolerance << '|' << task.maxLatencyMs << '|'
-        << task.seed << '|' << task.backend << '|' << task.optimizer;
+        << task.seed << '|' << task.backend << '|' << task.optimizer
+        << '|' << task.contention.cameraBytesPerSec << '|'
+        << task.contention.hostBytesPerSec << '|'
+        << task.contention.npuFloorFraction;
     // FNV-1a, 64-bit.
     std::uint64_t hash = 0xcbf29ce484222325ULL;
     for (const char c : key.str()) {
@@ -58,6 +61,7 @@ AutoPilot::AutoPilot(const TaskSpec &task) : taskSpec(task)
         !dse::BackendRegistry::instance().knows(taskSpec.backend),
         "AutoPilot: unknown cost-model backend '" + taskSpec.backend +
             "'");
+    taskSpec.contention.validate();
     bool optimizerKnown = false;
     for (const std::string &candidate : dse::optimizerNames())
         optimizerKnown = optimizerKnown || candidate == taskSpec.optimizer;
@@ -134,7 +138,7 @@ AutoPilot::phase2()
         return dseResult;
 
     dse::DseEvaluator evaluator(phase1(), taskSpec.density,
-                                taskSpec.backend);
+                                taskSpec.backend, taskSpec.contention);
     util::TraceSpan span("phase2", "autopilot");
     evaluator.setThreadPool(workerPool());
 

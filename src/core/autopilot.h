@@ -32,6 +32,7 @@
 #include "airlearning/trainer.h"
 #include "dse/bayesopt.h"
 #include "dse/optimizer.h"
+#include "systolic/contention.h"
 #include "uav/mission.h"
 #include "uav/uav_spec.h"
 #include "util/thread_pool.h"
@@ -70,6 +71,14 @@ struct TaskSpec
     /// produced it; printRunReport() shows the per-fidelity breakdown
     /// for non-default backends.
     std::string backend = "analytical";
+    /// Shared-DRAM contention profile for the Phase 2 cost model:
+    /// background camera/host traffic on the NPU's channel (see
+    /// systolic::ContentionProfile). Read by the "contention" backend
+    /// and the "tiered" verify tier; the default empty profile leaves
+    /// every backend bit-identical to its contention-free behavior.
+    /// Validated at construction; part of the task fingerprint, so a
+    /// journal written under one profile never resumes under another.
+    systolic::ContentionProfile contention;
     /// Phase 2 optimizer, by report name ("bo" - the paper's Bayesian
     /// optimization and the default - "nsga2", "sa" or "random"; see
     /// dse::makeOptimizer). Fatal on an unknown name. All optimizers
@@ -104,8 +113,9 @@ struct TaskSpec
 
 /**
  * 64-bit fingerprint (FNV-1a) over every TaskSpec field that affects
- * results: density, budgets, tolerance, latency bound, seed, backend
- * and optimizer. Deliberately EXCLUDES threads and telemetry (results
+ * results: density, budgets, tolerance, latency bound, seed, backend,
+ * optimizer and the contention profile. Deliberately EXCLUDES threads
+ * and telemetry (results
  * are byte-identical across thread counts, so a journal written at
  * --threads 4 legitimately resumes at --threads 1) and the
  * checkpointing fields themselves. Stamped into checkpoint/journal

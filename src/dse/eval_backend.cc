@@ -29,7 +29,8 @@ namespace
  */
 Evaluation
 evaluateWithEngine(const systolic::Engine &engine,
-                   const DesignPoint &point, const BackendContext &ctx)
+                   const DesignPoint &point, const BackendContext &ctx,
+                   double backgroundBytesPerSec = 0.0)
 {
     Evaluation evaluation;
     evaluation.point = point;
@@ -45,7 +46,7 @@ evaluateWithEngine(const systolic::Engine &engine,
     const systolic::RunResult run = engine.run(model);
 
     const power::NpuPowerModel npu(point.accel);
-    evaluation.npuPowerW = npu.averagePowerW(run);
+    evaluation.npuPowerW = npu.averagePowerW(run, backgroundBytesPerSec);
     evaluation.socPowerW =
         power::socPower(evaluation.npuPowerW).totalW();
 
@@ -113,6 +114,9 @@ BackendRegistry::BackendRegistry()
     };
     factories["tiered"] = [](const BackendContext &context) {
         return std::make_unique<TieredBackend>(context);
+    };
+    factories["contention"] = [](const BackendContext &context) {
+        return std::make_unique<ContentionBackend>(context);
     };
 }
 
@@ -206,6 +210,42 @@ CycleBackend::evaluate(const DesignPoint &point)
     evaluation.fidelity = Fidelity::CycleAccurate;
     evaluation.backend = name();
     return evaluation;
+}
+
+// ------------------------------------------------------------ contention ----
+
+ContentionBackend::ContentionBackend(const BackendContext &context)
+    : ctx(context)
+{
+    checkContext(ctx, "ContentionBackend");
+    ctx.contention.validate();
+}
+
+Evaluation
+ContentionBackend::evaluate(const DesignPoint &point)
+{
+    const systolic::CycleEngine engine(point.accel, ctx.contention);
+    Evaluation evaluation = evaluateWithEngine(
+        engine, point, ctx, ctx.contention.totalBytesPerSec());
+    evaluation.fidelity = Fidelity::CycleAccurate;
+    evaluation.backend = name();
+    evaluation.contentionBytesPerSec = ctx.contention.totalBytesPerSec();
+    return evaluation;
+}
+
+void
+ContentionBackend::evaluateBatch(std::span<const DesignPoint> points,
+                                 util::ThreadPool *pool,
+                                 const CommitFn &commit)
+{
+    util::Telemetry &telemetry = util::Telemetry::instance();
+    if (telemetry.enabled() && !points.empty()) {
+        telemetry.metrics()
+            .gauge("dse.backend.contention.background_bps")
+            .set(static_cast<std::int64_t>(
+                ctx.contention.totalBytesPerSec()));
+    }
+    EvalBackend::evaluateBatch(points, pool, commit);
 }
 
 // ---------------------------------------------------------------- tiered ----

@@ -9,7 +9,7 @@
  * backend and routes every cache miss through it, so the memoization,
  * batching and determinism machinery is shared by all cost models.
  *
- * Three backends ship in-tree, keyed in the BackendRegistry:
+ * Four backends ship in-tree, keyed in the BackendRegistry:
  *
  *  - "analytical": the closed-form AnalyticalEngine + NPU/SoC power
  *    stack - the historical DseEvaluator::compute() path, bit-identical
@@ -23,6 +23,12 @@
  *    band of the running analytical front) are promoted to a
  *    cycle-accurate re-evaluation. Each Evaluation records which
  *    fidelity produced its archived numbers.
+ *  - "contention": the cycle engine under the BackendContext's
+ *    shared-DRAM ContentionProfile - fetch/writeback bandwidth derated
+ *    by the background camera/host traffic, and that traffic charged
+ *    to DRAM power. With an empty profile its numbers are bit-identical
+ *    to "cycle". Each evaluation records the profile's bytes/s so a
+ *    journaled run resumes under the profile it was written with.
  *
  * Determinism: analytical and cycle evaluations are pure functions of
  * the design point. The tiered promotion decision is stateful (it
@@ -51,6 +57,7 @@
 #include "airlearning/database.h"
 #include "dse/design_space.h"
 #include "dse/evaluation.h"
+#include "systolic/contention.h"
 #include "util/thread_pool.h"
 
 namespace autopilot::dse
@@ -65,6 +72,10 @@ struct BackendContext
     /// Deployment scenario being designed for.
     airlearning::ObstacleDensity density =
         airlearning::ObstacleDensity::Low;
+    /// Background DRAM traffic sharing the NPU's channel. Only the
+    /// contention backend reads it; the default (empty) profile keeps
+    /// every other backend's results untouched.
+    systolic::ContentionProfile contention;
 };
 
 /** Abstract cost model: DesignPoint -> Evaluation. */
@@ -190,6 +201,40 @@ class CycleBackend : public EvalBackend
     BackendContext ctx;
 };
 
+/**
+ * Cycle-stepped engine under a shared-DRAM contention profile.
+ *
+ * The profile comes from the BackendContext (plumbed from
+ * TaskSpec/campaign flags); designs pay both the latency of the
+ * derated channel and the DRAM power of the background traffic. Pure
+ * per point like CycleBackend - the profile is fixed for the backend's
+ * lifetime - so the default batched path applies unchanged.
+ *
+ * Telemetry: besides the shared "dse.backend.contention.points"
+ * counter, each batch sets the "dse.backend.contention.background_bps"
+ * gauge to the profile's background rate.
+ */
+class ContentionBackend : public EvalBackend
+{
+  public:
+    explicit ContentionBackend(const BackendContext &context);
+
+    std::string name() const override { return "contention"; }
+    Fidelity fidelity() const override { return Fidelity::CycleAccurate; }
+    Evaluation evaluate(const DesignPoint &point) override;
+    void evaluateBatch(std::span<const DesignPoint> points,
+                       util::ThreadPool *pool,
+                       const CommitFn &commit) override;
+
+    const systolic::ContentionProfile &profile() const
+    {
+        return ctx.contention;
+    }
+
+  private:
+    BackendContext ctx;
+};
+
 /** Tiered-promotion policy knobs. */
 struct TieredPolicy
 {
@@ -300,7 +345,12 @@ class TieredBackend : public EvalBackend
     void foldError(double analyticalLatencyMs, double cycleLatencyMs);
 
     AnalyticalBackend screen;
-    CycleBackend verify;
+    /// The verify tier runs under the BackendContext's contention
+    /// profile; with the default empty profile it is bit-identical to
+    /// CycleBackend, so "tiered" composes with shared-DRAM contention
+    /// for free (promoted points pay the derated channel, screened
+    /// points keep their contention-free analytical numbers).
+    ContentionBackend verify;
     TieredPolicy tierPolicy;
 
     mutable std::mutex stateMutex;

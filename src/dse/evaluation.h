@@ -60,6 +60,11 @@ struct Evaluation
     Fidelity fidelity = Fidelity::Analytical;
     /// Registry name of the backend that archived this record.
     std::string backend = "analytical";
+    /// Background DRAM traffic (bytes/s) the evaluation was costed
+    /// under (shared-channel contention; 0 = NPU owns the channel).
+    /// Archived so a resumed contention run replays the profile its
+    /// journal was written with.
+    double contentionBytesPerSec = 0.0;
 };
 
 } // namespace autopilot::dse

@@ -9,10 +9,12 @@ namespace autopilot::dse
 
 DseEvaluator::DseEvaluator(const airlearning::PolicyDatabase &database,
                            airlearning::ObstacleDensity density,
-                           const std::string &backend)
+                           const std::string &backend,
+                           const systolic::ContentionProfile &contention)
     : DseEvaluator(database, density,
-                   makeBackend(backend,
-                               BackendContext{&database, density}))
+                   makeBackend(backend, BackendContext{&database,
+                                                       density,
+                                                       contention}))
 {
 }
 

@@ -48,6 +48,7 @@
 #include "dse/design_space.h"
 #include "dse/evaluation.h"
 #include "dse/pareto.h"
+#include "systolic/contention.h"
 #include "util/thread_pool.h"
 
 namespace autopilot::dse
@@ -89,14 +90,20 @@ class DseEvaluator
      *                 every hyperparameter combination of the space.
      * @param density  Deployment scenario being designed for.
      * @param backend  Registry name of the cost-model backend
-     *                 ("analytical", "cycle", "tiered", or anything
-     *                 registered in BackendRegistry; fatal on an unknown
-     *                 name). The default is the closed-form path,
-     *                 bit-identical to the pre-backend evaluator.
+     *                 ("analytical", "cycle", "tiered", "contention",
+     *                 or anything registered in BackendRegistry; fatal
+     *                 on an unknown name). The default is the
+     *                 closed-form path, bit-identical to the
+     *                 pre-backend evaluator.
+     * @param contention Background DRAM traffic for the contention
+     *                 backend (and the tiered verify tier); the default
+     *                 empty profile leaves every backend's results
+     *                 untouched.
      */
     DseEvaluator(const airlearning::PolicyDatabase &database,
                  airlearning::ObstacleDensity density,
-                 const std::string &backend = "analytical");
+                 const std::string &backend = "analytical",
+                 const systolic::ContentionProfile &contention = {});
 
     /**
      * Construct with an explicit backend instance (for tests and

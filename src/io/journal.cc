@@ -77,8 +77,13 @@ readEvalJournal(std::istream &is)
     ParseDiag diag;
     replay.entries = tryReadDseArchive(is, diag);
     if (!diag.ok) {
-        // An archive with zero intact rows (missing/garbled header)
-        // still replays as empty - the header is rewritten on resume.
+        // A failure on the archive's first line means the header never
+        // made it to disk intact (the writer was killed between the
+        // fingerprint line and the header flush): zero batches were
+        // committed, so this is a clean fresh start - not a torn tail
+        // worth diagnosing. The header is rewritten on resume.
+        if (replay.entries.empty() && diag.line <= 1)
+            return replay;
         replay.truncated = true;
         // The fingerprint line precedes the archive section, so shift
         // its 1-based line numbers to whole-file coordinates.

@@ -243,12 +243,8 @@ class JsonParser
         }
     }
 
-    /**
-     * \uXXXX escapes, encoded back to UTF-8. Surrogate pairs are not
-     * combined (our own writer only escapes control characters, which
-     * are all in the BMP).
-     */
-    std::string parseUnicodeEscape()
+    /** One 4-digit \uXXXX code unit (the "\u" already consumed). */
+    unsigned parseUnicodeCodeUnit()
     {
         failIf(pos + 4 > doc.size(), "truncated \\u escape");
         unsigned code = 0;
@@ -264,14 +260,45 @@ class JsonParser
             else
                 failIf(true, "bad \\u escape digit");
         }
+        return code;
+    }
+
+    /**
+     * \uXXXX escapes, encoded back to UTF-8. A high surrogate must be
+     * followed by a \uXXXX low surrogate; the pair combines into one
+     * supplementary-plane code point (4-byte UTF-8). Lone or
+     * mis-ordered surrogates are rejected - emitting them raw would
+     * produce broken UTF-8 that downstream consumers choke on far from
+     * the actual defect.
+     */
+    std::string parseUnicodeEscape()
+    {
+        unsigned code = parseUnicodeCodeUnit();
+        failIf(code >= 0xDC00 && code <= 0xDFFF,
+               "lone low surrogate in \\u escape");
+        if (code >= 0xD800 && code <= 0xDBFF) {
+            failIf(pos + 2 > doc.size() || doc[pos] != '\\' ||
+                       doc[pos + 1] != 'u',
+                   "high surrogate not followed by \\u escape");
+            pos += 2;
+            const unsigned low = parseUnicodeCodeUnit();
+            failIf(low < 0xDC00 || low > 0xDFFF,
+                   "high surrogate not followed by low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        }
         std::string out;
         if (code < 0x80) {
             out += static_cast<char>(code);
         } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-        } else {
+        } else if (code < 0x10000) {
             out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (code & 0x3F));
         }

@@ -1,5 +1,6 @@
 #include "io/persistence.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "io/csv.h"
@@ -17,6 +18,14 @@ const std::vector<std::string> databaseHeader = {
     "model_macs",   "training_steps", "converged"};
 
 const std::vector<std::string> archiveHeader = {
+    "layers_idx",  "filters_idx", "pe_rows_idx",   "pe_cols_idx",
+    "ifmap_idx",   "filter_idx",  "ofmap_idx",     "success_rate",
+    "npu_power_w", "soc_power_w", "latency_ms",    "fps",
+    "backend",     "fidelity",    "contention_bps"};
+
+/// Pre-contention-backend archive layout: backend/fidelity but no
+/// contention column; such rows load with zero background traffic.
+const std::vector<std::string> legacyBackendArchiveHeader = {
     "layers_idx",  "filters_idx", "pe_rows_idx", "pe_cols_idx",
     "ifmap_idx",   "filter_idx",  "ofmap_idx",   "success_rate",
     "npu_power_w", "soc_power_w", "latency_ms",  "fps",
@@ -91,11 +100,12 @@ failAt(ParseDiag &diag, const LineReader &reader,
 }
 
 /**
- * Decode one archive row (already width-checked against @p legacy).
+ * Decode one archive row (already width-checked against its header's
+ * column set, so row.size() distinguishes the three layouts).
  * Returns the reason on a malformed field, empty on success.
  */
 std::string
-tryDecodeArchiveRow(const std::vector<std::string> &row, bool legacy,
+tryDecodeArchiveRow(const std::vector<std::string> &row,
                     const dse::DesignSpace &space, dse::Evaluation &eval)
 {
     for (std::size_t d = 0; d < dse::designDims; ++d) {
@@ -114,10 +124,18 @@ tryDecodeArchiveRow(const std::vector<std::string> &row, bool legacy,
         reason = tryParseDouble(row[11], eval.fps);
     if (!reason.empty())
         return reason;
-    if (!legacy) {
+    if (row.size() > legacyArchiveHeader.size()) {
         eval.backend = row[12];
         if (!dse::tryFidelityFromName(row[13], eval.fidelity))
             return "unknown fidelity '" + row[13] + "'";
+    }
+    if (row.size() > legacyBackendArchiveHeader.size()) {
+        reason = tryParseDouble(row[14], eval.contentionBytesPerSec);
+        if (!reason.empty())
+            return reason;
+        if (!(eval.contentionBytesPerSec >= 0.0) ||
+            !std::isfinite(eval.contentionBytesPerSec))
+            return "contention bytes/s must be finite and >= 0";
     }
     eval.point = space.decode(eval.encoding);
     eval.objectives = {1.0 - eval.successRate, eval.socPowerW,
@@ -230,7 +248,8 @@ writeDseArchiveRow(const dse::Evaluation &eval, std::ostream &os)
        << formatDouble(eval.socPowerW) << ','
        << formatDouble(eval.latencyMs) << ','
        << formatDouble(eval.fps) << ',' << eval.backend << ','
-       << dse::fidelityName(eval.fidelity) << '\n';
+       << dse::fidelityName(eval.fidelity) << ','
+       << formatDouble(eval.contentionBytesPerSec) << '\n';
 }
 
 void
@@ -256,15 +275,15 @@ tryReadDseArchive(std::istream &is, ParseDiag &diag)
         return archive;
     }
     const std::vector<std::string> header = splitCsvLine(line);
-    bool legacy = false;
+    std::size_t width = archiveHeader.size();
     if (header == legacyArchiveHeader)
-        legacy = true;
+        width = legacyArchiveHeader.size();
+    else if (header == legacyBackendArchiveHeader)
+        width = legacyBackendArchiveHeader.size();
     else if (header != archiveHeader) {
         failAt(diag, reader, "unexpected header '" + line + "'");
         return archive;
     }
-    const std::size_t width =
-        legacy ? legacyArchiveHeader.size() : archiveHeader.size();
     while (reader.next(line)) {
         if (line.empty())
             continue;
@@ -275,7 +294,7 @@ tryReadDseArchive(std::istream &is, ParseDiag &diag)
         }
         dse::Evaluation eval;
         const std::string reason =
-            tryDecodeArchiveRow(row, legacy, space, eval);
+            tryDecodeArchiveRow(row, space, eval);
         if (!reason.empty()) {
             failAt(diag, reader, reason);
             return archive;

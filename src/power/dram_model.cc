@@ -1,5 +1,7 @@
 #include "power/dram_model.h"
 
+#include <cmath>
+
 #include "util/logging.h"
 
 namespace autopilot::power
@@ -8,8 +10,13 @@ namespace autopilot::power
 DramModel::DramModel(double energy_pj_per_byte, double background_mw)
     : pjPerByte(energy_pj_per_byte), backgroundPowerMw(background_mw)
 {
-    util::fatalIf(energy_pj_per_byte < 0.0 || background_mw < 0.0,
-                  "DramModel: negative parameters");
+    // !(x >= 0) instead of x < 0 so NaN parameters are rejected too
+    // (a NaN pj/byte would silently NaN every power objective).
+    util::fatalIf(!(energy_pj_per_byte >= 0.0) ||
+                      !std::isfinite(energy_pj_per_byte) ||
+                      !(background_mw >= 0.0) ||
+                      !std::isfinite(background_mw),
+                  "DramModel: parameters must be finite and >= 0");
 }
 
 double

@@ -1,5 +1,8 @@
 #include "power/npu_power.h"
 
+#include <cmath>
+#include <string>
+
 #include "util/logging.h"
 
 namespace autopilot::power
@@ -16,13 +19,27 @@ NpuPowerModel::NpuPowerModel(const systolic::AcceleratorConfig &config,
 }
 
 NpuPowerBreakdown
-NpuPowerModel::estimate(const systolic::RunResult &run) const
+NpuPowerModel::estimate(const systolic::RunResult &run,
+                        double backgroundBytesPerSec) const
 {
     util::fatalIf(run.totalCycles <= 0,
                   "NpuPowerModel::estimate: empty run result");
+    util::fatalIf(!(backgroundBytesPerSec >= 0.0) ||
+                      !std::isfinite(backgroundBytesPerSec),
+                  "NpuPowerModel::estimate: background DRAM traffic "
+                  "must be finite and >= 0");
 
     const double seconds = run.runtimeSeconds(cfg.clockGhz);
     const double pj_to_w = 1e-12 / seconds;
+    // A huge clock against a tiny cycle count makes `seconds` denormal
+    // (or, through upstream arithmetic bugs, zero/NaN) and `pj_to_w`
+    // inf - which would NaN every objective downstream without a
+    // diagnostic. Refuse the degenerate conversion instead.
+    util::fatalIf(!std::isfinite(seconds) || !std::isfinite(pj_to_w),
+                  "NpuPowerModel::estimate: degenerate run duration (" +
+                      std::to_string(seconds) +
+                      " s) - clock/cycle counts produce a non-finite "
+                      "pJ-to-W conversion");
 
     NpuPowerBreakdown breakdown;
 
@@ -50,7 +67,8 @@ NpuPowerModel::estimate(const systolic::RunResult &run) const
         1e-3;
 
     const double bytes_per_second =
-        static_cast<double>(traffic.totalDramBytes()) / seconds;
+        static_cast<double>(traffic.totalDramBytes()) / seconds +
+        backgroundBytesPerSec;
     breakdown.dramW = dramModel.averagePowerMw(bytes_per_second) * 1e-3;
 
     breakdown.controllerW = controllerBaseW * tech.leakageScale;
@@ -63,9 +81,10 @@ NpuPowerModel::estimate(const systolic::RunResult &run) const
 }
 
 double
-NpuPowerModel::averagePowerW(const systolic::RunResult &run) const
+NpuPowerModel::averagePowerW(const systolic::RunResult &run,
+                             double backgroundBytesPerSec) const
 {
-    return estimate(run).totalW();
+    return estimate(run, backgroundBytesPerSec).totalW();
 }
 
 } // namespace autopilot::power

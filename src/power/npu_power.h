@@ -54,11 +54,23 @@ class NpuPowerModel
      * Average power while continuously running the given workload.
      *
      * @param run Result of simulating the policy on this configuration.
+     * @param backgroundBytesPerSec Non-NPU traffic sharing the DRAM
+     *        channel (camera/host streams, see
+     *        systolic::ContentionProfile); charged to the DRAM
+     *        component on top of the run's own traffic. Must be finite
+     *        and >= 0.
+     *
+     * Fatal when the run's duration at this configuration's clock is
+     * zero, denormal or non-finite - the pJ-to-W conversion would
+     * otherwise overflow to inf and NaN every derived objective
+     * silently.
      */
-    NpuPowerBreakdown estimate(const systolic::RunResult &run) const;
+    NpuPowerBreakdown estimate(const systolic::RunResult &run,
+                               double backgroundBytesPerSec = 0.0) const;
 
     /** Average total power in watts (convenience). */
-    double averagePowerW(const systolic::RunResult &run) const;
+    double averagePowerW(const systolic::RunResult &run,
+                         double backgroundBytesPerSec = 0.0) const;
 
     const systolic::AcceleratorConfig &config() const { return cfg; }
 

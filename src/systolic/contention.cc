@@ -1,0 +1,37 @@
+#include "systolic/contention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace autopilot::systolic
+{
+
+double
+ContentionProfile::derate(const AcceleratorConfig &config) const
+{
+    const double peak_bytes_per_sec =
+        static_cast<double>(config.dramBytesPerCycle) *
+        config.clockGhz * 1e9;
+    const double share = 1.0 - totalBytesPerSec() / peak_bytes_per_sec;
+    return std::max(share, npuFloorFraction);
+}
+
+void
+ContentionProfile::validate() const
+{
+    // !(x >= 0) instead of x < 0: NaN rates must not slip through.
+    util::fatalIf(!(cameraBytesPerSec >= 0.0) ||
+                      !std::isfinite(cameraBytesPerSec),
+                  "ContentionProfile: camera rate must be finite and "
+                  ">= 0");
+    util::fatalIf(!(hostBytesPerSec >= 0.0) ||
+                      !std::isfinite(hostBytesPerSec),
+                  "ContentionProfile: host rate must be finite and "
+                  ">= 0");
+    util::fatalIf(!(npuFloorFraction >= 0.0) || npuFloorFraction >= 1.0,
+                  "ContentionProfile: QoS floor outside [0, 1)");
+}
+
+} // namespace autopilot::systolic

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared-DRAM contention profile.
+ *
+ * Phase 2 costs accelerators as if the NPU owned the LPDDR channel, but
+ * on the real UAV SoC the camera pipeline and the flight-control host
+ * stream through the same controller. A ContentionProfile describes that
+ * background traffic as sustained bytes/s; the cycle engine derates its
+ * effective fetch/writeback bandwidth by the fraction of the channel the
+ * background streams consume, and the power stack charges the extra
+ * DRAM traffic. The profile is a sidecar to AcceleratorConfig - the
+ * design space stays untouched, the deployment scenario changes.
+ */
+
+#ifndef AUTOPILOT_SYSTOLIC_CONTENTION_H
+#define AUTOPILOT_SYSTOLIC_CONTENTION_H
+
+#include "systolic/config.h"
+
+namespace autopilot::systolic
+{
+
+/** Background DRAM traffic sharing the NPU's channel. */
+struct ContentionProfile
+{
+    /// Camera/ISP pipeline stream (sensor frames through the channel),
+    /// sustained bytes per second.
+    double cameraBytesPerSec = 0.0;
+    /// Flight-control host traffic (planner, state estimator, logging),
+    /// sustained bytes per second.
+    double hostBytesPerSec = 0.0;
+    /// QoS floor: fraction of the channel the memory controller
+    /// guarantees the NPU regardless of background load, in [0, 1).
+    /// 0 (default) models a strictly fair channel - a background load
+    /// at or above the peak bandwidth starves the NPU completely,
+    /// which the cycle engine diagnoses as an infeasible profile.
+    double npuFloorFraction = 0.0;
+
+    /** Total background traffic in bytes per second. */
+    double totalBytesPerSec() const
+    {
+        return cameraBytesPerSec + hostBytesPerSec;
+    }
+
+    /** True when any background traffic is configured. */
+    bool enabled() const { return totalBytesPerSec() > 0.0; }
+
+    /**
+     * Fraction of @p config's peak DRAM bandwidth left to the NPU:
+     * max(1 - background/peak, npuFloorFraction). May be <= 0 for a
+     * fully-contended channel with no QoS floor; callers must diagnose
+     * that instead of dividing by it.
+     */
+    double derate(const AcceleratorConfig &config) const;
+
+    /**
+     * Abort via fatal() when any rate is negative or non-finite, or the
+     * QoS floor is outside [0, 1).
+     */
+    void validate() const;
+
+    bool operator==(const ContentionProfile &other) const = default;
+};
+
+} // namespace autopilot::systolic
+
+#endif // AUTOPILOT_SYSTOLIC_CONTENTION_H

@@ -1,6 +1,8 @@
 #include "systolic/cycle_engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 
 #include "util/logging.h"
 #include "util/telemetry.h"
@@ -11,6 +13,26 @@ namespace autopilot::systolic
 CycleEngine::CycleEngine(const AcceleratorConfig &config) : cfg(config)
 {
     cfg.validate();
+}
+
+CycleEngine::CycleEngine(const AcceleratorConfig &config,
+                         const ContentionProfile &contention)
+    : cfg(config), profile(contention)
+{
+    cfg.validate();
+    profile.validate();
+    bandwidthDerate = profile.enabled() ? profile.derate(cfg) : 1.0;
+    if (bandwidthDerate <= 0.0) {
+        std::ostringstream what;
+        what << "CycleEngine: contention profile leaves no DRAM "
+                "bandwidth to the NPU (background "
+             << profile.totalBytesPerSec() << " B/s >= peak "
+             << static_cast<double>(cfg.dramBytesPerCycle) *
+                    cfg.clockGhz * 1e9
+             << " B/s and no QoS floor) - raise npuFloorFraction or "
+                "lower the background load";
+        util::fatal(what.str());
+    }
 }
 
 LayerResult
@@ -26,9 +48,17 @@ CycleEngine::runLayer(const nn::Layer &layer) const
     const FoldSchedule schedule = scheduleGemm(layer.gemm(), cfg);
     const std::int64_t fold_count = schedule.foldCount();
     const std::int64_t bw = cfg.dramBytesPerCycle;
+    const double derate = bandwidthDerate;
 
-    auto to_cycles = [bw](std::int64_t bytes) {
-        return (bytes + bw - 1) / bw;
+    // The underated path must stay the exact integer ceiling so an
+    // empty contention profile is bit-identical to the contention-free
+    // engine; the derated path pays ceil(bytes / (BW * derate)).
+    auto to_cycles = [bw, derate](std::int64_t bytes) {
+        if (derate >= 1.0)
+            return (bytes + bw - 1) / bw;
+        return static_cast<std::int64_t>(
+            std::ceil(static_cast<double>(bytes) /
+                      (static_cast<double>(bw) * derate)));
     };
 
     // Timeline state. The DRAM channel serializes fetches and writebacks;

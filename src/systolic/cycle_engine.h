@@ -21,6 +21,7 @@
 #ifndef AUTOPILOT_SYSTOLIC_CYCLE_ENGINE_H
 #define AUTOPILOT_SYSTOLIC_CYCLE_ENGINE_H
 
+#include "systolic/contention.h"
 #include "systolic/engine.h"
 
 namespace autopilot::systolic
@@ -33,12 +34,31 @@ class CycleEngine : public Engine
     /** @param config Accelerator configuration (validated). */
     explicit CycleEngine(const AcceleratorConfig &config);
 
+    /**
+     * @param config  Accelerator configuration (validated).
+     * @param profile Background traffic sharing the DRAM channel
+     *                (validated). Fetch/writeback cycles are scaled by
+     *                the profile's effective-bandwidth derate; fatal at
+     *                construction when the derated bandwidth is not
+     *                positive (fully-contended channel with no QoS
+     *                floor) - an infeasible profile must be diagnosed,
+     *                not simulated into infinite fold times.
+     */
+    CycleEngine(const AcceleratorConfig &config,
+                const ContentionProfile &profile);
+
     LayerResult runLayer(const nn::Layer &layer) const override;
 
     const AcceleratorConfig &config() const { return cfg; }
+    const ContentionProfile &contention() const { return profile; }
 
   private:
     AcceleratorConfig cfg;
+    ContentionProfile profile;
+    /// Effective-bandwidth fraction left to the NPU; 1.0 when the
+    /// profile is empty (exact integer fold-cycle path, bit-identical
+    /// to the contention-free engine).
+    double bandwidthDerate = 1.0;
 };
 
 } // namespace autopilot::systolic

@@ -60,7 +60,7 @@ sharedDatabase()
 dse::BackendContext
 sharedContext()
 {
-    return {&sharedDatabase(), al::ObstacleDensity::Dense};
+    return {&sharedDatabase(), al::ObstacleDensity::Dense, {}};
 }
 
 std::vector<dse::Encoding>
@@ -122,6 +122,7 @@ TEST(BackendRegistry, KnowsTheBuiltins)
     EXPECT_TRUE(registry.knows("analytical"));
     EXPECT_TRUE(registry.knows("cycle"));
     EXPECT_TRUE(registry.knows("tiered"));
+    EXPECT_TRUE(registry.knows("contention"));
     EXPECT_FALSE(registry.knows("no-such-backend"));
 
     const auto context = sharedContext();
@@ -131,6 +132,8 @@ TEST(BackendRegistry, KnowsTheBuiltins)
               dse::Fidelity::CycleAccurate);
     EXPECT_EQ(dse::makeBackend("tiered", context)->fidelity(),
               dse::Fidelity::Mixed);
+    EXPECT_EQ(dse::makeBackend("contention", context)->fidelity(),
+              dse::Fidelity::CycleAccurate);
 }
 
 TEST(BackendRegistry, UnknownNameIsFatal)
@@ -406,4 +409,118 @@ TEST(DesignSpace, HashEncodingIsStableAndSpreads)
     }
     // FNV-1a over 64 distinct points should touch most of 16 shards.
     EXPECT_GE(buckets.size(), 8u);
+}
+
+// ------------------------------------------------------------ contention ----
+
+namespace
+{
+
+dse::BackendContext
+contendedContext(double backgroundBytesPerSec)
+{
+    dse::BackendContext context = sharedContext();
+    context.contention.cameraBytesPerSec = backgroundBytesPerSec;
+    return context;
+}
+
+} // namespace
+
+TEST(ContentionBackend, ZeroBackgroundBitIdenticalToCycle)
+{
+    dse::ContentionBackend quiet(sharedContext());
+    dse::CycleBackend cycle(sharedContext());
+    const dse::DesignSpace space;
+    for (const dse::Encoding &encoding : distinctEncodings(8, 41)) {
+        const dse::DesignPoint point = space.decode(encoding);
+        const dse::Evaluation a = quiet.evaluate(point);
+        const dse::Evaluation b = cycle.evaluate(point);
+        EXPECT_EQ(a.successRate, b.successRate);
+        EXPECT_EQ(a.npuPowerW, b.npuPowerW);
+        EXPECT_EQ(a.socPowerW, b.socPowerW);
+        EXPECT_EQ(a.latencyMs, b.latencyMs);
+        EXPECT_EQ(a.fps, b.fps);
+        EXPECT_EQ(a.objectives, b.objectives);
+        EXPECT_EQ(a.fidelity, dse::Fidelity::CycleAccurate);
+        EXPECT_EQ(a.backend, "contention");
+        EXPECT_EQ(a.contentionBytesPerSec, 0.0);
+    }
+}
+
+TEST(ContentionBackend, BackgroundTrafficShiftsLatencyAndPowerMonotonically)
+{
+    // All design points share the fixed 6.4 GB/s channel (32 B/cycle at
+    // 0.2 GHz), so a rising background load must never make any point
+    // faster or cheaper on DRAM power.
+    const dse::DesignSpace space;
+    const auto encodings = distinctEncodings(6, 53);
+    std::vector<double> previousLatency(encodings.size(), 0.0);
+    double quietTotal = 0.0;
+    double heavyTotal = 0.0;
+    for (const double background : {0.0, 1.6e9, 3.2e9, 4.8e9}) {
+        dse::ContentionBackend backend(contendedContext(background));
+        for (std::size_t i = 0; i < encodings.size(); ++i) {
+            const dse::Evaluation eval =
+                backend.evaluate(space.decode(encodings[i]));
+            EXPECT_GE(eval.latencyMs, previousLatency[i])
+                << "background " << background;
+            EXPECT_EQ(eval.contentionBytesPerSec, background);
+            previousLatency[i] = eval.latencyMs;
+            if (background == 0.0)
+                quietTotal += eval.latencyMs;
+            if (background == 4.8e9)
+                heavyTotal += eval.latencyMs;
+        }
+    }
+    // A quarter of the channel must bite somewhere in the sample.
+    EXPECT_GT(heavyTotal, quietTotal);
+}
+
+TEST(ContentionBackend, ComposesAsTieredVerifyTier)
+{
+    // The tiered verify tier inherits the context's contention profile:
+    // promoted rows carry cycle fidelity, the contention bytes/s, and
+    // strictly-no-faster latency than the contention-free tiered run.
+    dse::TieredBackend quiet(sharedContext());
+    dse::TieredBackend contended(contendedContext(3.2e9));
+    const dse::DesignSpace space;
+    std::vector<dse::DesignPoint> points;
+    for (const dse::Encoding &encoding : distinctEncodings(24, 67))
+        points.push_back(space.decode(encoding));
+
+    auto runBatch = [&](dse::TieredBackend &backend) {
+        std::vector<dse::Evaluation> out(points.size());
+        backend.evaluateBatch(
+            points, nullptr,
+            [&](std::size_t i, dse::Evaluation &&eval) {
+                out[i] = std::move(eval);
+            });
+        return out;
+    };
+    const auto quietEvals = runBatch(quiet);
+    const auto contendedEvals = runBatch(contended);
+
+    std::size_t promoted = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (contendedEvals[i].fidelity != dse::Fidelity::CycleAccurate)
+            continue;
+        ++promoted;
+        EXPECT_EQ(contendedEvals[i].contentionBytesPerSec, 3.2e9);
+        if (quietEvals[i].fidelity == dse::Fidelity::CycleAccurate)
+            EXPECT_GE(contendedEvals[i].latencyMs,
+                      quietEvals[i].latencyMs);
+    }
+    EXPECT_GT(promoted, 0u);
+}
+
+TEST(ContentionBackendDeath, StarvedProfileDiagnosedAtEvaluate)
+{
+    // 6.4 GB/s background saturates the fixed-peak channel; with no QoS
+    // floor the first evaluation must diagnose the infeasible profile
+    // instead of producing inf fold times.
+    dse::ContentionBackend backend(contendedContext(6.4e9));
+    const dse::DesignSpace space;
+    const auto encodings = distinctEncodings(1, 71);
+    EXPECT_EXIT(backend.evaluate(space.decode(encodings[0])),
+                ::testing::ExitedWithCode(1), "no DRAM bandwidth");
 }

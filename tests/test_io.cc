@@ -12,6 +12,7 @@
 #include "dse/evaluator.h"
 #include "dse/random_search.h"
 #include "io/csv.h"
+#include "io/json.h"
 #include "io/persistence.h"
 
 namespace io = autopilot::io;
@@ -380,7 +381,7 @@ TEST(Persistence, TryReadDseArchiveDiagnosesBadNumber)
         {madeEvaluation(0, dse::Fidelity::Analytical, "analytical")},
         buffer);
     std::string corrupt = buffer.str();
-    corrupt += "0,1,0,1,0,1,0,NOT_A_NUMBER,1,2,3,4,analytical,cycle\n";
+    corrupt += "0,1,0,1,0,1,0,NOT_A_NUMBER,1,2,3,4,analytical,cycle,0\n";
     std::istringstream is(corrupt);
     io::ParseDiag diag;
     const auto restored = io::tryReadDseArchive(is, diag);
@@ -398,7 +399,7 @@ TEST(Persistence, TryReadDseArchiveDiagnosesUnknownFidelity)
         {madeEvaluation(0, dse::Fidelity::Analytical, "analytical")},
         buffer);
     std::string corrupt = buffer.str();
-    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,analytical,quantum\n";
+    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,analytical,quantum,0\n";
     std::istringstream is(corrupt);
     io::ParseDiag diag;
     io::tryReadDseArchive(is, diag);
@@ -434,4 +435,86 @@ TEST(Persistence, TryReadersAcceptCleanInput)
     EXPECT_TRUE(diag.ok);
     ASSERT_EQ(restored.size(), 1u);
     EXPECT_EQ(restored[0].fidelity, dse::Fidelity::CycleAccurate);
+}
+
+TEST(Persistence, LegacyBackendArchiveHeaderStillReads)
+{
+    // Pre-contention-backend archives have backend/fidelity but no
+    // contention column; they must load with zero background traffic.
+    std::istringstream is(
+        "layers_idx,filters_idx,pe_rows_idx,pe_cols_idx,ifmap_idx,"
+        "filter_idx,ofmap_idx,success_rate,npu_power_w,soc_power_w,"
+        "latency_ms,fps,backend,fidelity\n"
+        "0,1,1,1,0,1,0,0.75,1.5,3.25,12.5,80,tiered,cycle\n");
+    const auto restored = io::readDseArchive(is);
+    ASSERT_EQ(restored.size(), 1u);
+    EXPECT_EQ(restored[0].backend, "tiered");
+    EXPECT_EQ(restored[0].fidelity, dse::Fidelity::CycleAccurate);
+    EXPECT_DOUBLE_EQ(restored[0].contentionBytesPerSec, 0.0);
+}
+
+TEST(Persistence, ContentionColumnRoundTrips)
+{
+    dse::Evaluation eval =
+        madeEvaluation(1, dse::Fidelity::CycleAccurate, "contention");
+    eval.contentionBytesPerSec = 3.2e9;
+    std::stringstream buffer;
+    io::writeDseArchive({eval}, buffer);
+    const auto restored = io::readDseArchive(buffer);
+    ASSERT_EQ(restored.size(), 1u);
+    EXPECT_EQ(restored[0].backend, "contention");
+    EXPECT_DOUBLE_EQ(restored[0].contentionBytesPerSec, 3.2e9);
+}
+
+TEST(Persistence, TryReadDseArchiveDiagnosesBadContention)
+{
+    std::stringstream buffer;
+    io::writeDseArchive(
+        {madeEvaluation(0, dse::Fidelity::Analytical, "analytical")},
+        buffer);
+    std::string corrupt = buffer.str();
+    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,analytical,cycle,-5\n";
+    std::istringstream is(corrupt);
+    io::ParseDiag diag;
+    const auto restored = io::tryReadDseArchive(is, diag);
+    EXPECT_EQ(restored.size(), 1u);
+    EXPECT_FALSE(diag.ok);
+    EXPECT_NE(diag.reason.find("contention"), std::string::npos)
+        << diag.reason;
+}
+
+// --------------------------------------------------------------- json ----
+
+TEST(Json, UnicodeEscapeBasicMultilingualPlane)
+{
+    const io::JsonValue v = io::parseJson("\"\\u0041\\u00e9\\u20ac\"");
+    EXPECT_EQ(v.asString(), "A\xc3\xa9\xe2\x82\xac"); // A, e-acute, euro.
+}
+
+TEST(Json, UnicodeEscapeSurrogatePairDecodes)
+{
+    // U+1F680 (rocket) = \uD83D\uDE80 -> 4-byte UTF-8 F0 9F 9A 80.
+    const io::JsonValue v = io::parseJson("\"\\ud83d\\ude80\"");
+    EXPECT_EQ(v.asString(), "\xf0\x9f\x9a\x80");
+    // Pair in the middle of a string, mixed case hex.
+    const io::JsonValue mixed =
+        io::parseJson("\"x\\uD83D\\uDE80y\"");
+    EXPECT_EQ(mixed.asString(), "x\xf0\x9f\x9a\x80y");
+}
+
+TEST(JsonDeath, RejectsLoneHighSurrogate)
+{
+    EXPECT_EXIT(io::parseJson("\"\\ud83d\""),
+                ::testing::ExitedWithCode(1), "surrogate");
+    EXPECT_EXIT(io::parseJson("\"\\ud83d rest\""),
+                ::testing::ExitedWithCode(1), "surrogate");
+    // High surrogate followed by a non-surrogate escape.
+    EXPECT_EXIT(io::parseJson("\"\\ud83d\\u0041\""),
+                ::testing::ExitedWithCode(1), "surrogate");
+}
+
+TEST(JsonDeath, RejectsLoneLowSurrogate)
+{
+    EXPECT_EXIT(io::parseJson("\"\\ude80\""),
+                ::testing::ExitedWithCode(1), "lone low surrogate");
 }

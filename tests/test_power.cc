@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "nn/e2e_template.h"
 #include "power/dram_model.h"
 #include "power/mass_model.h"
@@ -254,4 +256,59 @@ TEST(MassModelDeath, RejectsNegativeTdp)
     const pw::MassModel mass;
     EXPECT_EXIT(mass.heatsinkGrams(-1.0), ::testing::ExitedWithCode(1),
                 "negative");
+}
+
+TEST(NpuPowerDeath, RejectsDegenerateRunDuration)
+{
+    // A huge clock against a tiny cycle count drives `seconds` denormal
+    // and the pJ-to-W conversion to inf; before the guard this NaN'd
+    // every objective silently through the DSE.
+    auto config = makeConfig(8, 8, 32);
+    config.clockGhz = 1e300;
+    sys::RunResult run;
+    run.totalCycles = 1;
+    run.totalMacs = 1;
+    const pw::NpuPowerModel npu(config);
+    EXPECT_EXIT(npu.estimate(run), ::testing::ExitedWithCode(1),
+                "degenerate run duration");
+}
+
+TEST(NpuPowerDeath, RejectsBadBackgroundTraffic)
+{
+    const auto config = makeConfig(8, 8, 32);
+    const sys::AnalyticalEngine engine(config);
+    const auto run = engine.run(nn::buildE2EModel({5, 32}));
+    const pw::NpuPowerModel npu(config);
+    EXPECT_EXIT(npu.estimate(run, -1.0), ::testing::ExitedWithCode(1),
+                "background DRAM traffic");
+    EXPECT_EXIT(npu.estimate(run,
+                             std::numeric_limits<double>::quiet_NaN()),
+                ::testing::ExitedWithCode(1),
+                "background DRAM traffic");
+}
+
+TEST(NpuPower, BackgroundTrafficOnlyRaisesDramPower)
+{
+    const auto config = makeConfig(32, 32, 256);
+    const sys::AnalyticalEngine engine(config);
+    const auto run = engine.run(nn::buildE2EModel({5, 32}));
+    const pw::NpuPowerModel npu(config);
+    const auto quiet = npu.estimate(run);
+    const auto contended = npu.estimate(run, 2.0e9);
+    EXPECT_GT(contended.dramW, quiet.dramW);
+    EXPECT_DOUBLE_EQ(contended.peDynamicW, quiet.peDynamicW);
+    EXPECT_DOUBLE_EQ(contended.sramDynamicW, quiet.sramDynamicW);
+    // 2 GB/s of extra traffic at the model's pJ/byte.
+    const pw::DramModel dram;
+    EXPECT_NEAR(contended.dramW - quiet.dramW,
+                dram.energyPjPerByte() * 2.0e9 * 1e-12, 1e-9);
+}
+
+TEST(DramModelDeath, RejectsNanParameters)
+{
+    EXPECT_EXIT(pw::DramModel(
+                    std::numeric_limits<double>::quiet_NaN(), 40.0),
+                ::testing::ExitedWithCode(1), "finite");
+    EXPECT_EXIT(pw::DramModel(120.0, -1.0),
+                ::testing::ExitedWithCode(1), "finite");
 }

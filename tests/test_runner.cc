@@ -411,12 +411,56 @@ TEST(Journal, TornTailIsTruncatedOnReplay)
     fs::remove_all(dir);
 }
 
+TEST(Journal, FingerprintOnlyFileIsCleanFreshStart)
+{
+    // A kill between the fingerprint flush and the header flush leaves
+    // a fingerprint-only journal: zero batches committed, so replay
+    // must report a clean (non-truncated) empty run, not a torn tail.
+    const fs::path dir = testDir("journal_fingerprint_only");
+    const fs::path path = dir / "journal.csv";
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "fingerprint," << io::formatFingerprint(0xC0FFEEu)
+            << '\n';
+    }
+    const io::JournalReplay replay = io::readEvalJournal(path.string());
+    EXPECT_TRUE(replay.found);
+    EXPECT_FALSE(replay.truncated);
+    EXPECT_EQ(replay.fingerprint, 0xC0FFEEu);
+    EXPECT_TRUE(replay.entries.empty());
+    EXPECT_TRUE(replay.reason.empty());
+    fs::remove_all(dir);
+}
+
+TEST(Journal, TornHeaderIsCleanFreshStart)
+{
+    // Killed mid-header-write: the archive header itself is the torn
+    // line. No row was committed, so this is equivalent to a fresh run.
+    const fs::path dir = testDir("journal_torn_header");
+    const fs::path path = dir / "journal.csv";
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "fingerprint," << io::formatFingerprint(0xC0FFEEu)
+            << '\n';
+        out << "layers_idx,filters_idx,pe_r"; // torn: no newline
+    }
+    const io::JournalReplay replay = io::readEvalJournal(path.string());
+    EXPECT_TRUE(replay.found);
+    EXPECT_FALSE(replay.truncated);
+    EXPECT_TRUE(replay.entries.empty());
+    fs::remove_all(dir);
+}
+
 TEST(Journal, MissingOrHeaderlessFileIsNotFound)
 {
     EXPECT_FALSE(
         io::readEvalJournal("/nonexistent/journal.csv").found);
     std::istringstream noFingerprint("layers_idx,filters_idx\n");
     EXPECT_FALSE(io::readEvalJournal(noFingerprint).found);
+    // Killed mid-fingerprint-write: the key itself is torn, so the
+    // file reads as not-found and resume falls back to a fresh run.
+    std::istringstream tornFingerprint("fingerpr");
+    EXPECT_FALSE(io::readEvalJournal(tornFingerprint).found);
 }
 
 TEST(Journal, PolicyCheckpointRoundTrips)
@@ -523,7 +567,7 @@ TEST(WarmStart, TieredAdaptiveStateResumesByteIdentical)
     auto freshEvaluator = [&] {
         auto backend = std::make_unique<dse::TieredBackend>(
             dse::BackendContext{&sharedDatabase(),
-                                al::ObstacleDensity::Dense},
+                                al::ObstacleDensity::Dense, {}},
             policy);
         dse::TieredBackend *raw = backend.get();
         auto evaluator = std::make_unique<dse::DseEvaluator>(
@@ -633,6 +677,97 @@ TEST(Resume, TieredBackendResumesByteIdentical)
     EXPECT_EQ(archiveCsv(pilot.phase2().archive), goldenArchive);
     fs::remove_all(goldenDir);
     fs::remove_all(dir);
+}
+
+TEST(Resume, ContentionBackendResumesByteIdentical)
+{
+    // The contention profile is part of the fingerprint and its
+    // aggregate traffic is journaled per row, so a killed contended
+    // run must replay byte-identically at any thread count - and the
+    // replayed rows must carry the profile back out of the journal.
+    const double backgroundBps = 2.0e9;
+    const fs::path goldenDir = testDir("resume_contention_golden");
+    core::TaskSpec goldenSpec = smallSpec("bo", "contention");
+    goldenSpec.contention.cameraBytesPerSec = backgroundBps;
+    goldenSpec.checkpointDir = goldenDir.string();
+    core::AutoPilot goldenPilot(goldenSpec);
+    const std::string goldenArchive =
+        archiveCsv(goldenPilot.phase2().archive);
+    const std::string goldenJournal =
+        fileBytes(goldenDir / "journal.csv");
+    const std::size_t totalRows =
+        journalRows(goldenDir / "journal.csv");
+    ASSERT_GT(totalRows, 4u);
+    for (const dse::Evaluation &eval : goldenPilot.phase2().archive)
+        EXPECT_EQ(eval.contentionBytesPerSec, backgroundBps);
+
+    for (const int threads : {1, 2, 4}) {
+        const fs::path dir =
+            testDir("resume_contention_t" + std::to_string(threads));
+        fs::copy(goldenDir, dir,
+                 fs::copy_options::overwrite_existing |
+                     fs::copy_options::recursive);
+        truncateJournal(dir / "journal.csv", totalRows / 2);
+
+        // The truncated prefix must round-trip the profile's traffic.
+        const io::JournalReplay replay =
+            io::readEvalJournal((dir / "journal.csv").string());
+        ASSERT_FALSE(replay.entries.empty());
+        for (const dse::Evaluation &eval : replay.entries)
+            EXPECT_EQ(eval.contentionBytesPerSec, backgroundBps);
+
+        core::TaskSpec spec = goldenSpec;
+        spec.checkpointDir = dir.string();
+        spec.resume = true;
+        spec.threads = threads;
+        core::AutoPilot pilot(spec);
+        EXPECT_EQ(archiveCsv(pilot.phase2().archive), goldenArchive)
+            << threads << " threads";
+        EXPECT_EQ(fileBytes(dir / "journal.csv"), goldenJournal)
+            << threads << " threads";
+        fs::remove_all(dir);
+    }
+    fs::remove_all(goldenDir);
+}
+
+TEST(Resume, TornHeaderJournalWarmStartsAsFresh)
+{
+    // End-to-end version of the zero-committed-rows cases: a journal
+    // holding only the fingerprint line (or a torn header) must resume
+    // into a run byte-identical to an uninterrupted fresh one.
+    const fs::path goldenDir = testDir("resume_torn_golden");
+    core::TaskSpec goldenSpec = smallSpec();
+    goldenSpec.checkpointDir = goldenDir.string();
+    core::AutoPilot goldenPilot(goldenSpec);
+    const std::string goldenArchive =
+        archiveCsv(goldenPilot.phase2().archive);
+    const std::string goldenJournal =
+        fileBytes(goldenDir / "journal.csv");
+
+    const std::string fingerprintLine =
+        "fingerprint," +
+        io::formatFingerprint(core::taskFingerprint(goldenSpec)) + "\n";
+    const std::vector<std::string> tornContents = {
+        fingerprintLine,                       // header never flushed
+        fingerprintLine + "layers_idx,filt"};  // torn header
+    for (std::size_t i = 0; i < tornContents.size(); ++i) {
+        const fs::path dir =
+            testDir("resume_torn_" + std::to_string(i));
+        {
+            std::ofstream out(dir / "journal.csv", std::ios::trunc);
+            out << tornContents[i];
+        }
+        core::TaskSpec spec = goldenSpec;
+        spec.checkpointDir = dir.string();
+        spec.resume = true;
+        core::AutoPilot pilot(spec);
+        EXPECT_EQ(archiveCsv(pilot.phase2().archive), goldenArchive)
+            << "variant " << i;
+        EXPECT_EQ(fileBytes(dir / "journal.csv"), goldenJournal)
+            << "variant " << i;
+        fs::remove_all(dir);
+    }
+    fs::remove_all(goldenDir);
 }
 
 TEST(Resume, MismatchedFingerprintStartsFresh)

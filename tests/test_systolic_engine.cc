@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "nn/e2e_template.h"
 #include "systolic/cycle_engine.h"
 #include "systolic/engine.h"
@@ -211,4 +213,87 @@ TEST(EnginesDeath, EmptyModelRejected)
     const sys::AnalyticalEngine engine(makeConfig(8, 8, 32));
     nn::Model empty("empty");
     EXPECT_EXIT(engine.run(empty), ::testing::ExitedWithCode(1), "empty");
+}
+
+// ------------------------------------------------------- contention ----
+
+TEST(Contention, EmptyProfileIsBitIdentical)
+{
+    const auto config = makeConfig(16, 16, 128);
+    const sys::CycleEngine plain(config);
+    const sys::CycleEngine contended(config, sys::ContentionProfile{});
+    const nn::Model model = nn::buildE2EModel({5, 32});
+    const sys::RunResult a = plain.run(model);
+    const sys::RunResult b = contended.run(model);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.computeCycles, b.computeCycles);
+    EXPECT_EQ(a.stallCycles, b.stallCycles);
+    EXPECT_EQ(a.traffic.totalDramBytes(), b.traffic.totalDramBytes());
+}
+
+TEST(Contention, BackgroundTrafficMonotonicallySlows)
+{
+    const auto config = makeConfig(16, 16, 128);
+    const nn::Model model = nn::buildE2EModel({5, 32});
+    // Peak channel bandwidth: 32 B/cycle * 0.2 GHz = 6.4 GB/s.
+    std::int64_t previous = 0;
+    for (const double background : {0.0, 1.6e9, 3.2e9, 4.8e9}) {
+        sys::ContentionProfile profile;
+        profile.cameraBytesPerSec = background;
+        const sys::CycleEngine engine(config, profile);
+        const std::int64_t cycles = engine.run(model).totalCycles;
+        EXPECT_GE(cycles, previous) << "background " << background;
+        previous = cycles;
+    }
+    // The most contended sweep point must be strictly slower than the
+    // quiet channel, and only stall cycles may grow.
+    sys::ContentionProfile heavy;
+    heavy.cameraBytesPerSec = 4.8e9;
+    const sys::CycleEngine quiet(config);
+    const sys::CycleEngine contended(config, heavy);
+    const sys::RunResult q = quiet.run(model);
+    const sys::RunResult c = contended.run(model);
+    EXPECT_GT(c.totalCycles, q.totalCycles);
+    EXPECT_EQ(c.computeCycles, q.computeCycles);
+}
+
+TEST(Contention, QosFloorBoundsTheSlowdown)
+{
+    const auto config = makeConfig(16, 16, 128);
+    const nn::Model model = nn::buildE2EModel({5, 32});
+    sys::ContentionProfile floored;
+    floored.cameraBytesPerSec = 1e12; // Way past the 6.4 GB/s peak.
+    floored.npuFloorFraction = 0.25;
+    const sys::CycleEngine engine(config, floored);
+    sys::ContentionProfile quarter;
+    quarter.cameraBytesPerSec = 4.8e9; // Exactly 25% of peak left.
+    const sys::CycleEngine reference(config, quarter);
+    EXPECT_EQ(engine.run(model).totalCycles,
+              reference.run(model).totalCycles);
+}
+
+TEST(ContentionDeath, FullyContendedChannelDiagnosed)
+{
+    const auto config = makeConfig(16, 16, 128);
+    sys::ContentionProfile profile;
+    profile.cameraBytesPerSec = 6.4e9; // == peak; zero left, no floor.
+    EXPECT_EXIT(sys::CycleEngine(config, profile),
+                ::testing::ExitedWithCode(1),
+                "no DRAM bandwidth");
+}
+
+TEST(ContentionDeath, RejectsBadProfiles)
+{
+    sys::ContentionProfile negative;
+    negative.hostBytesPerSec = -1.0;
+    EXPECT_EXIT(negative.validate(), ::testing::ExitedWithCode(1),
+                "host rate");
+    sys::ContentionProfile nan;
+    nan.cameraBytesPerSec = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EXIT(nan.validate(), ::testing::ExitedWithCode(1),
+                "camera rate");
+    sys::ContentionProfile floor;
+    floor.npuFloorFraction = 1.0;
+    EXPECT_EXIT(floor.validate(), ::testing::ExitedWithCode(1),
+                "QoS floor");
 }
