@@ -1,0 +1,115 @@
+/**
+ * @file
+ * CI perf smoke for the raw-speed analytical core: times the same
+ * 128-point cold-cache workload as BM_BatchEvaluate128 through both
+ * AnalyticalBackend paths - the scalar reference (evaluate() per point)
+ * and the batched SoA kernel (evaluateBatch()) - and exits nonzero if
+ * the batch path is not strictly faster. A regression that lands the
+ * batch pipeline back on per-point recomputation (or breaks its
+ * allocation-free steady state badly enough to lose to scalar) fails CI
+ * rather than silently eating the DSE throughput budget.
+ *
+ * Also asserts the two paths agree bit-for-bit on every objective, so
+ * the smoke can never pass on a fast-but-wrong kernel.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "airlearning/trainer.h"
+#include "dse/eval_backend.h"
+#include "dse/design_space.h"
+#include "nn/e2e_template.h"
+#include "util/rng.h"
+
+using namespace autopilot;
+
+namespace
+{
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    airlearning::TrainerConfig trainerConfig;
+    trainerConfig.validationEpisodes = 20;
+    const airlearning::Trainer trainer(trainerConfig);
+    airlearning::PolicyDatabase database;
+    trainer.trainAll(nn::PolicySpace(), airlearning::ObstacleDensity::Dense,
+                     database);
+
+    const dse::BackendContext context{
+        &database, airlearning::ObstacleDensity::Dense, {}};
+    dse::AnalyticalBackend backend(context);
+
+    dse::DesignSpace space;
+    util::Rng rng(0xBA7C4u);
+    std::vector<dse::DesignPoint> points;
+    for (int i = 0; i < 128; ++i)
+        points.push_back(space.decode(space.randomEncoding(rng)));
+
+    // Warm up both paths (plan cache, thread-local arena, page faults).
+    std::vector<dse::Evaluation> batch(points.size());
+    backend.evaluateBatch(points, nullptr,
+                          [&batch](std::size_t i, dse::Evaluation &&e) {
+                              batch[i] = std::move(e);
+                          });
+    std::vector<dse::Evaluation> scalar(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        scalar[i] = backend.evaluate(points[i]);
+
+    // Correctness gate: the smoke must not reward a wrong kernel.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (batch[i].objectives != scalar[i].objectives ||
+            batch[i].npuPowerW != scalar[i].npuPowerW ||
+            batch[i].fps != scalar[i].fps) {
+            std::fprintf(stderr,
+                         "batch_perf_smoke: batch/scalar mismatch at "
+                         "point %zu\n",
+                         i);
+            return 1;
+        }
+    }
+
+    // Best-of-N timing to shrug off CI noise.
+    constexpr int kRepeats = 5;
+    double scalarBest = 1e30;
+    double batchBest = 1e30;
+    for (int r = 0; r < kRepeats; ++r) {
+        double start = nowSeconds();
+        for (const dse::DesignPoint &point : points)
+            backend.evaluate(point);
+        scalarBest = std::min(scalarBest, nowSeconds() - start);
+
+        start = nowSeconds();
+        backend.evaluateBatch(points, nullptr,
+                              [](std::size_t, dse::Evaluation &&) {});
+        batchBest = std::min(batchBest, nowSeconds() - start);
+    }
+
+    const double speedup = scalarBest / batchBest;
+    std::printf("batch_perf_smoke: scalar %.3f ms, batch %.3f ms, "
+                "speedup %.1fx over %zu points\n",
+                scalarBest * 1e3, batchBest * 1e3, speedup,
+                points.size());
+
+    if (batchBest >= scalarBest) {
+        std::fprintf(stderr,
+                     "batch_perf_smoke: FAIL - batched evaluation is "
+                     "not faster than the scalar path\n");
+        return 1;
+    }
+    std::printf("batch_perf_smoke: OK\n");
+    return 0;
+}

@@ -25,8 +25,10 @@
  * "dse.cache.miss" and "dse.cache.inflight_wait" (always equal to
  * cacheStats()), per-point simulation time is recorded into the
  * "dse.simulate_s" histogram, each batch/simulation emits a trace
- * span ("dse.evaluateBatch" / "dse.simulate"), and each backend batch
- * bumps "dse.backend.<name>.points".
+ * span ("dse.evaluateBatch" / "dse.simulate"), each backend batch
+ * bumps "dse.backend.<name>.points", and the per-batch memo-key
+ * construction (encodings hashed once up front, reused by every
+ * shard lookup) is timed into "dse.cache.key_build_s".
  */
 
 #ifndef AUTOPILOT_DSE_EVALUATOR_H

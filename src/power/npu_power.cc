@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "power/soc_power.h"
 #include "util/logging.h"
 
 namespace autopilot::power
@@ -22,14 +23,26 @@ NpuPowerBreakdown
 NpuPowerModel::estimate(const systolic::RunResult &run,
                         double backgroundBytesPerSec) const
 {
-    util::fatalIf(run.totalCycles <= 0,
+    return estimateCounts(run.totalMacs, run.totalCycles, run.traffic,
+                          backgroundBytesPerSec);
+}
+
+NpuPowerBreakdown
+NpuPowerModel::estimateCounts(std::int64_t total_macs,
+                              std::int64_t total_cycles,
+                              const systolic::LayerTraffic &traffic,
+                              double backgroundBytesPerSec) const
+{
+    util::fatalIf(total_cycles <= 0,
                   "NpuPowerModel::estimate: empty run result");
     util::fatalIf(!(backgroundBytesPerSec >= 0.0) ||
                       !std::isfinite(backgroundBytesPerSec),
                   "NpuPowerModel::estimate: background DRAM traffic "
                   "must be finite and >= 0");
 
-    const double seconds = run.runtimeSeconds(cfg.clockGhz);
+    // Same expression as RunResult::runtimeSeconds at this clock.
+    const double seconds =
+        static_cast<double>(total_cycles) / (cfg.clockGhz * 1e9);
     const double pj_to_w = 1e-12 / seconds;
     // A huge clock against a tiny cycle count makes `seconds` denormal
     // (or, through upstream arithmetic bugs, zero/NaN) and `pj_to_w`
@@ -43,11 +56,10 @@ NpuPowerModel::estimate(const systolic::RunResult &run,
 
     NpuPowerBreakdown breakdown;
 
-    breakdown.peDynamicW = static_cast<double>(run.totalMacs) *
+    breakdown.peDynamicW = static_cast<double>(total_macs) *
                            peModel.macEnergyPj() * pj_to_w;
     breakdown.peLeakageW = peModel.arrayLeakageMw(cfg.peCount()) * 1e-3;
 
-    const systolic::LayerTraffic &traffic = run.traffic;
     double sram_pj = 0.0;
     sram_pj += static_cast<double>(traffic.ifmapSramReads) *
                ifmapSram.readEnergyPj();
@@ -85,6 +97,33 @@ NpuPowerModel::averagePowerW(const systolic::RunResult &run,
                              double backgroundBytesPerSec) const
 {
     return estimate(run, backgroundBytesPerSec).totalW();
+}
+
+void
+batchNpuSocPowerW(std::span<const systolic::AcceleratorConfig> configs,
+                  std::span<const std::int64_t> total_macs,
+                  std::span<const std::int64_t> total_cycles,
+                  std::span<const systolic::LayerTraffic> traffic,
+                  std::span<double> npu_w, std::span<double> soc_w,
+                  double backgroundBytesPerSec, const TechnologyNode &node)
+{
+    util::panicIf(total_macs.size() != configs.size() ||
+                      total_cycles.size() != configs.size() ||
+                      traffic.size() != configs.size() ||
+                      npu_w.size() != configs.size() ||
+                      soc_w.size() != configs.size(),
+                  "batchNpuSocPowerW: span size mismatch");
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        // Constructing the model per design mirrors the scalar path
+        // (evaluateWithEngine builds a fresh NpuPowerModel per point);
+        // the sub-model setup is cheap arithmetic, no heap.
+        const NpuPowerModel model(configs[i], node);
+        npu_w[i] = model
+                       .estimateCounts(total_macs[i], total_cycles[i],
+                                       traffic[i], backgroundBytesPerSec)
+                       .totalW();
+        soc_w[i] = socPower(npu_w[i]).totalW();
+    }
 }
 
 } // namespace autopilot::power

@@ -11,6 +11,9 @@ namespace autopilot::systolic
 double
 LayerResult::utilization(std::int64_t pe_count) const
 {
+    AUTOPILOT_DEBUG_ASSERT(totalCycles > 0 && pe_count > 0,
+                           "LayerResult::utilization: degenerate "
+                           "cycle count or PE count");
     if (totalCycles <= 0 || pe_count <= 0)
         return 0.0;
     return static_cast<double>(gemm.macs()) /
@@ -21,7 +24,13 @@ LayerResult::utilization(std::int64_t pe_count) const
 double
 RunResult::runtimeSeconds(double clock_ghz) const
 {
-    util::panicIf(clock_ghz <= 0.0, "runtimeSeconds: bad clock");
+    AUTOPILOT_DEBUG_ASSERT(clock_ghz > 0.0 && totalCycles > 0,
+                           "RunResult::runtimeSeconds: degenerate "
+                           "clock or cycle count");
+    // NaN clocks fail the positivity test too, so the inf/NaN seconds
+    // the old division produced collapse to the 0.0 sentinel.
+    if (totalCycles <= 0 || !(clock_ghz > 0.0))
+        return 0.0;
     return static_cast<double>(totalCycles) / (clock_ghz * 1e9);
 }
 
@@ -35,6 +44,9 @@ RunResult::framesPerSecond(double clock_ghz) const
 double
 RunResult::peUtilization(std::int64_t pe_count) const
 {
+    AUTOPILOT_DEBUG_ASSERT(totalCycles > 0 && pe_count > 0,
+                           "RunResult::peUtilization: degenerate "
+                           "cycle count or PE count");
     if (totalCycles <= 0 || pe_count <= 0)
         return 0.0;
     return static_cast<double>(totalMacs) /

@@ -56,7 +56,11 @@ struct RunResult
     std::int64_t totalMacs = 0;
     LayerTraffic traffic;
 
-    /** End-to-end inference latency in seconds at the given clock. */
+    /**
+     * End-to-end inference latency in seconds at the given clock.
+     * Degenerate inputs (totalCycles <= 0, clock_ghz <= 0 or NaN)
+     * return 0 instead of inf/NaN (debug builds assert).
+     */
     double runtimeSeconds(double clock_ghz) const;
 
     /** Inferences per second at the given clock. */

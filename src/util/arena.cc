@@ -1,0 +1,88 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace autopilot::util
+{
+
+Arena::Arena(std::size_t firstBlockBytes)
+{
+    panicIf(firstBlockBytes == 0, "Arena: zero first block size");
+    grow(firstBlockBytes);
+}
+
+Arena::Block &
+Arena::grow(std::size_t bytes)
+{
+    // Double the last block's capacity each time so a warm arena settles
+    // into a small, fixed block chain; a single oversized request gets a
+    // block of exactly its size.
+    std::size_t capacity =
+        blocks.empty() ? bytes : blocks.back().capacity * 2;
+    capacity = std::max(capacity, bytes);
+
+    Block block;
+    block.data = std::make_unique<std::byte[]>(capacity);
+    block.capacity = capacity;
+    blocks.push_back(std::move(block));
+    current = blocks.size() - 1;
+    return blocks.back();
+}
+
+void *
+Arena::allocateBytes(std::size_t bytes, std::size_t alignment)
+{
+    panicIf(bytes == 0, "Arena::allocateBytes: zero-byte allocation");
+    panicIf(alignment == 0 || (alignment & (alignment - 1)) != 0 ||
+                alignment > alignof(std::max_align_t),
+            "Arena::allocateBytes: bad alignment");
+
+    // Walk forward from the current block (blocks before it are full or
+    // were skipped by an allocation too large for their tail).
+    for (std::size_t i = current; i < blocks.size(); ++i) {
+        Block &block = blocks[i];
+        const std::size_t aligned =
+            (block.used + alignment - 1) & ~(alignment - 1);
+        if (aligned + bytes <= block.capacity) {
+            block.used = aligned + bytes;
+            current = i;
+            return block.data.get() + aligned;
+        }
+    }
+
+    Block &block = grow(bytes);
+    // Fresh blocks come from operator new[] and are at least
+    // max_align_t-aligned, so offset 0 satisfies any legal alignment.
+    block.used = bytes;
+    return block.data.get();
+}
+
+void
+Arena::reset()
+{
+    for (Block &block : blocks)
+        block.used = 0;
+    current = 0;
+}
+
+std::size_t
+Arena::capacityBytes() const
+{
+    std::size_t total = 0;
+    for (const Block &block : blocks)
+        total += block.capacity;
+    return total;
+}
+
+std::size_t
+Arena::usedBytes() const
+{
+    std::size_t total = 0;
+    for (const Block &block : blocks)
+        total += block.used;
+    return total;
+}
+
+} // namespace autopilot::util

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Bump-pointer scratch allocator for the batch evaluation hot path.
+ *
+ * The analytical batch kernel (systolic/compiled_plan.h) needs a handful
+ * of contiguous SoA scratch arrays per batch, sized by the batch at hand.
+ * Allocating them from the general-purpose heap on every batch is exactly
+ * the per-evaluation malloc traffic the raw-speed refactor removes, so
+ * the kernel draws its scratch from an Arena instead: allocation is a
+ * pointer bump, reset() recycles every block for the next batch without
+ * returning memory to the OS, and after the first few batches a reused
+ * arena reaches a steady state where no allocation escapes to malloc at
+ * all.
+ *
+ * Memory is organized as a chain of geometrically growing blocks. Growth
+ * appends a new block and never moves existing ones, so pointers handed
+ * out earlier in the same batch stay valid while later allocations
+ * trigger growth - the batch kernel relies on this to build several
+ * arrays incrementally.
+ *
+ * Deliberately *not* thread-safe: the intended pattern is one
+ * thread-local arena per pool worker (see AnalyticalBackend), which
+ * makes all accesses naturally single-threaded and keeps the bump path
+ * free of atomics.
+ */
+
+#ifndef AUTOPILOT_UTIL_ARENA_H
+#define AUTOPILOT_UTIL_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace autopilot::util
+{
+
+/** Growable bump allocator; reset() recycles all blocks. */
+class Arena
+{
+  public:
+    /** Default size of the first block (64 KiB). */
+    static constexpr std::size_t kDefaultFirstBlockBytes = 64 * 1024;
+
+    /**
+     * @param firstBlockBytes Capacity of the first block; later blocks
+     *        double until an allocation exceeds the doubled size, in
+     *        which case the block is sized to fit it.
+     */
+    explicit Arena(std::size_t firstBlockBytes = kDefaultFirstBlockBytes);
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Allocate @p count value-initialized (zeroed) elements of T.
+     * T must be trivially destructible: the arena never runs
+     * destructors. Returns an empty span for count == 0.
+     */
+    template <typename T>
+    std::span<T> allocate(std::size_t count)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "Arena::allocate: arena memory is reclaimed "
+                      "without running destructors");
+        if (count == 0)
+            return {};
+        void *raw = allocateBytes(count * sizeof(T), alignof(T));
+        T *first = static_cast<T *>(raw);
+        std::uninitialized_value_construct_n(first, count);
+        return {first, count};
+    }
+
+    /**
+     * Raw allocation: @p bytes bytes at @p alignment (a power of two no
+     * larger than alignof(std::max_align_t)).
+     */
+    void *allocateBytes(std::size_t bytes, std::size_t alignment);
+
+    /**
+     * Recycle every block for reuse. Previously returned pointers become
+     * dangling; capacity is retained, so a warm arena allocates the next
+     * batch without touching the heap.
+     */
+    void reset();
+
+    /** Sum of all block capacities in bytes. */
+    std::size_t capacityBytes() const;
+
+    /** Bytes bump-allocated since the last reset(). */
+    std::size_t usedBytes() const;
+
+    /** Number of blocks in the chain (stable across reset()). */
+    std::size_t blockCount() const { return blocks.size(); }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t capacity = 0;
+        std::size_t used = 0;
+    };
+
+    /** Append a block able to hold at least @p bytes. */
+    Block &grow(std::size_t bytes);
+
+    std::vector<Block> blocks;
+    std::size_t current = 0; ///< Index of the block being bumped.
+};
+
+} // namespace autopilot::util
+
+#endif // AUTOPILOT_UTIL_ARENA_H

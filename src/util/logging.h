@@ -87,4 +87,19 @@ fatalIf(bool condition, const std::string &msg)
 
 } // namespace autopilot::util
 
+/**
+ * Debug-build invariant check for hot-path code: panics with @p msg when
+ * @p condition is false in debug builds, compiles to nothing under
+ * NDEBUG (the RelWithDebInfo default) so release hot loops pay zero
+ * cost. Use where a degenerate input is tolerated with a safe fallback
+ * in release (e.g. returning 0 instead of dividing by zero) but should
+ * still be loud during development.
+ */
+#ifdef NDEBUG
+#define AUTOPILOT_DEBUG_ASSERT(condition, msg) ((void)0)
+#else
+#define AUTOPILOT_DEBUG_ASSERT(condition, msg)                            \
+    ::autopilot::util::panicIf(!(condition), (msg))
+#endif
+
 #endif // AUTOPILOT_UTIL_LOGGING_H

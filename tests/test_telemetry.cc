@@ -385,9 +385,14 @@ TEST_F(TelemetryTest, EvaluatorCountersMatchCacheStats)
               stats.misses);
     EXPECT_EQ(telemetry.metrics().find("dse.cache.inflight_wait").count,
               stats.inflightWaits);
-    // Every miss simulated exactly once, with a span and a timer sample.
-    EXPECT_EQ(telemetry.metrics().find("dse.simulate_s").count,
-              stats.misses);
+    // Every miss is simulated exactly once, but the analytical batch
+    // path times per policy-group chunk (up to 32 points per sample)
+    // rather than per point, so the histogram holds between one sample
+    // per batch and one per miss.
+    const std::uint64_t simulate_samples =
+        telemetry.metrics().find("dse.simulate_s").count;
+    EXPECT_GE(simulate_samples, 2u); // Both batches had misses.
+    EXPECT_LE(simulate_samples, stats.misses);
 }
 
 TEST_F(TelemetryTest, PipelineRunEmitsPhaseAndSimulateSpans)
