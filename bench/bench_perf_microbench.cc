@@ -264,6 +264,8 @@ BM_BatchEvaluate128(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             128);
 
+    if (pool)
+        pool->shutdown(); // Quiesce task epilogues before reading.
     telemetry.setEnabled(false);
     const util::MetricsRegistry &metrics = telemetry.metrics();
     const util::MetricSample hits = metrics.find("dse.cache.hit");
@@ -351,6 +353,7 @@ BM_BackendBatchEvaluate160(benchmark::State &state,
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) * 160);
 
+    pool.shutdown(); // Quiesce task epilogues before reading.
     telemetry.setEnabled(false);
     const std::string name(backend_name);
     double cycle_sims = 0.0;
@@ -403,6 +406,7 @@ BM_ParallelForGrain(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) *
         static_cast<std::int64_t>(n));
 
+    pool.shutdown(); // Quiesce late helper tasks before reading.
     telemetry.setEnabled(false);
     const util::MetricsRegistry &metrics = telemetry.metrics();
     const util::MetricSample wait_s = metrics.find("pool.queue_wait_s");

@@ -10,7 +10,31 @@
  *   campaign_runner --dir /tmp/campaign          # fresh run
  *   campaign_runner --dir /tmp/campaign --resume # continue after kill
  *
- * Flags:
+ * Service mode: `campaign_runner --serve ROOT` runs the file-drop
+ * campaign daemon (runner::CampaignService) instead. Drop one
+ * submission JSON per campaign into ROOT/inbox/ (write elsewhere, then
+ * rename into place); results appear in ROOT/results/, live status in
+ * ROOT/status/. Many campaigns run concurrently over one shared
+ * work-stealing pool with per-tenant fair-share admission. SIGINT or
+ * SIGTERM drains: running campaigns stop at the next batch boundary
+ * and resume byte-identically on the next --serve. SIGKILL is also
+ * safe - at most one in-flight batch per campaign is recomputed.
+ *
+ *   campaign_runner --serve /tmp/svc --max-active 2 --workers 4
+ *   cat > /tmp/sub.json <<'EOF'
+ *   {"tenant": "alice", "density": "low", "budget": 30}
+ *   EOF
+ *   mv /tmp/sub.json /tmp/svc/inbox/alice-low.json
+ *
+ * Flags (service mode):
+ *   --serve ROOT       Service root directory (created on demand).
+ *   --max-active N     Campaigns running at once       (default 2)
+ *   --workers N        Shared pool threads; 0 = hw     (default 0)
+ *   --poll S           Inbox scan interval, seconds    (default 0.2)
+ *   --max-campaigns N  Exit after N terminal campaigns (default: run
+ *                      until signalled)
+ *
+ * Flags (classic one-shot mode):
  *   --dir DIR          Campaign root (checkpoints/journals); required
  *                      for --resume. Default: no checkpointing.
  *   --resume [DIR]     Warm-start from DIR (or the --dir value).
@@ -33,13 +57,16 @@
  * was written with.
  */
 
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "runner/campaign.h"
+#include "runner/service.h"
 #include "uav/uav_spec.h"
+#include "util/cancel.h"
 #include "util/logging.h"
 
 namespace
@@ -56,8 +83,22 @@ usage(const std::string &error)
               << "         [--camera-mbps X] [--host-mbps X]"
                  " [--npu-floor F]\n"
               << "         [--budget N] [--episodes N] [--threads N]\n"
-              << "         [--concurrency N] [--deadline SECONDS]\n";
+              << "         [--concurrency N] [--deadline SECONDS]\n"
+              << "   or: campaign_runner --serve ROOT [--max-active N]\n"
+              << "         [--workers N] [--poll SECONDS]"
+                 " [--max-campaigns N]\n";
     std::exit(2);
+}
+
+/// Drain source flipped by SIGINT/SIGTERM. cancel() is a lock-free
+/// atomic store, so calling it from a signal handler is safe.
+autopilot::util::CancelSource *serviceStop = nullptr;
+
+void
+onDrainSignal(int)
+{
+    if (serviceStop != nullptr)
+        serviceStop->cancel();
 }
 
 } // namespace
@@ -68,6 +109,11 @@ main(int argc, char **argv)
     using namespace autopilot;
 
     std::string dir;
+    std::string serveRoot;
+    int maxActive = 2;
+    int workers = 0;
+    double pollSeconds = 0.2;
+    int maxCampaigns = 0;
     bool resume = false;
     std::string optimizer = "bo";
     std::string backend = "analytical";
@@ -90,6 +136,16 @@ main(int argc, char **argv)
         const std::string &arg = args[i];
         if (arg == "--dir") {
             dir = value(i);
+        } else if (arg == "--serve") {
+            serveRoot = value(i);
+        } else if (arg == "--max-active") {
+            maxActive = std::atoi(value(i).c_str());
+        } else if (arg == "--workers") {
+            workers = std::atoi(value(i).c_str());
+        } else if (arg == "--poll") {
+            pollSeconds = std::atof(value(i).c_str());
+        } else if (arg == "--max-campaigns") {
+            maxCampaigns = std::atoi(value(i).c_str());
         } else if (arg == "--resume") {
             resume = true;
             // Optional value: --resume DIR names the campaign root.
@@ -123,6 +179,36 @@ main(int argc, char **argv)
         usage("--resume needs a campaign directory (--resume DIR)");
     if (cameraMbps < 0.0 || hostMbps < 0.0)
         usage("contention rates must be >= 0");
+
+    if (!serveRoot.empty()) {
+        runner::ServiceConfig service;
+        service.rootDir = serveRoot;
+        service.maxActiveCampaigns = maxActive;
+        service.poolThreads = workers;
+        service.pollSeconds = pollSeconds;
+        service.maxCampaigns = maxCampaigns;
+
+        util::CancelSource stop;
+        service.stop = stop.token();
+        serviceStop = &stop;
+        std::signal(SIGINT, onDrainSignal);
+        std::signal(SIGTERM, onDrainSignal);
+
+        std::cout << "Campaign service on " << serveRoot << " (max "
+                  << maxActive << " active, pool "
+                  << (workers == 0 ? "hw" : std::to_string(workers))
+                  << " threads)\n";
+        runner::CampaignService daemon(service);
+        const runner::ServiceReport outcome = daemon.serve();
+        serviceStop = nullptr;
+
+        std::cout << "Service: " << outcome.admitted << " admitted, "
+                  << outcome.completed << " completed, "
+                  << outcome.failed << " failed, " << outcome.rejected
+                  << " rejected, " << outcome.interrupted
+                  << " interrupted\n";
+        return outcome.failed == 0 ? 0 : 1;
+    }
 
     systolic::ContentionProfile contention;
     contention.cameraBytesPerSec = cameraMbps * 1e6;

@@ -47,6 +47,12 @@ taskFingerprint(const TaskSpec &task)
     return hash;
 }
 
+AutoPilot::AutoPilot(const TaskSpec &task, util::ThreadPool *sharedPool)
+    : AutoPilot(task)
+{
+    externalPool = sharedPool;
+}
+
 AutoPilot::AutoPilot(const TaskSpec &task) : taskSpec(task)
 {
     util::fatalIf(taskSpec.validationEpisodes <= 0 ||
@@ -76,6 +82,8 @@ AutoPilot::AutoPilot(const TaskSpec &task) : taskSpec(task)
 util::ThreadPool *
 AutoPilot::workerPool()
 {
+    if (externalPool != nullptr)
+        return externalPool; // Shared across pipelines (service mode).
     if (taskSpec.threads == 1)
         return nullptr; // Serial on the calling thread.
     if (!pool) {
@@ -90,6 +98,10 @@ AutoPilot::phase1()
 {
     if (phase1Done)
         return database;
+    // Before-phase check: a task whose deadline already passed (or
+    // whose service is draining) must not launch a training phase it
+    // can never finish in time.
+    taskSpec.cancel.check("Phase 1 start");
 
     const std::string checkpointPath =
         taskSpec.checkpointDir.empty()
@@ -139,8 +151,14 @@ AutoPilot::phase2()
 
     dse::DseEvaluator evaluator(phase1(), taskSpec.density,
                                 taskSpec.backend, taskSpec.contention);
+    taskSpec.cancel.check("Phase 2 start");
     util::TraceSpan span("phase2", "autopilot");
     evaluator.setThreadPool(workerPool());
+    // Batch-boundary cancellation: the evaluator re-checks this token
+    // at every evaluateBatch() entry, so an expired deadline stops the
+    // optimizer within one batch instead of burning the whole Phase 2
+    // budget, and the journal still holds only whole batches.
+    evaluator.setCancelToken(taskSpec.cancel);
 
     // Journaling: replay any fingerprint-matched journal prefix into
     // the memo cache (the optimizer then replays its recorded
@@ -220,6 +238,7 @@ AutoPilot::candidatesFor(const uav::UavSpec &uav)
     const dse::OptimizerResult &result = phase2();
     util::fatalIf(result.archive.empty(),
                   "AutoPilot: Phase 2 produced no evaluations");
+    taskSpec.cancel.check("Phase 3 start");
 
     double best_success = 0.0;
     for (const dse::Evaluation &eval : result.archive)

@@ -35,6 +35,7 @@
 #include "systolic/contention.h"
 #include "uav/mission.h"
 #include "uav/uav_spec.h"
+#include "util/cancel.h"
 #include "util/thread_pool.h"
 
 namespace autopilot::core
@@ -101,6 +102,14 @@ struct TaskSpec
     /// uninterrupted one. Mismatched or absent files fall back to a
     /// fresh run (with a warning when a mismatched file existed).
     bool resume = false;
+    /// Cooperative cancellation handle, checked at phase starts and at
+    /// every Phase 2 batch boundary (DseEvaluator::evaluateBatch entry),
+    /// so an expired deadline or a service drain stops a pipeline
+    /// within one batch instead of after the phase - committed journal
+    /// batches stay whole and the task resumes byte-identically.
+    /// Inert by default. Like threads, EXCLUDED from taskFingerprint():
+    /// when a run is cancelled does not change what it computes.
+    util::CancelToken cancel;
     /// Enable the run-telemetry subsystem (util::Telemetry): Phase
     /// 1/2/3 trace spans, per-evaluation simulate spans, cache/pool
     /// metrics, and a summary table appended to printRunReport(). Off
@@ -114,8 +123,8 @@ struct TaskSpec
 /**
  * 64-bit fingerprint (FNV-1a) over every TaskSpec field that affects
  * results: density, budgets, tolerance, latency bound, seed, backend,
- * optimizer and the contention profile. Deliberately EXCLUDES threads
- * and telemetry (results
+ * optimizer and the contention profile. Deliberately EXCLUDES threads,
+ * cancel and telemetry (results
  * are byte-identical across thread counts, so a journal written at
  * --threads 4 legitimately resumes at --threads 1) and the
  * checkpointing fields themselves. Stamped into checkpoint/journal
@@ -162,6 +171,18 @@ class AutoPilot
   public:
     /** @param task Task specification shared by every vehicle. */
     explicit AutoPilot(const TaskSpec &task);
+
+    /**
+     * Construct on a caller-owned worker pool instead of a private
+     * one: the campaign service runs many concurrent pipelines over a
+     * single shared (work-stealing) pool, so one huge campaign's tasks
+     * interleave with everyone else's instead of monopolizing threads.
+     * @p sharedPool is non-owning and must outlive the pipeline; null
+     * falls back to the private-pool behavior of the other ctor.
+     * Results are identical either way (tasks are pure, commits are
+     * ordered), so sharing is purely a scheduling decision.
+     */
+    AutoPilot(const TaskSpec &task, util::ThreadPool *sharedPool);
 
     /** Phase 1: lazily train/validate all template policies. */
     const airlearning::PolicyDatabase &phase1();
@@ -214,6 +235,7 @@ class AutoPilot
     airlearning::PolicyDatabase database;
     dse::OptimizerResult dseResult;
     std::unique_ptr<util::ThreadPool> pool;
+    util::ThreadPool *externalPool = nullptr; ///< Non-owning override.
 };
 
 } // namespace autopilot::core

@@ -59,6 +59,11 @@ DseEvaluator::evaluate(const Encoding &encoding)
 std::vector<BatchResult>
 DseEvaluator::evaluateBatch(std::span<const Encoding> encodings)
 {
+    // Batch-boundary cancellation: checked before any reservation, so
+    // a cancelled batch leaves no half-claimed nodes and the journal
+    // (fed whole batches via the sink below) stays a clean prefix.
+    cancelToken.check("dse::evaluateBatch");
+
     util::Telemetry &telemetry = util::Telemetry::instance();
     const bool telemetry_on = telemetry.enabled();
     util::TraceSpan batch_span("dse.evaluateBatch", "dse");

@@ -51,6 +51,7 @@
 #include "dse/evaluation.h"
 #include "dse/pareto.h"
 #include "systolic/contention.h"
+#include "util/cancel.h"
 #include "util/thread_pool.h"
 
 namespace autopilot::dse
@@ -129,6 +130,19 @@ class DseEvaluator
     void setThreadPool(util::ThreadPool *pool) { workers = pool; }
 
     util::ThreadPool *threadPool() const { return workers; }
+
+    /**
+     * Install a cooperative-cancellation token checked at the start of
+     * every evaluateBatch() call (the batch boundary). When the token
+     * reports an expired deadline or an explicit cancel, the batch
+     * throws (DeadlineExceeded / CancelledError) before reserving any
+     * point, so every journaled batch stays whole and the run resumes
+     * byte-identically. The default (inert) token never fires.
+     */
+    void setCancelToken(util::CancelToken token)
+    {
+        cancelToken = std::move(token);
+    }
 
     /**
      * Evaluate (or return the memoized result for) an encoding.
@@ -253,6 +267,7 @@ class DseEvaluator
     DesignSpace designSpace;
     std::unique_ptr<EvalBackend> evalBackend;
     util::ThreadPool *workers = nullptr;
+    util::CancelToken cancelToken; ///< Inert unless installed.
 
     std::array<Shard, shardCount> shards;
     /// Nodes in first-request order; guards its own mutex because

@@ -118,6 +118,13 @@ EvalJournalWriter::EvalJournalWriter(
     out.flush();
     util::fatalIf(!out, "EvalJournalWriter: write failed on '" + path +
                             "'");
+    // Make the header (and any replayed prefix) durable before batches
+    // start landing: a power loss must never leave a journal whose
+    // very existence the directory has forgotten while a checkpoint
+    // written after it survived. Appends themselves stay flush-only -
+    // a lost tail batch is exactly what replay truncation absorbs.
+    syncFileToDisk(filePath);
+    syncParentDir(filePath);
 }
 
 void
@@ -156,9 +163,17 @@ writePolicyCheckpoint(const std::string &path,
         util::fatalIf(!out, "writePolicyCheckpoint: write failed on '" +
                                 tmpPath + "'");
     }
+    // fsync the temp file BEFORE the rename and the directory after
+    // it: without the first, the rename can land with the data still
+    // in the page cache (torn checkpoint after power loss); without
+    // the second, the rename itself can be forgotten and a STALE
+    // checkpoint resurrected - one that disagrees with the journal
+    // written after it.
+    syncFileToDisk(tmpPath);
     util::fatalIf(std::rename(tmpPath.c_str(), path.c_str()) != 0,
                   "writePolicyCheckpoint: cannot rename '" + tmpPath +
                       "' to '" + path + "'");
+    syncParentDir(path);
 }
 
 PolicyCheckpoint

@@ -94,8 +94,11 @@ struct PolicyCheckpoint
 
 /**
  * Write the Phase 1 policy database as a checkpoint (fingerprint line +
- * policy CSV). Written via a temporary file and renamed into place, so
- * a kill mid-write never leaves a half-written checkpoint behind.
+ * policy CSV). Written via a temporary file that is fsynced before
+ * being renamed into place (and the directory fsynced after), so a
+ * kill mid-write never leaves a half-written checkpoint behind and a
+ * power loss after the rename can neither tear the new file nor
+ * resurrect the stale one.
  */
 void writePolicyCheckpoint(const std::string &path,
                            std::uint64_t fingerprint,

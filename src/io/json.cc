@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "util/logging.h"
 
@@ -126,6 +127,14 @@ JsonValue::makeObject(std::map<std::string, JsonValue> members)
 namespace
 {
 
+/// Internal parse failure; callers translate to fatal() or an error
+/// string, so the type never escapes this translation unit.
+class JsonParseError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
 /** Recursive-descent parser over an in-memory document. */
 class JsonParser
 {
@@ -143,8 +152,10 @@ class JsonParser
   private:
     void failIf(bool condition, const std::string &what) const
     {
-        fatalIf(condition, "parseJson: " + what + " at offset " +
-                               std::to_string(pos));
+        if (condition) {
+            throw JsonParseError(what + " at offset " +
+                                 std::to_string(pos));
+        }
     }
 
     void skipWhitespace()
@@ -360,7 +371,24 @@ class JsonParser
 JsonValue
 parseJson(const std::string &text)
 {
-    return JsonParser(text).parseDocument();
+    try {
+        return JsonParser(text).parseDocument();
+    } catch (const JsonParseError &error) {
+        util::fatal(std::string("parseJson: ") + error.what());
+    }
+    return JsonValue(); // Unreachable; fatal() does not return.
+}
+
+bool
+tryParseJson(const std::string &text, JsonValue &out, std::string &error)
+{
+    try {
+        out = JsonParser(text).parseDocument();
+        return true;
+    } catch (const JsonParseError &parseError) {
+        error = parseError.what();
+        return false;
+    }
 }
 
 } // namespace autopilot::io

@@ -93,6 +93,17 @@ class JsonValue
  */
 JsonValue parseJson(const std::string &text);
 
+/**
+ * Non-fatal variant for untrusted input (e.g. campaign submissions
+ * dropped into the service inbox by other processes): returns true and
+ * fills @p out on success, or returns false and fills @p error with the
+ * same position-stamped diagnostic parseJson() would have died with.
+ * A malformed submission must reject one file, not take down a daemon
+ * running everyone else's campaigns.
+ */
+bool tryParseJson(const std::string &text, JsonValue &out,
+                  std::string &error);
+
 } // namespace autopilot::io
 
 #endif // AUTOPILOT_IO_JSON_H

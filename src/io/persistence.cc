@@ -1,13 +1,80 @@
 #include "io/persistence.h"
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "io/csv.h"
 #include "util/logging.h"
 
 namespace autopilot::io
 {
+
+void
+syncFileToDisk(const std::string &path)
+{
+#if defined(__unix__) || defined(__APPLE__)
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    util::fatalIf(fd < 0,
+                  "syncFileToDisk: cannot open '" + path + "'");
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    util::fatalIf(rc != 0, "syncFileToDisk: fsync failed on '" + path +
+                               "'");
+#else
+    (void)path;
+#endif
+}
+
+void
+syncParentDir(const std::string &path)
+{
+#if defined(__unix__) || defined(__APPLE__)
+    std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (parent.empty())
+        parent = ".";
+    const int fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+    util::fatalIf(fd < 0, "syncParentDir: cannot open directory '" +
+                              parent.string() + "'");
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    util::fatalIf(rc != 0, "syncParentDir: fsync failed on '" +
+                               parent.string() + "'");
+#else
+    (void)path;
+#endif
+}
+
+void
+writeFileAtomic(const std::string &path, const std::string &contents)
+{
+    const std::string tmpPath = path + ".tmp";
+    {
+        std::ofstream out(tmpPath, std::ios::trunc | std::ios::binary);
+        util::fatalIf(!out, "writeFileAtomic: cannot open '" + tmpPath +
+                                "' for writing");
+        out << contents;
+        out.flush();
+        util::fatalIf(!out, "writeFileAtomic: write failed on '" +
+                                tmpPath + "'");
+    }
+    // fsync BEFORE the rename: renaming an unsynced file can commit
+    // the name change while the data is still only in the page cache,
+    // so a power loss yields a duly-named empty/torn file.
+    syncFileToDisk(tmpPath);
+    util::fatalIf(std::rename(tmpPath.c_str(), path.c_str()) != 0,
+                  "writeFileAtomic: cannot rename '" + tmpPath +
+                      "' to '" + path + "'");
+    syncParentDir(path);
+}
 
 namespace
 {

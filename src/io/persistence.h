@@ -29,6 +29,31 @@ namespace autopilot::io
 {
 
 /**
+ * Flush a file's written data to stable storage (POSIX fsync). A
+ * stream flush only hands bytes to the page cache; durability across
+ * power loss needs this. Fatal when the file cannot be opened or
+ * synced. No-op on platforms without fsync.
+ */
+void syncFileToDisk(const std::string &path);
+
+/**
+ * fsync the directory containing @p path, making a rename into that
+ * directory durable: without it, a power loss after an atomic
+ * temp+rename can resurrect the OLD file - a stale checkpoint that
+ * disagrees with the journal written after it. No-op without fsync.
+ */
+void syncParentDir(const std::string &path);
+
+/**
+ * Durable atomic file write: write @p contents to "<path>.tmp", flush,
+ * fsync, rename over @p path, fsync the parent directory. Readers of
+ * @p path see either the old bytes or the new bytes, never a torn
+ * file - even across power loss. Fatal on any I/O failure.
+ */
+void writeFileAtomic(const std::string &path,
+                     const std::string &contents);
+
+/**
  * Outcome of a tolerant parse. When ok is false, @p line is the
  * 1-based line number of the first malformed line (the header is line
  * 1) and @p reason says what was wrong with it; all rows before that

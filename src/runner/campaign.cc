@@ -19,6 +19,7 @@ taskStatusName(TaskStatus status)
       case TaskStatus::Succeeded:       return "ok";
       case TaskStatus::Failed:          return "failed";
       case TaskStatus::DeadlineExpired: return "deadline";
+      case TaskStatus::Cancelled:       return "cancelled";
     }
     return "?";
 }
@@ -36,6 +37,15 @@ std::size_t
 CampaignReport::failedCount() const
 {
     return outcomes.size() - succeededCount();
+}
+
+std::size_t
+CampaignReport::cancelledCount() const
+{
+    std::size_t count = 0;
+    for (const TaskOutcome &outcome : outcomes)
+        count += outcome.status == TaskStatus::Cancelled ? 1 : 0;
+    return count;
 }
 
 void
@@ -82,9 +92,16 @@ CampaignRunner::runOne(const CampaignTask &task) const
             cfg.retry,
             [&](int attempt) {
                 outcome.attempts = attempt;
-                util::Deadline deadline =
+                const util::Deadline deadline =
                     util::Deadline::after(task.deadlineSeconds);
+                // Per-attempt cancel source: the attempt's deadline
+                // plus the campaign-wide stop token. AutoPilot checks
+                // it before every phase and the evaluator at every
+                // batch boundary, so expiry or a drain stops the
+                // attempt within one batch - never mid-journal-record.
+                const util::CancelSource cancel(deadline, cfg.stop);
                 core::TaskSpec spec = task.spec;
+                spec.cancel = cancel.token();
                 if (!cfg.rootDir.empty()) {
                     spec.checkpointDir = cfg.rootDir + "/" + task.name;
                     // A retry always warm-starts from the journal the
@@ -92,7 +109,7 @@ CampaignRunner::runOne(const CampaignTask &task) const
                     // never re-simulated.
                     spec.resume = cfg.resume || attempt > 1;
                 }
-                core::AutoPilot pilot(spec);
+                core::AutoPilot pilot(spec, cfg.sharedPool);
                 pilot.phase1();
                 deadline.check("task '" + task.name + "' after Phase 1");
                 pilot.phase2();
@@ -107,6 +124,9 @@ CampaignRunner::runOne(const CampaignTask &task) const
         outcome.status = TaskStatus::Succeeded;
     } catch (const util::DeadlineExceeded &error) {
         outcome.status = TaskStatus::DeadlineExpired;
+        outcome.diagnosis = error.what();
+    } catch (const util::CancelledError &error) {
+        outcome.status = TaskStatus::Cancelled;
         outcome.diagnosis = error.what();
     } catch (const std::exception &error) {
         outcome.status = TaskStatus::Failed;

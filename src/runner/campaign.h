@@ -41,6 +41,7 @@
 
 #include "core/autopilot.h"
 #include "uav/uav_spec.h"
+#include "util/cancel.h"
 #include "util/retry.h"
 
 namespace autopilot::runner
@@ -63,12 +64,16 @@ struct CampaignTask
 /** Terminal state of one campaign task. */
 enum class TaskStatus
 {
-    Succeeded,      ///< Pipeline completed; outcome.run is valid.
-    Failed,         ///< Retries exhausted on a transient/injected fault.
-    DeadlineExpired ///< The per-task deadline fired (never retried).
+    Succeeded,       ///< Pipeline completed; outcome.run is valid.
+    Failed,          ///< Retries exhausted on a transient/injected fault.
+    DeadlineExpired, ///< The per-task deadline fired (never retried).
+    /// The campaign's stop token fired (service drain). Unlike a
+    /// deadline this is not terminal for the task itself: its journal
+    /// is intact and a restarted service resumes it byte-identically.
+    Cancelled
 };
 
-/** Short status label ("ok", "failed", "deadline"). */
+/** Short status label ("ok", "failed", "deadline", "cancelled"). */
 std::string taskStatusName(TaskStatus status);
 
 /** What happened to one task. */
@@ -96,9 +101,20 @@ struct CampaignConfig
     /// parallelism is separate (TaskSpec::threads).
     int concurrency = 1;
     /// Retry policy for transient failures. The default retries
-    /// everything except util::DeadlineExceeded, 3 attempts with
-    /// exponential backoff.
+    /// everything except util::DeadlineExceeded and
+    /// util::CancelledError, 3 attempts with exponential backoff.
     util::RetryPolicy retry;
+    /// Campaign-wide stop token (e.g. the service's drain signal),
+    /// chained into every task's per-attempt cancel source: tasks
+    /// notice it before each phase and at every Phase 2 batch
+    /// boundary, end as TaskStatus::Cancelled, and resume from their
+    /// journals on the next run. Inert by default.
+    util::CancelToken stop;
+    /// Run every task's pipeline on this caller-owned pool instead of
+    /// a per-task private one (see AutoPilot's shared-pool ctor). Null
+    /// keeps the classic per-task pools. Non-owning; must outlive
+    /// run().
+    util::ThreadPool *sharedPool = nullptr;
 };
 
 /** Everything a finished campaign produced, in task order. */
@@ -107,7 +123,9 @@ struct CampaignReport
     std::vector<TaskOutcome> outcomes;
 
     std::size_t succeededCount() const;
-    std::size_t failedCount() const; ///< Failed + DeadlineExpired.
+    /// Failed + DeadlineExpired + Cancelled.
+    std::size_t failedCount() const;
+    std::size_t cancelledCount() const;
 };
 
 /**

@@ -1,0 +1,597 @@
+#include "runner/service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <thread>
+
+#include "airlearning/environment.h"
+#include "dse/eval_backend.h"
+#include "io/json.h"
+#include "io/persistence.h"
+#include "uav/uav_spec.h"
+#include "util/logging.h"
+#include "util/telemetry.h"
+
+namespace autopilot::runner
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/// Path components and tenant names end up in directory names and
+/// status CSVs; keep them boring.
+bool
+safeName(const std::string &name)
+{
+    if (name.empty() || name.size() > 64)
+        return false;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+bool
+densityFromName(const std::string &name,
+                airlearning::ObstacleDensity &out)
+{
+    for (const airlearning::ObstacleDensity density :
+         airlearning::allDensities()) {
+        if (airlearning::densityName(density) == name) {
+            out = density;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+uavFromName(const std::string &name, uav::UavSpec &out)
+{
+    if (name == "nano")
+        out = uav::zhangNano();
+    else if (name == "spark")
+        out = uav::djiSpark();
+    else if (name == "pelican")
+        out = uav::ascTecPelican();
+    else
+        return false;
+    return true;
+}
+
+/// Non-negative integer from a JSON number (rejects 1.5, -1, 1e20).
+bool
+intField(const io::JsonValue &value, int &out)
+{
+    if (!value.isNumber())
+        return false;
+    const double number = value.asNumber();
+    if (!(number >= 0.0) || number > 1e9 ||
+        number != std::floor(number))
+        return false;
+    out = static_cast<int>(number);
+    return true;
+}
+
+bool
+numberField(const io::JsonValue &value, double &out)
+{
+    if (!value.isNumber() || !std::isfinite(value.asNumber()))
+        return false;
+    out = value.asNumber();
+    return true;
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/// rename() that warns instead of throwing: a daemon shrugging off one
+/// bad file beats a daemon dying on it.
+bool
+tryRename(const std::string &from, const std::string &to)
+{
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) {
+        util::warn("CampaignService: cannot move '" + from + "' to '" +
+                   to + "': " + ec.message());
+        return false;
+    }
+    return true;
+}
+
+void
+bumpServiceCounter(const std::string &name, std::size_t amount = 1)
+{
+    util::Telemetry &telemetry = util::Telemetry::instance();
+    if (telemetry.enabled() && amount > 0) {
+        telemetry.metrics()
+            .counter("service.campaigns." + name)
+            .add(static_cast<std::uint64_t>(amount));
+    }
+}
+
+} // namespace
+
+bool
+parseSubmission(const std::string &id, const std::string &text,
+                CampaignSubmission &out, std::string &error)
+{
+    if (!safeName(id)) {
+        error = "bad campaign id '" + id +
+                "' (want [A-Za-z0-9_-]{1,64})";
+        return false;
+    }
+
+    io::JsonValue doc;
+    if (!io::tryParseJson(text, doc, error))
+        return false;
+    if (!doc.isObject()) {
+        error = "submission must be a JSON object";
+        return false;
+    }
+
+    CampaignSubmission sub;
+    sub.id = id;
+    sub.tenant = "default";
+    sub.task.name = id;
+    // Service-friendly defaults: small enough that a smoke submission
+    // completes quickly, overridable per field.
+    sub.task.spec.validationEpisodes = 40;
+    sub.task.spec.dseBudget = 30;
+    sub.task.uav = uav::zhangNano();
+
+    double cameraMbps = 0.0;
+    double hostMbps = 0.0;
+
+    for (const auto &[key, value] : doc.asObject()) {
+        bool ok = true;
+        if (key == "tenant") {
+            ok = value.isString() && safeName(value.asString());
+            if (ok)
+                sub.tenant = value.asString();
+        } else if (key == "density") {
+            ok = value.isString() &&
+                 densityFromName(value.asString(), sub.task.spec.density);
+        } else if (key == "episodes") {
+            ok = intField(value, sub.task.spec.validationEpisodes) &&
+                 sub.task.spec.validationEpisodes >= 1;
+        } else if (key == "budget") {
+            ok = intField(value, sub.task.spec.dseBudget) &&
+                 sub.task.spec.dseBudget >= 1;
+        } else if (key == "threads") {
+            ok = intField(value, sub.task.spec.threads);
+        } else if (key == "seed") {
+            int seed = 0;
+            ok = intField(value, seed);
+            if (ok)
+                sub.task.spec.seed = static_cast<std::uint64_t>(seed);
+        } else if (key == "optimizer") {
+            ok = value.isString() &&
+                 (value.asString() == "bo" || value.asString() == "nsga2" ||
+                  value.asString() == "sa" || value.asString() == "random");
+            if (ok)
+                sub.task.spec.optimizer = value.asString();
+        } else if (key == "backend") {
+            ok = value.isString() &&
+                 dse::BackendRegistry::instance().knows(value.asString());
+            if (ok)
+                sub.task.spec.backend = value.asString();
+        } else if (key == "uav") {
+            ok = value.isString() &&
+                 uavFromName(value.asString(), sub.task.uav);
+        } else if (key == "deadline_s") {
+            ok = numberField(value, sub.task.deadlineSeconds) &&
+                 sub.task.deadlineSeconds >= 0.0;
+        } else if (key == "camera_mbps") {
+            ok = numberField(value, cameraMbps) && cameraMbps >= 0.0;
+        } else if (key == "host_mbps") {
+            ok = numberField(value, hostMbps) && hostMbps >= 0.0;
+        } else if (key == "npu_floor") {
+            ok = numberField(value,
+                             sub.task.spec.contention.npuFloorFraction) &&
+                 sub.task.spec.contention.npuFloorFraction >= 0.0 &&
+                 sub.task.spec.contention.npuFloorFraction < 1.0;
+        } else {
+            error = "unknown key '" + key + "'";
+            return false;
+        }
+        if (!ok) {
+            error = "bad value for '" + key + "'";
+            return false;
+        }
+    }
+
+    sub.task.spec.contention.cameraBytesPerSec = cameraMbps * 1e6;
+    sub.task.spec.contention.hostBytesPerSec = hostMbps * 1e6;
+    out = std::move(sub);
+    return true;
+}
+
+/** A submission accepted into a tenant queue. */
+struct CampaignService::Pending
+{
+    CampaignSubmission sub;
+    int seq = 0;       ///< Status-file sequence (per process run).
+    int admitted = -1; ///< Global admission order; -1 while queued.
+};
+
+/** A running campaign: its thread plus the report it will produce. */
+struct CampaignService::Active
+{
+    std::unique_ptr<Pending> pending;
+    std::thread thread;
+    std::atomic<bool> done{false};
+    CampaignReport report;
+};
+
+CampaignService::CampaignService(const ServiceConfig &config)
+    : cfg(config)
+{
+    util::fatalIf(cfg.rootDir.empty(),
+                  "CampaignService: rootDir is required");
+    util::fatalIf(cfg.maxActiveCampaigns < 1,
+                  "CampaignService: maxActiveCampaigns must be >= 1");
+    util::fatalIf(cfg.poolThreads < 0,
+                  "CampaignService: poolThreads must be >= 0");
+    util::fatalIf(cfg.pollSeconds < 0.0,
+                  "CampaignService: pollSeconds must be >= 0");
+    util::fatalIf(cfg.maxCampaigns < 0,
+                  "CampaignService: maxCampaigns must be >= 0");
+    util::validateRetryPolicy(cfg.retry);
+    for (const char *sub :
+         {"inbox", "active", "work", "status", "results", "done"}) {
+        std::error_code ec;
+        fs::create_directories(dir(sub), ec);
+        util::fatalIf(static_cast<bool>(ec),
+                      "CampaignService: cannot create '" + dir(sub) +
+                          "': " + ec.message());
+    }
+    sharedPool = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(cfg.poolThreads));
+}
+
+CampaignService::~CampaignService()
+{
+    // serve() joins its campaigns before returning; this only covers a
+    // serve() that never ran or threw through fatal-free paths.
+    for (const std::unique_ptr<Active> &campaign : active) {
+        if (campaign->thread.joinable())
+            campaign->thread.join();
+    }
+}
+
+std::string
+CampaignService::dir(const std::string &sub) const
+{
+    return cfg.rootDir + "/" + sub;
+}
+
+void
+CampaignService::writeStatus(Pending &pending, const std::string &state,
+                             const std::string &detail)
+{
+    pending.seq++;
+    std::ostringstream os;
+    os << "seq," << pending.seq << "\n"
+       << "id," << pending.sub.id << "\n"
+       << "tenant," << pending.sub.tenant << "\n"
+       << "state," << state << "\n"
+       << "admitted,"
+       << (pending.admitted >= 0 ? std::to_string(pending.admitted)
+                                 : std::string("-"))
+       << "\n"
+       << "detail," << (detail.empty() ? "-" : detail) << "\n";
+    io::writeFileAtomic(dir("status") + "/" + pending.sub.id + ".status",
+                        os.str());
+}
+
+void
+CampaignService::enqueue(std::unique_ptr<Pending> pending)
+{
+    writeStatus(*pending, "queued", "");
+    const std::string tenant = pending->sub.tenant;
+    queues[tenant].push_back(std::move(pending));
+    queuedCount++;
+}
+
+void
+CampaignService::recoverActive(ServiceReport &report)
+{
+    std::vector<fs::path> files;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(dir("active")))
+        if (entry.path().extension() == ".json")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+
+    for (const fs::path &path : files) {
+        const std::string id = path.stem().string();
+        auto pending = std::make_unique<Pending>();
+        std::string error;
+        if (!parseSubmission(id, readWholeFile(path.string()),
+                             pending->sub, error)) {
+            // A file we once accepted no longer parses: it was
+            // corrupted behind our back. Reject rather than crash-loop.
+            util::warn("CampaignService: active submission '" + id +
+                       "' no longer valid (" + error + "); rejecting");
+            writeStatus(*pending, "rejected", error);
+            tryRename(path.string(),
+                      dir("done") + "/" + id + ".rejected");
+            report.rejected++;
+            bumpServiceCounter("rejected");
+            continue;
+        }
+        util::inform("CampaignService: recovering campaign '" + id +
+                     "' (tenant " + pending->sub.tenant + ")");
+        enqueue(std::move(pending));
+    }
+}
+
+void
+CampaignService::scanInbox(ServiceReport &report)
+{
+    std::vector<fs::path> files;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(dir("inbox")))
+        if (entry.path().extension() == ".json")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+
+    for (const fs::path &path : files) {
+        const std::string id = path.stem().string();
+        auto pending = std::make_unique<Pending>();
+        pending->sub.id = safeName(id) ? id : "invalid";
+        pending->sub.tenant = "-";
+
+        std::string error;
+        bool ok =
+            parseSubmission(id, readWholeFile(path.string()),
+                            pending->sub, error);
+        if (ok) {
+            const bool inMemory =
+                std::any_of(active.begin(), active.end(),
+                            [&](const std::unique_ptr<Active> &a) {
+                                return a->pending->sub.id == id;
+                            }) ||
+                std::any_of(queues.begin(), queues.end(),
+                            [&](const auto &q) {
+                                return std::any_of(
+                                    q.second.begin(), q.second.end(),
+                                    [&](const std::unique_ptr<Pending>
+                                            &p) {
+                                        return p->sub.id == id;
+                                    });
+                            });
+            if (inMemory) {
+                ok = false;
+                error = "duplicate id: campaign already queued/running";
+            } else if (fs::exists(dir("results") + "/" + id +
+                                  ".result")) {
+                ok = false;
+                error = "duplicate id: campaign already completed";
+            }
+        }
+
+        if (!ok) {
+            util::warn("CampaignService: rejecting submission '" + id +
+                       "': " + error);
+            writeStatus(*pending, "rejected", error);
+            tryRename(path.string(),
+                      dir("done") + "/" + id + ".rejected");
+            report.rejected++;
+            bumpServiceCounter("rejected");
+            continue;
+        }
+        // Accepted: the rename is the durable admission record. If we
+        // die right after, restart recovers it from active/.
+        if (!tryRename(path.string(),
+                       dir("active") + "/" + id + ".json"))
+            continue; // Still in inbox; retried next scan.
+        enqueue(std::move(pending));
+    }
+}
+
+void
+CampaignService::admitFairShare(ServiceReport &report)
+{
+    // Admitting past the maxCampaigns bound would start work the loop
+    // is about to abandon; leave it queued in active/ for a later run.
+    const bool boundMet =
+        cfg.maxCampaigns > 0 &&
+        report.completed + report.failed >=
+            static_cast<std::size_t>(cfg.maxCampaigns);
+    while (static_cast<int>(active.size()) < cfg.maxActiveCampaigns &&
+           queuedCount > 0 && !cfg.stop.cancelled() && !boundMet) {
+        // Next tenant strictly after the round-robin cursor (wrapping)
+        // with work queued: a burst from one tenant waits its turn.
+        auto turn = queues.end();
+        for (auto it = queues.upper_bound(rrCursor);
+             it != queues.end(); ++it) {
+            if (!it->second.empty()) {
+                turn = it;
+                break;
+            }
+        }
+        if (turn == queues.end()) {
+            for (auto it = queues.begin();
+                 it != queues.upper_bound(rrCursor) &&
+                 it != queues.end();
+                 ++it) {
+                if (!it->second.empty()) {
+                    turn = it;
+                    break;
+                }
+            }
+        }
+        if (turn == queues.end())
+            break;
+
+        rrCursor = turn->first;
+        auto campaign = std::make_unique<Active>();
+        campaign->pending = std::move(turn->second.front());
+        turn->second.pop_front();
+        queuedCount--;
+
+        Pending &pending = *campaign->pending;
+        pending.admitted = admissionCounter++;
+        writeStatus(pending, "running", "");
+        report.admitted++;
+        bumpServiceCounter("admitted");
+
+        CampaignConfig cc;
+        cc.rootDir = dir("work") + "/" + pending.sub.id;
+        // Always warm-start: a fresh campaign has no checkpoint files
+        // and starts clean, a recovered one resumes byte-identically.
+        cc.resume = true;
+        cc.concurrency = 1;
+        cc.retry = cfg.retry;
+        cc.stop = cfg.stop;
+        cc.sharedPool = sharedPool.get();
+
+        Active *handle = campaign.get();
+        campaign->thread = std::thread([handle, cc]() {
+            try {
+                CampaignRunner runner(cc);
+                const std::vector<CampaignTask> tasks = {
+                    handle->pending->sub.task};
+                handle->report = runner.run(tasks);
+            } catch (const std::exception &error) {
+                TaskOutcome outcome;
+                outcome.name = handle->pending->sub.task.name;
+                outcome.status = TaskStatus::Failed;
+                outcome.attempts = 1;
+                outcome.diagnosis =
+                    std::string("campaign thread: ") + error.what();
+                handle->report.outcomes = {outcome};
+            }
+            handle->done.store(true, std::memory_order_release);
+        });
+        active.push_back(std::move(campaign));
+    }
+
+    util::Telemetry &telemetry = util::Telemetry::instance();
+    if (telemetry.enabled()) {
+        telemetry.metrics()
+            .gauge("service.active")
+            .set(static_cast<std::int64_t>(active.size()));
+    }
+}
+
+void
+CampaignService::finalize(Active &campaign, ServiceReport &report)
+{
+    Pending &pending = *campaign.pending;
+    const std::string &id = pending.sub.id;
+
+    if (campaign.report.cancelledCount() > 0) {
+        // Drain, not failure: the submission stays in active/ and its
+        // journals in work/, so the next start resumes it.
+        writeStatus(pending, "interrupted", "service drain");
+        report.interrupted++;
+        bumpServiceCounter("interrupted");
+        return;
+    }
+
+    std::ostringstream result;
+    printCampaignReport(campaign.report, result);
+    io::writeFileAtomic(dir("results") + "/" + id + ".result",
+                        result.str());
+
+    const bool succeeded = campaign.report.failedCount() == 0;
+    if (succeeded) {
+        report.completed++;
+        bumpServiceCounter("completed");
+    } else {
+        report.failed++;
+        bumpServiceCounter("failed");
+    }
+    std::string detail;
+    for (const TaskOutcome &outcome : campaign.report.outcomes)
+        if (outcome.status != TaskStatus::Succeeded)
+            detail = outcome.diagnosis;
+    writeStatus(pending, succeeded ? "done" : "failed", detail);
+    tryRename(dir("active") + "/" + id + ".json",
+              dir("done") + "/" + id + ".json");
+}
+
+bool
+CampaignService::reapFinished(ServiceReport &report)
+{
+    bool reaped = false;
+    for (std::size_t i = 0; i < active.size();) {
+        if (!active[i]->done.load(std::memory_order_acquire)) {
+            ++i;
+            continue;
+        }
+        active[i]->thread.join();
+        finalize(*active[i], report);
+        active.erase(active.begin() +
+                     static_cast<std::ptrdiff_t>(i));
+        reaped = true;
+    }
+    return reaped;
+}
+
+ServiceReport
+CampaignService::serve()
+{
+    util::fatalIf(served, "CampaignService: serve() may run only once");
+    served = true;
+
+    ServiceReport report;
+    recoverActive(report);
+
+    while (true) {
+        bool progressed = false;
+        if (!cfg.stop.cancelled()) {
+            const std::size_t before =
+                report.rejected + queuedCount;
+            scanInbox(report);
+            progressed |= report.rejected + queuedCount != before;
+        }
+        const std::size_t admittedBefore = report.admitted;
+        admitFairShare(report);
+        progressed |= report.admitted != admittedBefore;
+        progressed |= reapFinished(report);
+
+        if (cfg.stop.cancelled() && active.empty())
+            break; // Drained; queued submissions wait in active/.
+        if (cfg.maxCampaigns > 0 && active.empty() &&
+            report.completed + report.failed >=
+                static_cast<std::size_t>(cfg.maxCampaigns))
+            break;
+        // Bounded mode is batch mode: with nothing running, nothing
+        // queued and a scan that found nothing, waiting for the bound
+        // would wait forever (e.g. a restart after every submission
+        // already completed). Idle means done.
+        if (cfg.maxCampaigns > 0 && active.empty() &&
+            queuedCount == 0 && !progressed)
+            break;
+
+        if (!progressed && cfg.pollSeconds > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(cfg.pollSeconds));
+        }
+    }
+    return report;
+}
+
+} // namespace autopilot::runner

@@ -1,0 +1,39 @@
+#include "util/cancel.h"
+
+namespace autopilot::util
+{
+
+bool
+CancelToken::cancelled() const
+{
+    for (const CancelState *node = state.get(); node != nullptr;
+         node = node->parent.get()) {
+        if (node->cancelled.load() || node->deadline.expired())
+            return true;
+    }
+    return false;
+}
+
+void
+CancelToken::check(const std::string &what) const
+{
+    for (const CancelState *node = state.get(); node != nullptr;
+         node = node->parent.get()) {
+        // Deadline expiry outranks an explicit cancel: DeadlineExceeded
+        // is terminal for the task while CancelledError only ends this
+        // process's attempt, and conflating them would make a drained
+        // campaign look permanently out of time.
+        node->deadline.check(what);
+        if (node->cancelled.load())
+            throw CancelledError(what + ": cancelled");
+    }
+}
+
+CancelSource::CancelSource(Deadline deadline, const CancelToken &parent)
+    : state(std::make_shared<CancelState>())
+{
+    state->deadline = deadline;
+    state->parent = parent.state;
+}
+
+} // namespace autopilot::util

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Cooperative cancellation for long-lived pipelines.
+ *
+ * A CancelSource owns a cancellation state (an explicit cancel flag
+ * plus an optional wall-clock Deadline, plus an optional parent token
+ * so a service-wide drain propagates into every campaign it admitted).
+ * CancelTokens are cheap copies that observe that state; pipeline
+ * stages call token.check() at phase starts and batch boundaries and a
+ * cancelled stage unwinds with an exception the campaign layer can
+ * diagnose:
+ *
+ *  - DeadlineExceeded when the token's deadline expired (terminal for
+ *    the task: the time is gone, retrying cannot bring it back);
+ *  - CancelledError when cancel() was called (terminal for this
+ *    process, but the task's journal remains resumable - the campaign
+ *    service drains with cancel() and resumes after restart).
+ *
+ * A default-constructed token is inert: cancelled() is false forever
+ * and check() is a no-op, so serial CLI paths pay nothing.
+ *
+ * Why not just util::Deadline everywhere: a deadline is per-attempt
+ * state created where the budget is known (the campaign layer), but
+ * the layers that must honor it (the evaluator's batch loop, deep
+ * under the optimizer) only see a TaskSpec. The token is the one
+ * handle that crosses those layers without widening every signature.
+ */
+
+#ifndef AUTOPILOT_UTIL_CANCEL_H
+#define AUTOPILOT_UTIL_CANCEL_H
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "util/retry.h"
+
+namespace autopilot::util
+{
+
+/** Thrown by CancelToken::check() after CancelSource::cancel(). */
+class CancelledError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Shared cancellation record: flag + deadline + optional parent link
+/// (a chain, so a service drain reaches every per-task source).
+struct CancelState
+{
+    std::atomic<bool> cancelled{false};
+    Deadline deadline;                        ///< Unlimited by default.
+    std::shared_ptr<const CancelState> parent;///< Null when unlinked.
+};
+
+class CancelSource;
+
+/** Observer end of a CancelSource; cheap to copy, inert by default. */
+class CancelToken
+{
+  public:
+    /** Inert token: never cancelled, check() is a no-op. */
+    CancelToken() = default;
+
+    /** False for inert (default-constructed) tokens. */
+    bool cancellable() const { return state != nullptr; }
+
+    /**
+     * True once the source was cancelled, its deadline expired, or any
+     * ancestor source reports either.
+     */
+    bool cancelled() const;
+
+    /**
+     * Throw DeadlineExceeded via Deadline::check() when a deadline in
+     * the chain expired, or CancelledError("<what>: cancelled") when a
+     * source in the chain was cancelled; cheap no-op otherwise. Call
+     * at phase starts and batch boundaries - the granularity at which
+     * a cancelled campaign's journal stays whole.
+     */
+    void check(const std::string &what) const;
+
+  private:
+    friend class CancelSource;
+
+    explicit CancelToken(std::shared_ptr<const CancelState> shared)
+        : state(std::move(shared))
+    {
+    }
+
+    std::shared_ptr<const CancelState> state;
+};
+
+/** Owner end: create tokens, cancel them all at once. */
+class CancelSource
+{
+  public:
+    /**
+     * @param deadline Optional wall-clock bound folded into every
+     *        token (default: unlimited).
+     * @param parent   Optional upstream token: tokens from this source
+     *        also report cancelled when @p parent does, chaining a
+     *        service-wide drain into per-task sources.
+     */
+    explicit CancelSource(Deadline deadline = {},
+                          const CancelToken &parent = {});
+
+    /** Flip every token from this source to cancelled. Idempotent. */
+    void cancel() { state->cancelled.store(true); }
+
+    /** A token observing this source. */
+    CancelToken token() const { return CancelToken(state); }
+
+  private:
+    std::shared_ptr<CancelState> state;
+};
+
+} // namespace autopilot::util
+
+#endif // AUTOPILOT_UTIL_CANCEL_H

@@ -1,9 +1,11 @@
 #include "util/retry.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <thread>
 
+#include "util/cancel.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
 
@@ -54,9 +56,21 @@ double
 retryBackoffSeconds(const RetryPolicy &policy, int attempt)
 {
     panicIf(attempt < 2, "retryBackoffSeconds: attempt must be >= 2");
+    // Clamp as soon as the ceiling is reached instead of multiplying
+    // all the way out: a long-lived daemon reaches attempt counts where
+    // the naive product overflows to infinity (and, with a zero initial
+    // backoff, to 0 * inf == NaN, which std::min happily propagates
+    // into sleep_for). The early exit also keeps the call O(log) in
+    // the growing regime rather than O(attempt).
     double backoff = policy.initialBackoffSeconds;
-    for (int a = 2; a < attempt; ++a)
-        backoff *= policy.backoffMultiplier;
+    for (int a = 2; a < attempt; ++a) {
+        if (backoff >= policy.maxBackoffSeconds)
+            break;
+        const double next = backoff * policy.backoffMultiplier;
+        if (next == backoff)
+            break; // Fixed point (multiplier 1, or backoff 0).
+        backoff = next;
+    }
     return std::min(backoff, policy.maxBackoffSeconds);
 }
 
@@ -65,7 +79,10 @@ validateRetryPolicy(const RetryPolicy &policy)
 {
     fatalIf(policy.maxAttempts < 1,
             "RetryPolicy: maxAttempts must be >= 1");
-    fatalIf(policy.initialBackoffSeconds < 0.0 ||
+    fatalIf(!std::isfinite(policy.initialBackoffSeconds) ||
+                !std::isfinite(policy.maxBackoffSeconds) ||
+                !std::isfinite(policy.backoffMultiplier) ||
+                policy.initialBackoffSeconds < 0.0 ||
                 policy.maxBackoffSeconds < 0.0 ||
                 policy.backoffMultiplier < 1.0,
             "RetryPolicy: bad backoff schedule");
@@ -89,6 +106,10 @@ shouldRetry(const RetryPolicy &policy, const std::exception &error)
 {
     // The deadline is wall-clock: retrying cannot bring the time back.
     if (dynamic_cast<const DeadlineExceeded *>(&error) != nullptr)
+        return false;
+    // A cancel means the process is draining: retrying would fight
+    // the shutdown it was asked to cooperate with.
+    if (dynamic_cast<const CancelledError *>(&error) != nullptr)
         return false;
     return !policy.retryable || policy.retryable(error);
 }

@@ -249,9 +249,21 @@ void
 MetricsRegistry::clear()
 {
     std::lock_guard<std::mutex> lock(mutex);
+    // Retire instead of free: a worker that resolved a handle before
+    // this clear may still be mid-update (e.g. a pool task epilogue
+    // racing a benchmark's telemetry reset); its writes must land in
+    // orphaned storage, not freed memory. The generation bump makes
+    // cached handles re-resolve on their next use.
+    for (auto &entry : counters)
+        retired.push_back(std::shared_ptr<void>(std::move(entry.second)));
+    for (auto &entry : gauges)
+        retired.push_back(std::shared_ptr<void>(std::move(entry.second)));
+    for (auto &entry : histograms)
+        retired.push_back(std::shared_ptr<void>(std::move(entry.second)));
     counters.clear();
     gauges.clear();
     histograms.clear();
+    gen.fetch_add(1, std::memory_order_release);
 }
 
 // --------------------------------------------------------- trace log ----

@@ -191,14 +191,40 @@ class MetricsRegistry
      */
     void writeCsv(std::ostream &os) const;
 
-    /** Drop every instrument (invalidates outstanding handles). */
+    /**
+     * Drop every instrument from the registry. Outstanding handles
+     * stay dereferenceable - cleared instruments are retired, not
+     * freed, until the registry itself is destroyed - but they are
+     * orphaned: updates through them are silently lost and they no
+     * longer appear in snapshots. (A pool worker finishing its task
+     * epilogue while a benchmark resets telemetry therefore records
+     * into a retired instrument instead of freed memory.)
+     */
     void clear();
+
+    /**
+     * Bumped by every clear(). Hot paths that cache instrument
+     * references (the thread pool caches its per-task instruments per
+     * worker) compare this against the generation they resolved under
+     * and re-resolve on mismatch, so at most one task's samples land
+     * in retired instruments after a clear().
+     */
+    std::uint64_t generation() const
+    {
+        return gen.load(std::memory_order_acquire);
+    }
 
   private:
     mutable std::mutex mutex;
+    std::atomic<std::uint64_t> gen{0};
     std::map<std::string, std::unique_ptr<Counter>> counters;
     std::map<std::string, std::unique_ptr<Gauge>> gauges;
     std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    /// Instruments dropped by clear(), kept alive so handles resolved
+    /// before the clear never dangle. Grows by one generation's
+    /// instruments per clear(); bounded in practice by how often tests
+    /// and benchmarks reset telemetry.
+    std::vector<std::shared_ptr<void>> retired;
 };
 
 /** One completed span. */

@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <span>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -988,4 +990,208 @@ TEST(CampaignDeath, RejectsDuplicateOrUnnamedTasks)
     EXPECT_EXIT(
         campaign.run(std::vector<runner::CampaignTask>{unnamed}),
         ::testing::ExitedWithCode(1), "name");
+}
+
+// --------------------------------------- backoff + cancellation model ----
+
+TEST(Retry, BackoffStaysFiniteAtExtremeAttemptCounts)
+{
+    // A long-lived daemon reaches attempt counts where the naive
+    // pow(multiplier, attempt) product overflows to inf; the schedule
+    // must clamp early instead of propagating inf (or, with a zero
+    // initial backoff, 0 * inf == NaN) into sleep_for.
+    util::RetryPolicy policy;
+    policy.maxAttempts = std::numeric_limits<int>::max();
+    policy.initialBackoffSeconds = 0.5;
+    policy.backoffMultiplier = 10.0;
+    policy.maxBackoffSeconds = 30.0;
+    const double extreme = util::retryBackoffSeconds(
+        policy, std::numeric_limits<int>::max());
+    EXPECT_TRUE(std::isfinite(extreme));
+    EXPECT_DOUBLE_EQ(extreme, 30.0);
+
+    // Zero initial backoff: the fixed point must short-circuit the
+    // loop, and the result must be exactly 0, never NaN.
+    policy.initialBackoffSeconds = 0.0;
+    policy.backoffMultiplier = 1e308;
+    const double zero = util::retryBackoffSeconds(policy, 100000);
+    EXPECT_DOUBLE_EQ(zero, 0.0);
+
+    // Multiplier 1 (constant backoff) is legal and must not spin
+    // attempt-many iterations to conclude the obvious.
+    policy.initialBackoffSeconds = 5.0;
+    policy.backoffMultiplier = 1.0;
+    policy.maxBackoffSeconds = 60.0;
+    EXPECT_DOUBLE_EQ(util::retryBackoffSeconds(
+                         policy, std::numeric_limits<int>::max()),
+                     5.0);
+}
+
+TEST(Retry, BackoffPropertyMonotoneClampedFinite)
+{
+    // Property sweep: for a grid of schedules, backoff as a function of
+    // the attempt number is non-decreasing, clamped to the ceiling and
+    // always finite.
+    for (const double initial : {0.0, 1e-3, 0.25, 7.0}) {
+        for (const double multiplier : {1.0, 1.5, 2.0, 64.0, 1e12}) {
+            for (const double ceiling : {1e-3, 1.0, 1e6}) {
+                util::RetryPolicy policy;
+                policy.initialBackoffSeconds = initial;
+                policy.backoffMultiplier = multiplier;
+                policy.maxBackoffSeconds = ceiling;
+                double previous = 0.0;
+                for (int attempt = 2; attempt <= 40; ++attempt) {
+                    const double backoff =
+                        util::retryBackoffSeconds(policy, attempt);
+                    ASSERT_TRUE(std::isfinite(backoff))
+                        << initial << "*" << multiplier << "^" << attempt;
+                    ASSERT_LE(backoff, ceiling);
+                    ASSERT_GE(backoff, 0.0);
+                    ASSERT_GE(backoff, previous)
+                        << "backoff must be monotone in the attempt";
+                    previous = backoff;
+                }
+            }
+        }
+    }
+}
+
+TEST(RetryDeath, RejectsNonFinitePolicies)
+{
+    util::RetryPolicy policy;
+    policy.initialBackoffSeconds =
+        std::numeric_limits<double>::infinity();
+    EXPECT_DEATH(util::validateRetryPolicy(policy), "backoff");
+    policy = {};
+    policy.backoffMultiplier = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_DEATH(util::validateRetryPolicy(policy), "backoff");
+}
+
+TEST(Retry, CancelledErrorIsNeverRetried)
+{
+    int calls = 0;
+    EXPECT_THROW(util::retryWithBackoff(fastRetry(5),
+                                        [&](int) -> int {
+                                            ++calls;
+                                            throw util::CancelledError(
+                                                "draining");
+                                        }),
+                 util::CancelledError);
+    EXPECT_EQ(calls, 1) << "a drain must not be fought with retries";
+}
+
+TEST(Cancel, DefaultTokenIsInert)
+{
+    const util::CancelToken token;
+    EXPECT_FALSE(token.cancellable());
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_NO_THROW(token.check("inert"));
+}
+
+TEST(Cancel, SourceCancelFlipsTokensAndChainsToChildren)
+{
+    util::CancelSource parent;
+    const util::CancelSource child({}, parent.token());
+    const util::CancelToken token = child.token();
+    EXPECT_TRUE(token.cancellable());
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_NO_THROW(token.check("before"));
+
+    parent.cancel(); // Cancel the PARENT; the child token must see it.
+    EXPECT_TRUE(token.cancelled());
+    try {
+        token.check("campaign 'x'");
+        FAIL() << "check() must throw after cancel";
+    } catch (const util::CancelledError &error) {
+        EXPECT_NE(std::string(error.what()).find("campaign 'x'"),
+                  std::string::npos);
+    }
+}
+
+TEST(Cancel, ExpiredDeadlineThrowsDeadlineExceededNotCancelled)
+{
+    const util::CancelSource source(util::Deadline::after(1e-9));
+    const util::CancelToken token = source.token();
+    // DeadlineExceeded is terminal for the task while CancelledError is
+    // resumable; conflating them would make a drained campaign look
+    // permanently out of time.
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_THROW(token.check("late"), util::DeadlineExceeded);
+}
+
+TEST(Cancel, PhaseOneChecksTokenBeforeAnyWork)
+{
+    core::TaskSpec spec = smallSpec();
+    util::CancelSource cancel;
+    cancel.cancel();
+    spec.cancel = cancel.token();
+    core::AutoPilot pilot(spec);
+    EXPECT_THROW(pilot.phase1(), util::CancelledError);
+}
+
+TEST(Cancel, EvaluatorChecksAtBatchEntry)
+{
+    dse::DseEvaluator evaluator(sharedDatabase(),
+                                al::ObstacleDensity::Dense);
+    util::CancelSource cancel;
+    evaluator.setCancelToken(cancel.token());
+    // Before cancel: a batch goes through.
+    EXPECT_NO_THROW(
+        evaluator.evaluateBatch(std::span<const dse::Encoding>{}));
+    cancel.cancel();
+    EXPECT_THROW(
+        evaluator.evaluateBatch(std::span<const dse::Encoding>{}),
+        util::CancelledError);
+}
+
+TEST(Campaign, StopTokenCancelsWithoutRetryAndStaysResumable)
+{
+    const fs::path dir = testDir("campaign_stop");
+
+    runner::CampaignTask task;
+    task.name = "drained";
+    task.spec = smallSpec();
+    task.uav = autopilot::uav::zhangNano();
+
+    // Drained run: the stop token is already cancelled, so the task
+    // must end Cancelled on its first attempt without burning retries.
+    {
+        util::CancelSource stop;
+        stop.cancel();
+        runner::CampaignConfig config;
+        config.rootDir = dir.string();
+        config.retry = fastRetry(5);
+        config.stop = stop.token();
+        runner::CampaignRunner campaign(config);
+        const runner::CampaignReport report =
+            campaign.run(std::vector<runner::CampaignTask>{task});
+        ASSERT_EQ(report.outcomes.size(), 1u);
+        EXPECT_EQ(report.outcomes[0].status,
+                  runner::TaskStatus::Cancelled);
+        EXPECT_EQ(report.outcomes[0].attempts, 1)
+            << "a drain must not be fought with retries";
+        EXPECT_EQ(report.cancelledCount(), 1u);
+        EXPECT_GT(report.failedCount(), 0u)
+            << "cancelled counts as not-succeeded in the report";
+    }
+
+    // Restart without the stop token: the same campaign directory
+    // resumes and completes; the report must equal a never-cancelled
+    // run's byte for byte.
+    runner::CampaignConfig config;
+    config.rootDir = dir.string();
+    config.resume = true;
+    config.retry = fastRetry(3);
+    runner::CampaignRunner campaign(config);
+    const runner::CampaignReport resumed =
+        campaign.run(std::vector<runner::CampaignTask>{task});
+    ASSERT_EQ(resumed.succeededCount(), 1u);
+
+    runner::CampaignConfig goldenConfig;
+    goldenConfig.rootDir = testDir("campaign_stop_golden").string();
+    goldenConfig.retry = fastRetry(3);
+    runner::CampaignRunner golden(goldenConfig);
+    const runner::CampaignReport uninterrupted =
+        golden.run(std::vector<runner::CampaignTask>{task});
+    EXPECT_EQ(reportString(resumed), reportString(uninterrupted));
 }

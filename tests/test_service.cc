@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests for the campaign service: submission parsing/rejection, the
+ * inbox -> result round trip, per-tenant fair-share admission, and
+ * drain/restart resume byte-identity. The real SIGKILL variant (kill
+ * -9 mid-serve, restart, diff against golden) runs in CI's serve-smoke
+ * job; here the drain path exercises the same journals in-process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "runner/campaign.h"
+#include "runner/service.h"
+#include "util/cancel.h"
+
+namespace fs = std::filesystem;
+namespace runner = autopilot::runner;
+namespace util = autopilot::util;
+
+namespace
+{
+
+fs::path
+testDir(const std::string &name)
+{
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("autopilot_service_" + std::to_string(::getpid()) + "_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+/** Drop a submission into the inbox the documented way: write aside,
+ * then rename into place so the scanner never sees a torn file. */
+void
+submit(const fs::path &root, const std::string &id,
+       const std::string &json)
+{
+    const fs::path tmp = root / (id + ".tmp");
+    {
+        std::ofstream out(tmp);
+        out << json;
+    }
+    fs::rename(tmp, root / "inbox" / (id + ".json"));
+}
+
+std::string
+fileBytes(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Value of one "key,value" line in a status file ("" when absent). */
+std::string
+statusField(const fs::path &root, const std::string &id,
+            const std::string &key)
+{
+    std::ifstream in(root / "status" / (id + ".status"));
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind(key + ",", 0) == 0)
+            return line.substr(key.size() + 1);
+    }
+    return "";
+}
+
+/** Fast service config over a fresh root. */
+runner::ServiceConfig
+fastConfig(const fs::path &root)
+{
+    runner::ServiceConfig config;
+    config.rootDir = root.string();
+    config.pollSeconds = 0.005;
+    config.poolThreads = 2;
+    config.retry.maxAttempts = 2;
+    config.retry.initialBackoffSeconds = 1e-4;
+    config.retry.maxBackoffSeconds = 1e-3;
+    return config;
+}
+
+/// Small-but-real submission: finishes in seconds, still runs all
+/// three phases with journaled Phase 2 batches.
+const char *kSmallSubmission =
+    R"({"tenant": "alice", "density": "low", "episodes": 10,)"
+    R"( "budget": 8, "threads": 2})";
+
+} // namespace
+
+// ------------------------------------------------- submission parsing ----
+
+TEST(Submission, ParsesFullDocumentAndAppliesDefaults)
+{
+    runner::CampaignSubmission sub;
+    std::string error;
+    ASSERT_TRUE(runner::parseSubmission(
+        "exp-1",
+        R"({"tenant": "alice", "density": "medium", "episodes": 20,)"
+        R"( "budget": 12, "seed": 7, "threads": 2, "optimizer": "sa",)"
+        R"( "backend": "analytical", "uav": "spark",)"
+        R"( "deadline_s": 30.5, "camera_mbps": 2.5, "host_mbps": 1,)"
+        R"( "npu_floor": 0.25})",
+        sub, error))
+        << error;
+    EXPECT_EQ(sub.id, "exp-1");
+    EXPECT_EQ(sub.tenant, "alice");
+    EXPECT_EQ(sub.task.name, "exp-1");
+    EXPECT_EQ(sub.task.spec.validationEpisodes, 20);
+    EXPECT_EQ(sub.task.spec.dseBudget, 12);
+    EXPECT_EQ(sub.task.spec.seed, 7u);
+    EXPECT_EQ(sub.task.spec.threads, 2);
+    EXPECT_EQ(sub.task.spec.optimizer, "sa");
+    EXPECT_DOUBLE_EQ(sub.task.deadlineSeconds, 30.5);
+    EXPECT_DOUBLE_EQ(sub.task.spec.contention.cameraBytesPerSec, 2.5e6);
+    EXPECT_DOUBLE_EQ(sub.task.spec.contention.hostBytesPerSec, 1e6);
+    EXPECT_DOUBLE_EQ(sub.task.spec.contention.npuFloorFraction, 0.25);
+
+    runner::CampaignSubmission defaults;
+    ASSERT_TRUE(runner::parseSubmission("d", "{}", defaults, error))
+        << error;
+    EXPECT_EQ(defaults.tenant, "default");
+    EXPECT_EQ(defaults.task.spec.optimizer, "bo");
+    EXPECT_EQ(defaults.task.spec.backend, "analytical");
+    EXPECT_DOUBLE_EQ(defaults.task.deadlineSeconds, 0.0);
+}
+
+TEST(Submission, RejectsBadDocumentsWithDiagnostics)
+{
+    const struct
+    {
+        const char *id;
+        const char *json;
+        const char *needle; ///< Must appear in the error message.
+    } cases[] = {
+        {"x", "{", "offset"},                 // Malformed JSON.
+        {"x", "[1,2]", "object"},             // Wrong top-level type.
+        {"x", R"({"bogus": 1})", "bogus"},    // Unknown key.
+        {"x", R"({"episodes": 0})", "episodes"},
+        {"x", R"({"episodes": 2.5})", "episodes"},
+        {"x", R"({"budget": -3})", "budget"},
+        {"x", R"({"density": "extreme"})", "density"},
+        {"x", R"({"optimizer": "sgd"})", "optimizer"},
+        {"x", R"({"backend": "quantum"})", "backend"},
+        {"x", R"({"uav": "jumbo"})", "uav"},
+        {"x", R"({"npu_floor": 1.0})", "npu_floor"},
+        {"x", R"({"deadline_s": -1})", "deadline_s"},
+        {"x", R"({"tenant": "has space"})", "tenant"},
+        {"bad/id", "{}", "id"}, // Path-hostile campaign id.
+        {"", "{}", "id"},
+    };
+    for (const auto &bad : cases) {
+        runner::CampaignSubmission sub;
+        std::string error;
+        EXPECT_FALSE(
+            runner::parseSubmission(bad.id, bad.json, sub, error))
+            << bad.json;
+        EXPECT_NE(error.find(bad.needle), std::string::npos)
+            << "error '" << error << "' should mention '" << bad.needle
+            << "'";
+    }
+}
+
+// ------------------------------------------------------- service loop ----
+
+TEST(Service, InboxToResultRoundTripWithRejects)
+{
+    const fs::path root = testDir("roundtrip");
+    runner::ServiceConfig config = fastConfig(root);
+    config.maxActiveCampaigns = 2;
+    config.maxCampaigns = 2;
+    runner::CampaignService service(config);
+
+    submit(root, "good-a", kSmallSubmission);
+    submit(root, "bad", R"({"backend": "quantum"})");
+    submit(root, "good-b",
+           R"({"tenant": "bob", "density": "medium",)"
+           R"( "episodes": 10, "budget": 8})");
+
+    const runner::ServiceReport report = service.serve();
+    EXPECT_EQ(report.admitted, 2u);
+    EXPECT_EQ(report.completed, 2u);
+    EXPECT_EQ(report.failed, 0u);
+    EXPECT_EQ(report.rejected, 1u);
+    EXPECT_EQ(report.interrupted, 0u);
+
+    // Terminal layout: results + done for the good ones, a rejected
+    // marker for the bad one, and an empty inbox/active.
+    EXPECT_TRUE(fs::exists(root / "results" / "good-a.result"));
+    EXPECT_TRUE(fs::exists(root / "results" / "good-b.result"));
+    EXPECT_TRUE(fs::exists(root / "done" / "good-a.json"));
+    EXPECT_TRUE(fs::exists(root / "done" / "bad.rejected"));
+    EXPECT_FALSE(fs::exists(root / "results" / "bad.result"));
+    EXPECT_TRUE(fs::is_empty(root / "inbox"));
+    EXPECT_TRUE(fs::is_empty(root / "active"));
+
+    EXPECT_EQ(statusField(root, "good-a", "state"), "done");
+    EXPECT_EQ(statusField(root, "good-b", "state"), "done");
+    EXPECT_EQ(statusField(root, "bad", "state"), "rejected");
+    EXPECT_NE(statusField(root, "bad", "detail").find("backend"),
+              std::string::npos);
+
+    const std::string result = fileBytes(root / "results" /
+                                         "good-a.result");
+    EXPECT_NE(result.find("1/1 tasks succeeded"), std::string::npos)
+        << result;
+}
+
+TEST(Service, FairShareAdmissionRotatesAcrossTenants)
+{
+    const fs::path root = testDir("fairshare");
+    runner::ServiceConfig config = fastConfig(root);
+    // One slot: the admission ORDER is fully observable through the
+    // per-campaign admission stamps.
+    config.maxActiveCampaigns = 1;
+    config.maxCampaigns = 3;
+    runner::CampaignService service(config);
+
+    // Alice submits a burst of two before Bob's single campaign ever
+    // arrives; round-robin must still interleave Bob between them.
+    submit(root, "alice-1", kSmallSubmission);
+    submit(root, "alice-2", kSmallSubmission);
+    submit(root, "bob-1",
+           R"({"tenant": "bob", "episodes": 10, "budget": 8})");
+
+    const runner::ServiceReport report = service.serve();
+    EXPECT_EQ(report.completed, 3u);
+
+    EXPECT_EQ(statusField(root, "alice-1", "admitted"), "0");
+    EXPECT_EQ(statusField(root, "bob-1", "admitted"), "1")
+        << "bob's single campaign must not wait out alice's burst";
+    EXPECT_EQ(statusField(root, "alice-2", "admitted"), "2");
+}
+
+TEST(Service, DuplicateIdIsRejectedAfterCompletion)
+{
+    const fs::path root = testDir("duplicate");
+    runner::ServiceConfig config = fastConfig(root);
+    config.maxCampaigns = 1;
+    {
+        runner::CampaignService service(config);
+        submit(root, "exp", kSmallSubmission);
+        EXPECT_EQ(service.serve().completed, 1u);
+    }
+    // Same id again: a completed campaign's result must never be
+    // silently recomputed/overwritten. A fresh campaign rides along so
+    // the bounded serve() has something to complete and exit on.
+    {
+        runner::CampaignService service(config);
+        submit(root, "exp", kSmallSubmission);
+        submit(root, "exp2", kSmallSubmission);
+        const runner::ServiceReport report = service.serve();
+        EXPECT_EQ(report.completed, 1u);
+        EXPECT_EQ(report.rejected, 1u);
+        EXPECT_NE(statusField(root, "exp", "detail").find("duplicate"),
+                  std::string::npos);
+        EXPECT_TRUE(fs::exists(root / "results" / "exp2.result"));
+    }
+}
+
+TEST(Service, DrainInterruptsThenRestartResumesByteIdentical)
+{
+    // Golden: the same submission served uninterrupted in a fresh root.
+    const fs::path goldenRoot = testDir("drain_golden");
+    const char *submission =
+        R"({"tenant": "alice", "density": "low", "episodes": 10,)"
+        R"( "budget": 16, "threads": 2})";
+    {
+        runner::ServiceConfig config = fastConfig(goldenRoot);
+        config.maxCampaigns = 1;
+        runner::CampaignService service(config);
+        submit(goldenRoot, "exp", submission);
+        ASSERT_EQ(service.serve().completed, 1u);
+    }
+    const std::string golden =
+        fileBytes(goldenRoot / "results" / "exp.result");
+    ASSERT_FALSE(golden.empty());
+
+    // Drained run: cancel the stop source once the campaign has
+    // journaled progress (or complete it, on a fast machine - the test
+    // accepts either race outcome and verifies the invariant that
+    // matters: the final result bytes match the golden run).
+    const fs::path root = testDir("drain");
+    util::CancelSource stop;
+    runner::ServiceConfig config = fastConfig(root);
+    config.stop = stop.token();
+    runner::ServiceReport drained;
+    runner::CampaignService service(config);
+    std::thread server(
+        [&] { drained = service.serve(); });
+
+    submit(root, "exp", submission);
+    const fs::path journal = root / "work" / "exp" / "exp" /
+                             "journal.csv";
+    for (int spins = 0; spins < 20000 && !fs::exists(journal); ++spins)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stop.cancel();
+    server.join();
+
+    if (drained.interrupted == 1u) {
+        // The campaign was caught mid-flight: it must still be in
+        // active/ (resumable), with no result file yet.
+        EXPECT_TRUE(fs::exists(root / "active" / "exp.json"));
+        EXPECT_EQ(statusField(root, "exp", "state"), "interrupted");
+        EXPECT_FALSE(fs::exists(root / "results" / "exp.result"));
+
+        // Restart (no stop token): recovery picks the campaign out of
+        // active/ and finishes it from its journal.
+        runner::ServiceConfig restartConfig = fastConfig(root);
+        restartConfig.maxCampaigns = 1;
+        runner::CampaignService restarted(restartConfig);
+        const runner::ServiceReport resumed = restarted.serve();
+        EXPECT_EQ(resumed.admitted, 1u);
+        EXPECT_EQ(resumed.completed, 1u);
+    } else {
+        // Too fast to interrupt - it completed before the drain.
+        EXPECT_EQ(drained.completed, 1u);
+    }
+
+    EXPECT_EQ(fileBytes(root / "results" / "exp.result"), golden)
+        << "resumed result must be byte-identical to an uninterrupted "
+           "run";
+    EXPECT_TRUE(fs::exists(root / "done" / "exp.json"));
+}
