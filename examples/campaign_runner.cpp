@@ -49,6 +49,14 @@
  *   --threads N        Worker threads per task      (default 1)
  *   --concurrency N    Tasks run at once            (default 1)
  *   --deadline S       Per-task deadline in seconds (default off)
+ *   --airframe NAME    quad | fixed-wing: fly every task on this
+ *                      airframe (default quad; single-scenario
+ *                      shorthand for --mission-mix)
+ *   --mission-mix FILE JSON array of weighted (airframe, mission)
+ *                      scenarios (see runner::parseMissionMix); the
+ *                      weighted missions-per-charge across the mix
+ *                      becomes the selection objective. Mutually
+ *                      exclusive with --airframe.
  *
  * The contention flags describe camera/host streams sharing the NPU's
  * DRAM channel (see systolic::ContentionProfile); they shape the
@@ -59,7 +67,9 @@
 
 #include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -84,6 +94,8 @@ usage(const std::string &error)
                  " [--npu-floor F]\n"
               << "         [--budget N] [--episodes N] [--threads N]\n"
               << "         [--concurrency N] [--deadline SECONDS]\n"
+              << "         [--airframe quad|fixed-wing]"
+                 " [--mission-mix FILE]\n"
               << "   or: campaign_runner --serve ROOT [--max-active N]\n"
               << "         [--workers N] [--poll SECONDS]"
                  " [--max-campaigns N]\n";
@@ -125,6 +137,8 @@ main(int argc, char **argv)
     double cameraMbps = 0.0;
     double hostMbps = 0.0;
     double npuFloor = 0.0;
+    std::string airframeName;
+    std::string missionMixFile;
 
     const std::vector<std::string> args(argv + 1, argv + argc);
     auto value = [&](std::size_t &i) -> const std::string & {
@@ -171,6 +185,10 @@ main(int argc, char **argv)
             hostMbps = std::atof(value(i).c_str());
         } else if (arg == "--npu-floor") {
             npuFloor = std::atof(value(i).c_str());
+        } else if (arg == "--airframe") {
+            airframeName = value(i);
+        } else if (arg == "--mission-mix") {
+            missionMixFile = value(i);
         } else {
             usage("unknown flag '" + arg + "'");
         }
@@ -179,6 +197,35 @@ main(int argc, char **argv)
         usage("--resume needs a campaign directory (--resume DIR)");
     if (cameraMbps < 0.0 || hostMbps < 0.0)
         usage("contention rates must be >= 0");
+    if (!airframeName.empty() && !missionMixFile.empty())
+        usage("--airframe and --mission-mix are mutually exclusive");
+
+    // Scenario set shared by every classic-mode task. --airframe quad
+    // keeps the mix empty (the legacy default, byte-identical results).
+    uav::MissionMix missionMix;
+    if (!airframeName.empty()) {
+        uav::AirframeKind kind = uav::AirframeKind::Quadrotor;
+        if (!uav::airframeKindFromName(airframeName, kind))
+            usage("unknown airframe '" + airframeName +
+                  "' (want quad|fixed-wing)");
+        if (kind != uav::AirframeKind::Quadrotor) {
+            uav::MissionScenario scenario =
+                uav::defaultMissionScenario();
+            scenario.airframe = kind;
+            missionMix.scenarios = {scenario};
+        }
+    }
+    if (!missionMixFile.empty()) {
+        std::ifstream in(missionMixFile, std::ios::binary);
+        if (!in)
+            usage("cannot open mission-mix file '" + missionMixFile +
+                  "'");
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        std::string error;
+        if (!runner::parseMissionMix(buffer.str(), missionMix, error))
+            usage("bad mission mix '" + missionMixFile + "': " + error);
+    }
 
     if (!serveRoot.empty()) {
         runner::ServiceConfig service;
@@ -235,6 +282,7 @@ main(int argc, char **argv)
         task.spec.backend = backend;
         task.spec.contention = contention;
         task.spec.optimizer = optimizer;
+        task.spec.missionMix = missionMix;
         task.uav = uav::zhangNano();
         task.deadlineSeconds = deadlineSeconds;
         tasks.push_back(task);
@@ -246,6 +294,8 @@ main(int argc, char **argv)
     if (contention.enabled())
         std::cout << " under " << contention.totalBytesPerSec() / 1e6
                   << " MB/s background DRAM traffic";
+    if (!missionMix.isDefault())
+        std::cout << ", mission mix '" << missionMix.tag() << "'";
     std::cout << (dir.empty() ? ""
                               : (resume ? ", resuming" : ", journaled"))
               << "\n\n";

@@ -38,6 +38,21 @@ taskFingerprint(const TaskSpec &task)
         << '|' << task.contention.cameraBytesPerSec << '|'
         << task.contention.hostBytesPerSec << '|'
         << task.contention.npuFloorFraction;
+    // The default mix contributes nothing, so every pre-mix checkpoint
+    // and journal keeps its fingerprint and stays resumable.
+    if (!task.missionMix.isDefault()) {
+        for (const uav::MissionScenario &scenario :
+             task.missionMix.scenarios) {
+            key << "|mix|" << scenario.name << '|'
+                << uav::airframeKindName(scenario.airframe) << '|'
+                << uav::missionClassName(scenario.profile.missionClass)
+                << '|' << scenario.profile.distanceM << '|'
+                << scenario.profile.searchAreaM2 << '|'
+                << scenario.profile.laneSpacingM << '|'
+                << scenario.profile.deliveryPayloadG << '|'
+                << scenario.weight;
+        }
+    }
     // FNV-1a, 64-bit.
     std::uint64_t hash = 0xcbf29ce484222325ULL;
     for (const char c : key.str()) {
@@ -73,6 +88,7 @@ AutoPilot::AutoPilot(const TaskSpec &task) : taskSpec(task)
         optimizerKnown = optimizerKnown || candidate == taskSpec.optimizer;
     util::fatalIf(!optimizerKnown, "AutoPilot: unknown optimizer '" +
                                        taskSpec.optimizer + "'");
+    taskSpec.missionMix.validate();
     if (!taskSpec.checkpointDir.empty())
         std::filesystem::create_directories(taskSpec.checkpointDir);
     if (taskSpec.telemetry)
@@ -159,6 +175,8 @@ AutoPilot::phase2()
     // optimizer within one batch instead of burning the whole Phase 2
     // budget, and the journal still holds only whole batches.
     evaluator.setCancelToken(taskSpec.cancel);
+    // Journal rows record which fleet workload drove the campaign.
+    evaluator.setScenarioTag(taskSpec.missionMix.tag());
 
     // Journaling: replay any fingerprint-matched journal prefix into
     // the memo cache (the optimizer then replays its recorded
@@ -214,6 +232,14 @@ FullSystemDesign
 AutoPilot::mapToFullSystem(const dse::Evaluation &eval,
                            const uav::UavSpec &uav)
 {
+    return mapToFullSystem(eval, uav, uav::MissionMix{});
+}
+
+FullSystemDesign
+AutoPilot::mapToFullSystem(const dse::Evaluation &eval,
+                           const uav::UavSpec &uav,
+                           const uav::MissionMix &mix)
+{
     FullSystemDesign design;
     design.eval = eval;
     design.tdpW = eval.npuPowerW;
@@ -221,14 +247,32 @@ AutoPilot::mapToFullSystem(const dse::Evaluation &eval,
     const power::MassModel mass_model;
     design.payloadGrams = mass_model.computePayloadGrams(design.tdpW);
 
-    const uav::MissionModel mission_model(uav);
-    const uav::F1Model f1(uav, design.payloadGrams);
-    design.sensorFps =
-        mission_model.selectSensorFps(f1.kneeThroughputHz());
-
-    design.mission = mission_model.evaluate(
-        design.payloadGrams, eval.socPowerW, eval.fps,
-        static_cast<double>(design.sensorFps));
+    double weighted = 0.0;
+    double total_weight = 0.0;
+    for (const uav::MissionScenario &scenario :
+         uav::effectiveScenarios(mix)) {
+        const uav::MissionModel mission_model(uav, scenario.airframe,
+                                              scenario.profile);
+        // Sensor selection is per scenario: each airframe has its own
+        // knee (the quadrotor default reproduces the F1Model pick).
+        const uav::Airframe &airframe = mission_model.airframe();
+        const double knee = airframe.kneeThroughputHz(
+            airframe.totalMassGrams(design.payloadGrams));
+        ScenarioOutcome outcome;
+        outcome.name = scenario.name;
+        outcome.airframe = scenario.airframe;
+        outcome.weight = scenario.weight;
+        outcome.sensorFps = mission_model.selectSensorFps(knee);
+        outcome.mission = mission_model.evaluate(
+            design.payloadGrams, eval.socPowerW, eval.fps,
+            static_cast<double>(outcome.sensorFps));
+        weighted += scenario.weight * outcome.mission.numMissions;
+        total_weight += scenario.weight;
+        design.scenarios.push_back(std::move(outcome));
+    }
+    design.sensorFps = design.scenarios.front().sensorFps;
+    design.mission = design.scenarios.front().mission;
+    design.weightedMissions = weighted / total_weight;
     return design;
 }
 
@@ -258,7 +302,8 @@ AutoPilot::candidatesFor(const uav::UavSpec &uav)
     util::parallel_for(workerPool(), survivors.size(),
                        [&](std::size_t s) {
                            mapped[s] = mapToFullSystem(
-                               result.archive[survivors[s]], uav);
+                               result.archive[survivors[s]], uav,
+                               taskSpec.missionMix);
                        });
 
     std::vector<FullSystemDesign> candidates;
@@ -319,8 +364,10 @@ AutoPilot::selectByStrategy(
       case DesignStrategy::AutoPilotPick:
         return pick([](const FullSystemDesign &a,
                        const FullSystemDesign &b) {
-            if (a.mission.numMissions != b.mission.numMissions)
-                return a.mission.numMissions > b.mission.numMissions;
+            // The fleet objective: weighted missions across the mix
+            // (identical to numMissions on the default mix).
+            if (a.missionScore() != b.missionScore())
+                return a.missionScore() > b.missionScore();
             // Tie-break toward lower power (lighter, cooler design).
             return a.eval.socPowerW < b.eval.socPowerW;
         });

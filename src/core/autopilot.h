@@ -34,6 +34,7 @@
 #include "dse/optimizer.h"
 #include "systolic/contention.h"
 #include "uav/mission.h"
+#include "uav/mission_profile.h"
 #include "uav/uav_spec.h"
 #include "util/cancel.h"
 #include "util/thread_pool.h"
@@ -110,6 +111,16 @@ struct TaskSpec
     /// Inert by default. Like threads, EXCLUDED from taskFingerprint():
     /// when a run is cancelled does not change what it computes.
     util::CancelToken cancel;
+    /// Fleet workload for Phase 3: a weighted set of (airframe,
+    /// mission) scenarios (uav::MissionMix). The selection objective
+    /// becomes the weighted missions-per-charge across the mix, with
+    /// per-scenario results retained in each FullSystemDesign for the
+    /// report. The default empty mix is the legacy single quadrotor
+    /// point-to-point scenario: results and the task fingerprint are
+    /// bit-identical to the pre-mix pipeline, so existing checkpoints
+    /// and journals keep resuming. Validated at construction; a
+    /// non-default mix is folded into taskFingerprint().
+    uav::MissionMix missionMix;
     /// Enable the run-telemetry subsystem (util::Telemetry): Phase
     /// 1/2/3 trace spans, per-evaluation simulate spans, cache/pool
     /// metrics, and a summary table appended to printRunReport(). Off
@@ -123,7 +134,8 @@ struct TaskSpec
 /**
  * 64-bit fingerprint (FNV-1a) over every TaskSpec field that affects
  * results: density, budgets, tolerance, latency bound, seed, backend,
- * optimizer and the contention profile. Deliberately EXCLUDES threads,
+ * optimizer, the contention profile and (when non-default) the mission
+ * mix. Deliberately EXCLUDES threads,
  * cancel and telemetry (results
  * are byte-identical across thread counts, so a journal written at
  * --threads 4 legitimately resumes at --threads 1) and the
@@ -133,14 +145,39 @@ struct TaskSpec
  */
 std::uint64_t taskFingerprint(const TaskSpec &task);
 
+/** One mission-mix scenario's evaluation of a candidate design. */
+struct ScenarioOutcome
+{
+    std::string name;          ///< Scenario tag from the mix.
+    uav::AirframeKind airframe = uav::AirframeKind::Quadrotor;
+    double weight = 1.0;       ///< Relative share in the objective.
+    int sensorFps = 30;        ///< Sensor picked for this scenario.
+    uav::MissionResult mission;///< Mission evaluation on this scenario.
+};
+
 /** A Phase 2 candidate lowered to a full UAV system (Phase 3 view). */
 struct FullSystemDesign
 {
     dse::Evaluation eval;      ///< Compute-level metrics.
     double tdpW = 0.0;         ///< NPU power driving heatsink sizing.
     double payloadGrams = 0.0; ///< PCB + heatsink mass.
-    int sensorFps = 30;        ///< Selected sensor rate.
-    uav::MissionResult mission;///< Mission-level evaluation.
+    int sensorFps = 30;        ///< Sensor rate (primary scenario).
+    uav::MissionResult mission;///< Primary-scenario mission evaluation.
+    /// Per-scenario evaluations, in mix order (one default entry for
+    /// the legacy single-scenario workload).
+    std::vector<ScenarioOutcome> scenarios;
+    /// Weight-averaged missions-per-charge across the mix; equals
+    /// mission.numMissions bit-for-bit on the default mix.
+    double weightedMissions = 0.0;
+
+    /// The Phase 3 selection objective: the weighted fleet metric when
+    /// scenarios were mapped, the primary mission metric otherwise
+    /// (hand-built designs in tests).
+    double missionScore() const
+    {
+        return scenarios.empty() ? mission.numMissions
+                                 : weightedMissions;
+    }
 };
 
 /** Traditional selection strategies of Section V-B. */
@@ -198,10 +235,21 @@ class AutoPilot
 
     /**
      * Map one Phase 2 evaluation to a full-system design on a vehicle
-     * (compute weight model + sensor selection + mission model).
+     * (compute weight model + sensor selection + mission model) for the
+     * legacy single quadrotor point-to-point scenario.
      */
     static FullSystemDesign mapToFullSystem(const dse::Evaluation &eval,
                                             const uav::UavSpec &uav);
+
+    /**
+     * Mission-mix mapping: evaluate the design on every scenario of
+     * @p mix (each with its own airframe, mission profile and sensor
+     * selection) and aggregate the weighted missions-per-charge. The
+     * primary fields (sensorFps, mission) mirror the first scenario.
+     */
+    static FullSystemDesign mapToFullSystem(const dse::Evaluation &eval,
+                                            const uav::UavSpec &uav,
+                                            const uav::MissionMix &mix);
 
     /**
      * The Phase 3 candidate set for a vehicle: Phase 2 archive entries

@@ -44,10 +44,43 @@ printDesignReport(const FullSystemDesign &design, std::ostream &os,
                       " m/s"});
     table.addRow({"missions / charge",
                   formatDouble(design.mission.numMissions, 1)});
+    if (!design.mission.feasible &&
+        !design.mission.infeasibleReason.empty())
+        table.addRow({"infeasible", design.mission.infeasibleReason});
     if (showFidelity)
         table.addRow({"eval fidelity",
                       dse::fidelityName(design.eval.fidelity)});
     table.print(os);
+}
+
+std::vector<std::size_t>
+missionParetoFront(const std::vector<FullSystemDesign> &candidates)
+{
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < candidates.size() && !dominated;
+             ++j) {
+            if (i == j)
+                continue;
+            const bool no_worse =
+                candidates[j].missionScore() >=
+                    candidates[i].missionScore() &&
+                candidates[j].eval.socPowerW <=
+                    candidates[i].eval.socPowerW;
+            const bool better =
+                candidates[j].missionScore() >
+                    candidates[i].missionScore() ||
+                candidates[j].eval.socPowerW <
+                    candidates[i].eval.socPowerW;
+            // Duplicates on both axes keep only the first occurrence.
+            dominated = (no_worse && better) ||
+                        (no_worse && !better && j < i);
+        }
+        if (!dominated)
+            front.push_back(i);
+    }
+    return front;
 }
 
 void
@@ -77,6 +110,41 @@ printRunReport(const AutoPilotRun &run, std::ostream &os)
     }
     os << "\nSelected design:\n";
     printDesignReport(run.selected, os, mixed_fidelity);
+
+    // Mission-mix section only for non-default mixes, so the default
+    // single-scenario report stays byte-identical to the seed output.
+    if (!run.task.missionMix.isDefault()) {
+        os << "\nMission mix '" << run.task.missionMix.tag()
+           << "': weighted missions / charge "
+           << formatDouble(run.selected.weightedMissions, 1) << "\n";
+        util::Table table({"scenario", "airframe", "weight", "sensor",
+                           "v_safe m/s", "missions", "detail"});
+        for (const ScenarioOutcome &outcome : run.selected.scenarios) {
+            table.addRow(
+                {outcome.name, uav::airframeKindName(outcome.airframe),
+                 formatDouble(outcome.weight, 1),
+                 std::to_string(outcome.sensorFps) + " FPS",
+                 formatDouble(outcome.mission.safeVelocityMps, 1),
+                 formatDouble(outcome.mission.numMissions, 1),
+                 outcome.mission.feasible
+                     ? "ok"
+                     : outcome.mission.infeasibleReason});
+        }
+        table.print(os);
+        const std::vector<std::size_t> front =
+            missionParetoFront(run.candidates);
+        os << "Fleet Pareto front (weighted missions vs SoC W): "
+           << front.size() << " of " << run.candidates.size()
+           << " candidates\n";
+        for (const std::size_t index : front) {
+            const FullSystemDesign &design = run.candidates[index];
+            os << "  " << nn::policyName(design.eval.point.policy)
+               << " / " << design.eval.point.accel.name() << ": "
+               << formatDouble(design.missionScore(), 1)
+               << " missions, "
+               << formatDouble(design.eval.socPowerW, 2) << " W\n";
+        }
+    }
 
     if (util::Telemetry::instance().enabled()) {
         os << "\nRun telemetry:\n";

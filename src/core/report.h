@@ -8,12 +8,23 @@
 #ifndef AUTOPILOT_CORE_REPORT_H
 #define AUTOPILOT_CORE_REPORT_H
 
+#include <cstddef>
 #include <ostream>
+#include <vector>
 
 #include "core/autopilot.h"
 
 namespace autopilot::core
 {
+
+/**
+ * Indices (in @p candidates order) of the designs on the fleet-level
+ * Pareto front: maximize the mission score (weighted missions across
+ * the mix) while minimizing SoC power. Ties on both axes keep the
+ * first occurrence, so the front is deterministic in candidate order.
+ */
+std::vector<std::size_t>
+missionParetoFront(const std::vector<FullSystemDesign> &candidates);
 
 /**
  * Print one full-system design as a two-column property table.
@@ -31,7 +42,10 @@ void printDesignReport(const FullSystemDesign &design, std::ostream &os,
  * cost-model backend the Phase 2 line gains a per-fidelity breakdown
  * of the archive and the design table an "eval fidelity" row; with the
  * default "analytical" backend the output is byte-identical to the
- * pre-backend report.
+ * pre-backend report. For a non-default mission mix the report gains a
+ * per-scenario table for the selected design and the fleet-level
+ * weighted-missions Pareto front; on the default mix the output is
+ * unchanged.
  */
 void printRunReport(const AutoPilotRun &run, std::ostream &os);
 

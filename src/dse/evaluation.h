@@ -65,6 +65,11 @@ struct Evaluation
     /// Archived so a resumed contention run replays the profile its
     /// journal was written with.
     double contentionBytesPerSec = 0.0;
+    /// Mission-mix label of the campaign that archived this record
+    /// (uav::MissionMix::tag()): "-" for the legacy single-scenario
+    /// workload, else the '+'-joined scenario names. CSV-safe by
+    /// construction (scenario names are [a-z0-9_-]).
+    std::string scenario = "-";
 };
 
 } // namespace autopilot::dse

@@ -160,6 +160,7 @@ DseEvaluator::evaluateBatch(std::span<const Encoding> encodings)
             [this, &claimed](std::size_t i, Evaluation &&evaluation) {
                 Node *node = claimed[i].node;
                 evaluation.encoding = node->evaluation.encoding;
+                evaluation.scenario = scenarioTag;
                 Shard &shard = shards[claimed[i].shard];
                 {
                     std::lock_guard<std::mutex> lock(shard.mutex);

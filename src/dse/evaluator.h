@@ -145,6 +145,14 @@ class DseEvaluator
     }
 
     /**
+     * Label every newly simulated evaluation with a mission-mix tag
+     * (uav::MissionMix::tag(); "-" by default). Purely an archival
+     * annotation - it never affects the simulated numbers - so journal
+     * rows record which fleet workload drove the campaign.
+     */
+    void setScenarioTag(const std::string &tag) { scenarioTag = tag; }
+
+    /**
      * Evaluate (or return the memoized result for) an encoding.
      * Thread-safe; equivalent to a one-element evaluateBatch().
      */
@@ -268,6 +276,7 @@ class DseEvaluator
     std::unique_ptr<EvalBackend> evalBackend;
     util::ThreadPool *workers = nullptr;
     util::CancelToken cancelToken; ///< Inert unless installed.
+    std::string scenarioTag = "-"; ///< Mission-mix archive label.
 
     std::array<Shard, shardCount> shards;
     /// Nodes in first-request order; guards its own mutex because

@@ -88,6 +88,15 @@ const std::vector<std::string> archiveHeader = {
     "layers_idx",  "filters_idx", "pe_rows_idx",   "pe_cols_idx",
     "ifmap_idx",   "filter_idx",  "ofmap_idx",     "success_rate",
     "npu_power_w", "soc_power_w", "latency_ms",    "fps",
+    "backend",     "fidelity",    "contention_bps", "scenario"};
+
+/// Pre-airframe archive layout: contention but no mission-mix scenario
+/// column; such rows load with the default "-" (legacy single-scenario
+/// workload) tag.
+const std::vector<std::string> legacyContentionArchiveHeader = {
+    "layers_idx",  "filters_idx", "pe_rows_idx",   "pe_cols_idx",
+    "ifmap_idx",   "filter_idx",  "ofmap_idx",     "success_rate",
+    "npu_power_w", "soc_power_w", "latency_ms",    "fps",
     "backend",     "fidelity",    "contention_bps"};
 
 /// Pre-contention-backend archive layout: backend/fidelity but no
@@ -204,6 +213,11 @@ tryDecodeArchiveRow(const std::vector<std::string> &row,
             !std::isfinite(eval.contentionBytesPerSec))
             return "contention bytes/s must be finite and >= 0";
     }
+    if (row.size() > legacyContentionArchiveHeader.size()) {
+        if (row[15].empty())
+            return "empty scenario tag";
+        eval.scenario = row[15];
+    }
     eval.point = space.decode(eval.encoding);
     eval.objectives = {1.0 - eval.successRate, eval.socPowerW,
                        eval.latencyMs};
@@ -305,6 +319,15 @@ dseArchiveHeader()
     return archiveHeader;
 }
 
+const std::vector<std::vector<std::string>> &
+dseArchiveAcceptedHeaders()
+{
+    static const std::vector<std::vector<std::string>> accepted = {
+        archiveHeader, legacyContentionArchiveHeader,
+        legacyBackendArchiveHeader, legacyArchiveHeader};
+    return accepted;
+}
+
 void
 writeDseArchiveRow(const dse::Evaluation &eval, std::ostream &os)
 {
@@ -316,7 +339,8 @@ writeDseArchiveRow(const dse::Evaluation &eval, std::ostream &os)
        << formatDouble(eval.latencyMs) << ','
        << formatDouble(eval.fps) << ',' << eval.backend << ','
        << dse::fidelityName(eval.fidelity) << ','
-       << formatDouble(eval.contentionBytesPerSec) << '\n';
+       << formatDouble(eval.contentionBytesPerSec) << ','
+       << eval.scenario << '\n';
 }
 
 void
@@ -347,6 +371,8 @@ tryReadDseArchive(std::istream &is, ParseDiag &diag)
         width = legacyArchiveHeader.size();
     else if (header == legacyBackendArchiveHeader)
         width = legacyBackendArchiveHeader.size();
+    else if (header == legacyContentionArchiveHeader)
+        width = legacyContentionArchiveHeader.size();
     else if (header != archiveHeader) {
         failAt(diag, reader, "unexpected header '" + line + "'");
         return archive;

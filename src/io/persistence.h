@@ -81,8 +81,19 @@ airlearning::PolicyDatabase readPolicyDatabase(std::istream &is);
 airlearning::PolicyDatabase tryReadPolicyDatabase(std::istream &is,
                                                   ParseDiag &diag);
 
-/** The current DSE archive CSV column set (backend/fidelity included). */
+/** The current DSE archive CSV column set (backend/fidelity/contention
+ * and the mission-mix scenario tag included). */
 const std::vector<std::string> &dseArchiveHeader();
+
+/**
+ * Every archive header this reader family accepts, current layout
+ * first, then the legacy layouts back to the pre-backend 12-column
+ * one. Suitable as the accepted_headers argument of io::readCsvAny, so
+ * external tooling reads pre-airframe archives/journals exactly as
+ * tryReadDseArchive does (missing columns take their defaults:
+ * analytical fidelity, zero contention, scenario "-").
+ */
+const std::vector<std::vector<std::string>> &dseArchiveAcceptedHeaders();
 
 /** Write a Phase 2 evaluation archive as CSV. */
 void writeDseArchive(const std::vector<dse::Evaluation> &archive,

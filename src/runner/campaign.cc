@@ -62,7 +62,7 @@ printCampaignReport(const CampaignReport &report, std::ostream &os)
                  util::formatDouble(design.eval.successRate, 3),
                  util::formatDouble(design.eval.socPowerW, 3),
                  util::formatDouble(design.eval.latencyMs, 3),
-                 std::to_string(design.mission.numMissions), "-"});
+                 std::to_string(design.missionScore()), "-"});
         } else {
             table.addRow({outcome.name, taskStatusName(outcome.status),
                           std::to_string(outcome.attempts), "-", "-",
@@ -72,6 +72,40 @@ printCampaignReport(const CampaignReport &report, std::ostream &os)
     os << "Campaign: " << report.succeededCount() << "/"
        << report.outcomes.size() << " tasks succeeded\n";
     table.print(os);
+
+    // Per-scenario breakdown for tasks that ran a non-default mission
+    // mix: the weighted objective alone hides which fleet member the
+    // selected SoC serves well or poorly. Default-mix campaigns print
+    // nothing extra, keeping legacy reports byte-identical.
+    for (const TaskOutcome &outcome : report.outcomes) {
+        if (outcome.status != TaskStatus::Succeeded ||
+            outcome.run.task.missionMix.isDefault())
+            continue;
+        os << "Task " << outcome.name << " mission mix '"
+           << outcome.run.task.missionMix.tag() << "' (weighted "
+           << util::formatDouble(outcome.run.selected.weightedMissions,
+                                 3)
+           << " missions/charge):\n";
+        for (const core::ScenarioOutcome &scenario :
+             outcome.run.selected.scenarios) {
+            os << "  " << scenario.name << " ("
+               << uav::airframeKindName(scenario.airframe)
+               << ", weight "
+               << util::formatDouble(scenario.weight, 1) << "): ";
+            if (scenario.mission.feasible) {
+                os << util::formatDouble(scenario.mission.numMissions,
+                                         3)
+                   << " missions at "
+                   << util::formatDouble(
+                          scenario.mission.safeVelocityMps, 1)
+                   << " m/s";
+            } else {
+                os << "infeasible ("
+                   << scenario.mission.infeasibleReason << ")";
+            }
+            os << "\n";
+        }
+    }
 }
 
 CampaignRunner::CampaignRunner(const CampaignConfig &config)

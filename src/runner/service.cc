@@ -117,6 +117,80 @@ tryRename(const std::string &from, const std::string &to)
     return true;
 }
 
+/// One mission-mix scenario object; defaults come from the legacy
+/// scenario so a bare {} is the quadrotor point-to-point run.
+bool
+scenarioFromJson(const io::JsonValue &value, std::size_t index,
+                 uav::MissionScenario &out, std::string &error)
+{
+    if (!value.isObject()) {
+        error = "mission-mix scenario " + std::to_string(index) +
+                " must be a JSON object";
+        return false;
+    }
+    uav::MissionScenario scenario = uav::defaultMissionScenario();
+    for (const auto &[key, field] : value.asObject()) {
+        bool ok = true;
+        if (key == "name") {
+            ok = field.isString();
+            if (ok)
+                scenario.name = field.asString();
+        } else if (key == "airframe") {
+            ok = field.isString() &&
+                 uav::airframeKindFromName(field.asString(),
+                                           scenario.airframe);
+        } else if (key == "mission") {
+            ok = field.isString() &&
+                 uav::missionClassFromName(
+                     field.asString(), scenario.profile.missionClass);
+        } else if (key == "weight") {
+            ok = numberField(field, scenario.weight);
+        } else if (key == "distance_m") {
+            ok = numberField(field, scenario.profile.distanceM);
+        } else if (key == "area_m2") {
+            ok = numberField(field, scenario.profile.searchAreaM2);
+        } else if (key == "spacing_m") {
+            ok = numberField(field, scenario.profile.laneSpacingM);
+        } else if (key == "payload_g") {
+            ok = numberField(field,
+                             scenario.profile.deliveryPayloadG);
+        } else {
+            error = "unknown mission-mix key '" + key + "'";
+            return false;
+        }
+        if (!ok) {
+            error = "bad mission-mix value for '" + key + "'";
+            return false;
+        }
+    }
+    out = scenario;
+    return true;
+}
+
+/// The shared mission-mix grammar: a JSON array of scenario objects,
+/// validated as a whole (unique names, per-class parameters, weights).
+bool
+missionMixFromJson(const io::JsonValue &value, uav::MissionMix &out,
+                   std::string &error)
+{
+    if (!value.isArray()) {
+        error = "mission mix must be a JSON array of scenario objects";
+        return false;
+    }
+    uav::MissionMix mix;
+    const std::vector<io::JsonValue> &items = value.asArray();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        uav::MissionScenario scenario;
+        if (!scenarioFromJson(items[i], i, scenario, error))
+            return false;
+        mix.scenarios.push_back(scenario);
+    }
+    if (!mix.check(error))
+        return false;
+    out = std::move(mix);
+    return true;
+}
+
 void
 bumpServiceCounter(const std::string &name, std::size_t amount = 1)
 {
@@ -160,6 +234,9 @@ parseSubmission(const std::string &id, const std::string &text,
 
     double cameraMbps = 0.0;
     double hostMbps = 0.0;
+    uav::AirframeKind airframeKind = uav::AirframeKind::Quadrotor;
+    bool hasAirframe = false;
+    bool hasMix = false;
 
     for (const auto &[key, value] : doc.asObject()) {
         bool ok = true;
@@ -209,6 +286,16 @@ parseSubmission(const std::string &id, const std::string &text,
                              sub.task.spec.contention.npuFloorFraction) &&
                  sub.task.spec.contention.npuFloorFraction >= 0.0 &&
                  sub.task.spec.contention.npuFloorFraction < 1.0;
+        } else if (key == "airframe") {
+            ok = value.isString() &&
+                 uav::airframeKindFromName(value.asString(),
+                                           airframeKind);
+            hasAirframe = ok;
+        } else if (key == "mission_mix") {
+            hasMix = true;
+            if (!missionMixFromJson(value, sub.task.spec.missionMix,
+                                    error))
+                return false;
         } else {
             error = "unknown key '" + key + "'";
             return false;
@@ -219,10 +306,32 @@ parseSubmission(const std::string &id, const std::string &text,
         }
     }
 
+    if (hasAirframe && hasMix) {
+        error = "'airframe' and 'mission_mix' are mutually exclusive";
+        return false;
+    }
+    // "airframe" is single-scenario shorthand; quad is the default and
+    // keeps the implicit mix empty (fingerprint-identical to legacy).
+    if (hasAirframe && airframeKind != uav::AirframeKind::Quadrotor) {
+        uav::MissionScenario scenario = uav::defaultMissionScenario();
+        scenario.airframe = airframeKind;
+        sub.task.spec.missionMix.scenarios = {scenario};
+    }
+
     sub.task.spec.contention.cameraBytesPerSec = cameraMbps * 1e6;
     sub.task.spec.contention.hostBytesPerSec = hostMbps * 1e6;
     out = std::move(sub);
     return true;
+}
+
+bool
+parseMissionMix(const std::string &text, uav::MissionMix &out,
+                std::string &error)
+{
+    io::JsonValue doc;
+    if (!io::tryParseJson(text, doc, error))
+        return false;
+    return missionMixFromJson(doc, out, error);
 }
 
 /** A submission accepted into a tenant queue. */

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "runner/campaign.h"
+#include "uav/mission_profile.h"
 #include "util/cancel.h"
 #include "util/retry.h"
 #include "util/thread_pool.h"
@@ -80,10 +81,28 @@ struct CampaignSubmission
  *   tenant (string, default "default"), density (low|medium|high),
  *   episodes, budget, seed, threads (numbers), optimizer, backend
  *   (registry names), uav (nano|spark|pelican), deadline_s,
- *   camera_mbps, host_mbps, npu_floor (numbers).
+ *   camera_mbps, host_mbps, npu_floor (numbers), airframe
+ *   (quad|fixed-wing: single-scenario shorthand), mission_mix (array
+ *   of scenario objects, see parseMissionMix; mutually exclusive with
+ *   airframe). A submission naming neither flies the legacy quadrotor
+ *   point-to-point mission, byte-identical to pre-airframe results.
  */
 bool parseSubmission(const std::string &id, const std::string &text,
                      CampaignSubmission &out, std::string &error);
+
+/**
+ * Parse a mission-mix JSON document: an array of scenario objects with
+ * keys name (string, [a-z0-9_-]{1,32}, unique), airframe
+ * (quad|fixed-wing), mission (nav|search|delivery), weight and the
+ * per-class numbers distance_m, area_m2 and spacing_m (search),
+ * payload_g (delivery). Unknown keys are rejected and the assembled
+ * mix is validated with uav::MissionMix::check. The same grammar is
+ * accepted inline under a submission's "mission_mix" key and as the
+ * standalone file behind campaign_runner's --mission-mix flag. Returns
+ * false with a diagnostic in @p error; never calls fatal().
+ */
+bool parseMissionMix(const std::string &text, uav::MissionMix &out,
+                     std::string &error);
 
 /** Service-level knobs. */
 struct ServiceConfig

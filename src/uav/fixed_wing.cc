@@ -1,0 +1,210 @@
+#include "uav/fixed_wing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "uav/propulsion.h"
+#include "util/logging.h"
+
+namespace autopilot::uav
+{
+
+void
+FixedWingParams::validate() const
+{
+    util::fatalIf(!(wingAreaM2 > 0.0),
+                  "FixedWingParams: wing area must be > 0");
+    util::fatalIf(!(clMax > 0.0), "FixedWingParams: CLmax must be > 0");
+    util::fatalIf(!(liftToDrag > 1.0),
+                  "FixedWingParams: lift-to-drag must be > 1");
+    util::fatalIf(!(maxLoadFactor > 1.0),
+                  "FixedWingParams: max load factor must be > 1");
+    util::fatalIf(
+        !(cruiseEfficiencyEta > 0.0) || cruiseEfficiencyEta > 1.0,
+        "FixedWingParams: cruise efficiency must be in (0, 1]");
+    util::fatalIf(!(cruiseThrustFraction > 0.0),
+                  "FixedWingParams: cruise thrust fraction must be > 0");
+    util::fatalIf(!(launchPowerFactor >= 1.0),
+                  "FixedWingParams: launch power factor must be >= 1");
+}
+
+FixedWingParams
+defaultFixedWingParams(const UavSpec &spec)
+{
+    FixedWingParams params;
+    // Wing sized off the rotor disk: 4x the disk area puts the stall
+    // floor of a same-mass conversion at roughly 40% of the rotorcraft
+    // ceiling, so both the floor and the ceiling are exercised inside
+    // the vehicle's F-1 throughput range.
+    params.wingAreaM2 = 4.0 * spec.rotorDiskAreaM2;
+    return params;
+}
+
+FixedWingAirframe::FixedWingAirframe(const UavSpec &spec)
+    : FixedWingAirframe(spec, defaultFixedWingParams(spec))
+{
+}
+
+FixedWingAirframe::FixedWingAirframe(const UavSpec &spec,
+                                     const FixedWingParams &params)
+    : Airframe(spec), wing(params)
+{
+    wing.validate();
+}
+
+double
+FixedWingAirframe::weightNewtons(double total_mass_g) const
+{
+    return total_mass_g / 1000.0 * gravity;
+}
+
+double
+FixedWingAirframe::cruiseThrustN() const
+{
+    return uavSpec.maxThrustNewtons * wing.cruiseThrustFraction;
+}
+
+double
+FixedWingAirframe::stallSpeedMps(double total_mass_g) const
+{
+    const double weight = weightNewtons(total_mass_g);
+    return std::sqrt(2.0 * weight /
+                     (airDensity * wing.wingAreaM2 * wing.clMax));
+}
+
+double
+FixedWingAirframe::sustainedLoadFactor(double total_mass_g) const
+{
+    // A level turn at load factor n multiplies drag by n; sustaining it
+    // needs thrust T >= n W / (L/D), so n_thrust = T (L/D) / W. The
+    // structural limit caps it; heavier vehicles turn flatter.
+    const double weight = weightNewtons(total_mass_g);
+    const double n_thrust = cruiseThrustN() * wing.liftToDrag / weight;
+    return std::min(n_thrust, wing.maxLoadFactor);
+}
+
+bool
+FixedWingAirframe::canFly(double total_mass_g) const
+{
+    // Level flight needs thrust for drag at 1 g (n >= 1) and a stall
+    // floor that fits under the avoidance ceiling.
+    if (sustainedLoadFactor(total_mass_g) <= 1.0)
+        return false;
+    return stallSpeedMps(total_mass_g) <=
+           velocityCeilingMps(total_mass_g);
+}
+
+double
+FixedWingAirframe::velocityCeilingMps(double total_mass_g) const
+{
+    // Obstacle avoidance is a banked turn: lateral acceleration
+    // g sqrt(n^2 - 1) must displace the vehicle within its sensing
+    // range, the winged analogue of the rotorcraft braking bound.
+    const double n = sustainedLoadFactor(total_mass_g);
+    if (n <= 1.0)
+        return 0.0;
+    const double lateral = gravity * std::sqrt(n * n - 1.0);
+    const double avoidance =
+        std::sqrt(2.0 * lateral * uavSpec.senseDistanceM);
+    return std::min(avoidance, uavSpec.structuralMaxMps);
+}
+
+double
+FixedWingAirframe::minAirspeedMps(double total_mass_g) const
+{
+    return stallSpeedMps(total_mass_g);
+}
+
+double
+FixedWingAirframe::safeVelocityMps(double throughput_hz,
+                                   double total_mass_g) const
+{
+    util::fatalIf(throughput_hz < 0.0,
+                  "FixedWingAirframe::safeVelocityMps: negative throughput");
+    const double slope_bound =
+        uavSpec.clearancePerDecisionM * throughput_hz;
+    const double bound =
+        std::min(slope_bound, velocityCeilingMps(total_mass_g));
+    // Below stall the wing cannot hold altitude at all: the envelope is
+    // empty rather than slow.
+    if (bound < stallSpeedMps(total_mass_g))
+        return 0.0;
+    return bound;
+}
+
+double
+FixedWingAirframe::kneeThroughputHz(double total_mass_g) const
+{
+    return velocityCeilingMps(total_mass_g) /
+           uavSpec.clearancePerDecisionM;
+}
+
+double
+FixedWingAirframe::propulsionPowerW(double total_mass_g,
+                                    double velocity_mps) const
+{
+    util::fatalIf(velocity_mps < 0.0,
+                  "FixedWingAirframe::propulsionPowerW: negative velocity");
+    // Cruise power from the drag polar summarized as L/D: the wing
+    // trades speed-independent J/m for the stall floor.
+    const double weight = weightNewtons(total_mass_g);
+    return weight * velocity_mps /
+           (wing.liftToDrag * wing.cruiseEfficiencyEta);
+}
+
+double
+FixedWingAirframe::overheadPowerW(double total_mass_g) const
+{
+    // Launch and recovery fly a climb at just above stall with a power
+    // margin over cruise; replaces the rotorcraft hover overhead.
+    return wing.launchPowerFactor *
+           propulsionPowerW(total_mass_g, stallSpeedMps(total_mass_g));
+}
+
+double
+FixedWingAirframe::turnRadiusM(double total_mass_g,
+                               double velocity_mps) const
+{
+    const double n = sustainedLoadFactor(total_mass_g);
+    if (n <= 1.0)
+        return 0.0;
+    const double lateral = gravity * std::sqrt(n * n - 1.0);
+    return velocity_mps * velocity_mps / lateral;
+}
+
+std::string
+FixedWingAirframe::infeasibleReason(double total_mass_g,
+                                    double throughput_hz) const
+{
+    char buffer[200];
+    if (sustainedLoadFactor(total_mass_g) <= 1.0) {
+        const double weight = weightNewtons(total_mass_g);
+        std::snprintf(buffer, sizeof(buffer),
+                      "level flight at %.1f g needs %.2f N thrust but "
+                      "only %.2f N is available",
+                      total_mass_g, weight / wing.liftToDrag,
+                      cruiseThrustN());
+        return buffer;
+    }
+    const double stall = stallSpeedMps(total_mass_g);
+    const double ceiling = velocityCeilingMps(total_mass_g);
+    if (stall > ceiling) {
+        std::snprintf(buffer, sizeof(buffer),
+                      "stall speed %.1f m/s exceeds the %.1f m/s "
+                      "avoidance ceiling at %.1f g",
+                      stall, ceiling, total_mass_g);
+        return buffer;
+    }
+    if (safeVelocityMps(throughput_hz, total_mass_g) <
+        kMinSafeVelocityMps) {
+        std::snprintf(buffer, sizeof(buffer),
+                      "action throughput %.2f Hz bounds velocity below "
+                      "the %.1f m/s stall floor",
+                      throughput_hz, stall);
+        return buffer;
+    }
+    return "";
+}
+
+} // namespace autopilot::uav

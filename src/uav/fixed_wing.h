@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fixed-wing airframe: the F-1 abstraction over winged flight.
+ *
+ * Three things distinguish a fixed wing from the rotorcraft model:
+ *
+ *  - A stall-speed floor: v_stall = sqrt(2 W / (rho S CLmax)). The wing
+ *    cannot generate enough lift below it, so a throughput-bound safe
+ *    velocity under the floor is infeasible, not merely slow.
+ *  - Turn-radius-limited paths: obstacle avoidance is a banked turn, not
+ *    a brake. Lateral acceleration g * sqrt(n^2 - 1) at the sustainable
+ *    load factor n bounds the avoidance ceiling, and every course
+ *    reversal in a mission costs a half-circumference pi * r of extra
+ *    path at radius r = v^2 / (g * sqrt(n^2 - 1)).
+ *  - Lift-to-drag cruise power: P = W v / ((L/D) eta). Energy per meter
+ *    W / ((L/D) eta) is independent of speed and roughly an order of
+ *    magnitude below rotorcraft induced power, the classic fixed-wing
+ *    range advantage.
+ *
+ * The sustainable load factor is thrust-limited: a level turn at n
+ * multiplies drag by n, so n_thrust = T (L/D) / W, capped by the
+ * structural limit. Heavier compute payloads lower n and with it the
+ * avoidance ceiling: the same mass -> ceiling coupling the rotorcraft
+ * model has, through different physics.
+ */
+
+#ifndef AUTOPILOT_UAV_FIXED_WING_H
+#define AUTOPILOT_UAV_FIXED_WING_H
+
+#include "uav/airframe.h"
+#include "uav/uav_spec.h"
+
+namespace autopilot::uav
+{
+
+/** Wing and propulsion constants of a fixed-wing conversion. */
+struct FixedWingParams
+{
+    double wingAreaM2 = 0.0;     ///< Lift surface (> 0).
+    double clMax = 1.2;          ///< Max lift coefficient (sets stall).
+    double liftToDrag = 10.0;    ///< Cruise L/D ratio.
+    double maxLoadFactor = 2.5;  ///< Structural banked-turn g-limit.
+    double cruiseEfficiencyEta = 0.6; ///< Prop + motor cruise efficiency.
+    /// Cruise thrust budget as a fraction of the spec's (hover-sized)
+    /// thrust: fixed-wing props are sized for cruise, not hover.
+    double cruiseThrustFraction = 0.25;
+    /// Launch/recovery climb power as a multiple of cruise power at the
+    /// minimum airspeed; replaces the rotorcraft hover overhead.
+    double launchPowerFactor = 2.0;
+
+    /** Abort via fatal() when a field is out of range. */
+    void validate() const;
+};
+
+/**
+ * Default fixed-wing conversion of a base vehicle: wing sized from the
+ * rotor disk area so the stall floor lands inside the vehicle's F-1
+ * operating range (a nano conversion stalls near 6 m/s against a
+ * ~14 m/s quadrotor ceiling).
+ */
+FixedWingParams defaultFixedWingParams(const UavSpec &spec);
+
+/** Fixed-wing implementation of the airframe interface. */
+class FixedWingAirframe final : public Airframe
+{
+  public:
+    /** Conversion of @p spec with defaultFixedWingParams. */
+    explicit FixedWingAirframe(const UavSpec &spec);
+
+    FixedWingAirframe(const UavSpec &spec, const FixedWingParams &params);
+
+    AirframeKind kind() const override { return AirframeKind::FixedWing; }
+    bool canFly(double total_mass_g) const override;
+    double velocityCeilingMps(double total_mass_g) const override;
+    double minAirspeedMps(double total_mass_g) const override;
+    double safeVelocityMps(double throughput_hz,
+                           double total_mass_g) const override;
+    double kneeThroughputHz(double total_mass_g) const override;
+    double propulsionPowerW(double total_mass_g,
+                            double velocity_mps) const override;
+    double overheadPowerW(double total_mass_g) const override;
+    double turnRadiusM(double total_mass_g,
+                       double velocity_mps) const override;
+    std::string infeasibleReason(double total_mass_g,
+                                 double throughput_hz) const override;
+
+    const FixedWingParams &params() const { return wing; }
+
+    /** Stall speed at this mass, m/s. */
+    double stallSpeedMps(double total_mass_g) const;
+
+    /** Thrust- and structure-limited sustained-turn load factor. */
+    double sustainedLoadFactor(double total_mass_g) const;
+
+  private:
+    double weightNewtons(double total_mass_g) const;
+    double cruiseThrustN() const;
+
+    FixedWingParams wing;
+};
+
+} // namespace autopilot::uav
+
+#endif // AUTOPILOT_UAV_FIXED_WING_H

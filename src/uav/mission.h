@@ -5,17 +5,27 @@
  * The domain metric is the number of missions per battery charge:
  *
  *   N = E_battery / E_mission
- *   E_mission = (P_rotors(v_safe) + P_compute + P_others) * D / v_safe
- *               + fixed hover overhead (takeoff / landing)
+ *   E_mission = (P_prop(v_safe) + P_compute + P_others) * D_eff / v_safe
+ *               + fixed takeoff/landing overhead
  *
- * where v_safe comes from the F-1 model for the vehicle at the candidate
- * design's compute payload mass and action throughput.
+ * where v_safe comes from the airframe's F-1 envelope at the candidate
+ * design's compute payload mass and action throughput, and D_eff is the
+ * mission profile's effective path (search lanes, delivery legs, and the
+ * turn-radius stretch fixed wings pay per course reversal).
+ *
+ * The default construction (one UavSpec) is the legacy quadrotor
+ * point-to-point model and is evaluated with bit-identical arithmetic.
  */
 
 #ifndef AUTOPILOT_UAV_MISSION_H
 #define AUTOPILOT_UAV_MISSION_H
 
+#include <memory>
+#include <string>
+
+#include "uav/airframe.h"
 #include "uav/f1_model.h"
+#include "uav/mission_profile.h"
 #include "uav/uav_spec.h"
 
 namespace autopilot::uav
@@ -24,26 +34,37 @@ namespace autopilot::uav
 /** Full evaluation of one compute design on one vehicle. */
 struct MissionResult
 {
-    bool feasible = false;        ///< Vehicle can hover and move.
-    double totalMassG = 0.0;      ///< All-up mass.
+    bool feasible = false;        ///< Vehicle can fly the profile.
+    double totalMassG = 0.0;      ///< All-up mass (without drop payload).
     double actionThroughputHz = 0.0;
     double kneeThroughputHz = 0.0;
     double safeVelocityMps = 0.0;
-    double rotorPowerW = 0.0;     ///< At the safe velocity.
+    double rotorPowerW = 0.0;     ///< Propulsion power at safe velocity.
     double computePowerW = 0.0;   ///< Full SoC power.
     double totalPowerW = 0.0;
     double missionTimeS = 0.0;
     double missionEnergyJ = 0.0;
     double numMissions = 0.0;
     Provisioning provisioning = Provisioning::UnderProvisioned;
+    /// Human-readable diagnosis when infeasible; empty when feasible.
+    std::string infeasibleReason;
 };
 
-/** Mission evaluator for one vehicle. */
+/** Mission evaluator for one vehicle flying one profile. */
 class MissionModel
 {
   public:
-    /** @param spec Vehicle specification (validated). */
+    /**
+     * Legacy model: quadrotor point-to-point on @p spec, bit-identical
+     * to the original concrete implementation.
+     *
+     * @param spec Vehicle specification (validated).
+     */
     explicit MissionModel(const UavSpec &spec);
+
+    /** Any airframe flying any mission profile over @p spec. */
+    MissionModel(const UavSpec &spec, AirframeKind airframe,
+                 const MissionProfile &profile);
 
     /**
      * Evaluate a compute design.
@@ -65,9 +86,13 @@ class MissionModel
     int selectSensorFps(double required_hz) const;
 
     const UavSpec &spec() const { return uavSpec; }
+    const Airframe &airframe() const { return *frame; }
+    const MissionProfile &profile() const { return missionProfile; }
 
   private:
     UavSpec uavSpec;
+    std::shared_ptr<const Airframe> frame;
+    MissionProfile missionProfile;
 };
 
 } // namespace autopilot::uav

@@ -381,7 +381,8 @@ TEST(Persistence, TryReadDseArchiveDiagnosesBadNumber)
         {madeEvaluation(0, dse::Fidelity::Analytical, "analytical")},
         buffer);
     std::string corrupt = buffer.str();
-    corrupt += "0,1,0,1,0,1,0,NOT_A_NUMBER,1,2,3,4,analytical,cycle,0\n";
+    corrupt +=
+        "0,1,0,1,0,1,0,NOT_A_NUMBER,1,2,3,4,analytical,cycle,0,-\n";
     std::istringstream is(corrupt);
     io::ParseDiag diag;
     const auto restored = io::tryReadDseArchive(is, diag);
@@ -399,7 +400,7 @@ TEST(Persistence, TryReadDseArchiveDiagnosesUnknownFidelity)
         {madeEvaluation(0, dse::Fidelity::Analytical, "analytical")},
         buffer);
     std::string corrupt = buffer.str();
-    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,analytical,quantum,0\n";
+    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,analytical,quantum,0,-\n";
     std::istringstream is(corrupt);
     io::ParseDiag diag;
     io::tryReadDseArchive(is, diag);
@@ -473,7 +474,7 @@ TEST(Persistence, TryReadDseArchiveDiagnosesBadContention)
         {madeEvaluation(0, dse::Fidelity::Analytical, "analytical")},
         buffer);
     std::string corrupt = buffer.str();
-    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,analytical,cycle,-5\n";
+    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,analytical,cycle,-5,-\n";
     std::istringstream is(corrupt);
     io::ParseDiag diag;
     const auto restored = io::tryReadDseArchive(is, diag);
@@ -481,6 +482,67 @@ TEST(Persistence, TryReadDseArchiveDiagnosesBadContention)
     EXPECT_FALSE(diag.ok);
     EXPECT_NE(diag.reason.find("contention"), std::string::npos)
         << diag.reason;
+}
+
+TEST(Persistence, ScenarioColumnRoundTrips)
+{
+    dse::Evaluation eval =
+        madeEvaluation(1, dse::Fidelity::Analytical, "analytical");
+    eval.scenario = "nav+survey";
+    std::stringstream buffer;
+    io::writeDseArchive({eval}, buffer);
+    const auto restored = io::readDseArchive(buffer);
+    ASSERT_EQ(restored.size(), 1u);
+    EXPECT_EQ(restored[0].scenario, "nav+survey");
+    EXPECT_DOUBLE_EQ(restored[0].latencyMs, 11.0);
+}
+
+TEST(Persistence, LegacyContentionArchiveHeaderStillReads)
+{
+    // Pre-airframe archives end at the contention column; they must
+    // load with the default "-" scenario tag, so a journal written
+    // before the mission-mix layer resumes unchanged.
+    std::istringstream is(
+        "layers_idx,filters_idx,pe_rows_idx,pe_cols_idx,ifmap_idx,"
+        "filter_idx,ofmap_idx,success_rate,npu_power_w,soc_power_w,"
+        "latency_ms,fps,backend,fidelity,contention_bps\n"
+        "0,1,1,1,0,1,0,0.75,1.5,3.25,12.5,80,contention,cycle,2.5e9\n");
+    const auto restored = io::readDseArchive(is);
+    ASSERT_EQ(restored.size(), 1u);
+    EXPECT_EQ(restored[0].scenario, "-");
+    EXPECT_EQ(restored[0].backend, "contention");
+    EXPECT_DOUBLE_EQ(restored[0].contentionBytesPerSec, 2.5e9);
+}
+
+TEST(Persistence, TryReadDseArchiveDiagnosesEmptyScenario)
+{
+    std::stringstream buffer;
+    io::writeDseArchive(
+        {madeEvaluation(0, dse::Fidelity::Analytical, "analytical")},
+        buffer);
+    std::string corrupt = buffer.str();
+    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,analytical,cycle,0,\n";
+    std::istringstream is(corrupt);
+    io::ParseDiag diag;
+    const auto restored = io::tryReadDseArchive(is, diag);
+    EXPECT_EQ(restored.size(), 1u);
+    EXPECT_FALSE(diag.ok);
+    EXPECT_NE(diag.reason.find("scenario"), std::string::npos)
+        << diag.reason;
+}
+
+TEST(Persistence, AcceptedHeadersCoverCurrentAndLegacyLayouts)
+{
+    const auto &headers = io::dseArchiveAcceptedHeaders();
+    ASSERT_EQ(headers.size(), 4u);
+    EXPECT_EQ(headers.front(), io::dseArchiveHeader());
+    EXPECT_EQ(headers.front().back(), "scenario");
+    // Each legacy layout drops exactly the trailing columns the newer
+    // ones appended: scenario, then contention, then backend/fidelity.
+    EXPECT_EQ(headers[1].back(), "contention_bps");
+    EXPECT_EQ(headers[1].size(), headers.front().size() - 1);
+    EXPECT_EQ(headers[2].back(), "fidelity");
+    EXPECT_EQ(headers.back().size(), 12u);
 }
 
 // --------------------------------------------------------------- json ----

@@ -25,6 +25,7 @@
 
 namespace fs = std::filesystem;
 namespace runner = autopilot::runner;
+namespace uav = autopilot::uav;
 namespace util = autopilot::util;
 
 namespace
@@ -171,6 +172,114 @@ TEST(Submission, RejectsBadDocumentsWithDiagnostics)
             << "error '" << error << "' should mention '" << bad.needle
             << "'";
     }
+}
+
+TEST(Submission, MissionMixScenariosParseIntoTaskSpec)
+{
+    runner::CampaignSubmission sub;
+    std::string error;
+    ASSERT_TRUE(runner::parseSubmission(
+        "fleet",
+        R"({"mission_mix": [)"
+        R"({"name": "transit", "mission": "nav", "weight": 2},)"
+        R"({"name": "survey", "airframe": "fixed-wing",)"
+        R"( "mission": "search", "area_m2": 40000, "spacing_m": 20,)"
+        R"( "weight": 1}]})",
+        sub, error))
+        << error;
+    const uav::MissionMix &mix = sub.task.spec.missionMix;
+    ASSERT_EQ(mix.scenarios.size(), 2u);
+    EXPECT_EQ(mix.tag(), "transit+survey");
+    EXPECT_EQ(mix.scenarios[0].airframe, uav::AirframeKind::Quadrotor);
+    EXPECT_DOUBLE_EQ(mix.scenarios[0].weight, 2.0);
+    EXPECT_EQ(mix.scenarios[1].airframe, uav::AirframeKind::FixedWing);
+    EXPECT_EQ(mix.scenarios[1].profile.missionClass,
+              uav::MissionClass::SearchPattern);
+    EXPECT_DOUBLE_EQ(mix.scenarios[1].profile.searchAreaM2, 40000.0);
+}
+
+TEST(Submission, AirframeShorthandBuildsSingleScenarioMix)
+{
+    runner::CampaignSubmission sub;
+    std::string error;
+    ASSERT_TRUE(runner::parseSubmission(
+        "fw", R"({"airframe": "fixed-wing"})", sub, error))
+        << error;
+    ASSERT_EQ(sub.task.spec.missionMix.scenarios.size(), 1u);
+    EXPECT_EQ(sub.task.spec.missionMix.scenarios[0].airframe,
+              uav::AirframeKind::FixedWing);
+
+    // Naming the default airframe keeps the mix empty, preserving the
+    // legacy fingerprint (and thus resumability of old journals).
+    runner::CampaignSubmission quad;
+    ASSERT_TRUE(runner::parseSubmission(
+        "q", R"({"airframe": "quad"})", quad, error))
+        << error;
+    EXPECT_TRUE(quad.task.spec.missionMix.isDefault());
+}
+
+TEST(Submission, LegacySubmissionDefaultsToQuadPointToPoint)
+{
+    runner::CampaignSubmission sub;
+    std::string error;
+    ASSERT_TRUE(runner::parseSubmission("old", kSmallSubmission, sub,
+                                        error))
+        << error;
+    EXPECT_TRUE(sub.task.spec.missionMix.isDefault());
+    EXPECT_EQ(sub.task.spec.missionMix.tag(), "-");
+}
+
+TEST(Submission, RejectsBadMissionMixWithDiagnostics)
+{
+    const struct
+    {
+        const char *json;
+        const char *needle;
+    } cases[] = {
+        {R"({"airframe": "fixed-wing", "mission_mix": []})",
+         "mutually exclusive"},
+        {R"({"airframe": "biplane"})", "airframe"},
+        {R"({"mission_mix": {"name": "a"}})", "array"},
+        {R"({"mission_mix": [{"name": "a", "rotor": 1}]})", "rotor"},
+        {R"({"mission_mix": [{"name": "a", "mission": "loiter"}]})",
+         "mission"},
+        {R"({"mission_mix": [{"name": "a", "weight": 0}]})", "weight"},
+        {R"({"mission_mix": [{"name": "a"}, {"name": "a"}]})",
+         "duplicate"},
+        {R"({"mission_mix": [{"name": "a", "mission": "search"}]})",
+         "area_m2"},
+        {R"({"mission_mix": [{"name": "Bad Name"}]})", "name"},
+    };
+    for (const auto &bad : cases) {
+        runner::CampaignSubmission sub;
+        std::string error;
+        EXPECT_FALSE(
+            runner::parseSubmission("x", bad.json, sub, error))
+            << bad.json;
+        EXPECT_NE(error.find(bad.needle), std::string::npos)
+            << "error '" << error << "' should mention '" << bad.needle
+            << "'";
+    }
+}
+
+TEST(Submission, ParseMissionMixReadsStandaloneDocuments)
+{
+    // The same grammar backs campaign_runner's --mission-mix file.
+    uav::MissionMix mix;
+    std::string error;
+    ASSERT_TRUE(runner::parseMissionMix(
+        R"([{"name": "drop", "mission": "delivery",)"
+        R"( "payload_g": 150, "distance_m": 80}])",
+        mix, error))
+        << error;
+    ASSERT_EQ(mix.scenarios.size(), 1u);
+    EXPECT_EQ(mix.scenarios[0].profile.missionClass,
+              uav::MissionClass::PayloadDelivery);
+    EXPECT_DOUBLE_EQ(mix.scenarios[0].profile.deliveryPayloadG, 150.0);
+    EXPECT_DOUBLE_EQ(mix.scenarios[0].profile.distanceM, 80.0);
+
+    EXPECT_FALSE(runner::parseMissionMix("[not json", mix, error));
+    EXPECT_FALSE(error.empty());
 }
 
 // ------------------------------------------------------- service loop ----
