@@ -15,6 +15,13 @@
  *     contention backend under rising background camera/host traffic;
  *     latency must degrade monotonically and the achievable
  *     hypervolume must shrink as the channel fills.
+ *  5. Bank-level row-locality sweep: a design-point subset through the
+ *     dram backend while the background stream turns from linear to
+ *     random; the row-buffer hit rate must fall and both mean latency
+ *     and DRAM command energy must rise with the randomness knob.
+ *
+ * Exit code is non-zero when any monotonicity gate fails, so CI can
+ * enforce the physics, not just print it.
  */
 
 #include <algorithm>
@@ -22,11 +29,13 @@
 #include <set>
 
 #include "airlearning/trainer.h"
+#include "dram/config.h"
 #include "dse/eval_backend.h"
 #include "dse/evaluator.h"
 #include "dse/hypervolume.h"
 #include "dse/pareto.h"
 #include "nn/e2e_template.h"
+#include "power/dram_model.h"
 #include "systolic/cycle_engine.h"
 #include "systolic/engine.h"
 #include "systolic/functional.h"
@@ -262,5 +271,80 @@ main()
               << (hv_monotonic ? "shrinks monotonically"
                                : "NOT MONOTONIC")
               << " as background traffic grows\n";
-    return latency_monotonic && hv_monotonic ? 0 : 1;
+
+    // --- 5. Bank-level row-locality sweep (dram backend) ---
+    // A fixed 600 MB/s background stream (below the random-access
+    // service capacity, so every burst lands) turns from a linear
+    // camera-like scan into pure random access. Row-buffer physics must
+    // show through end to end: hits fall, the NPU waits longer, and the
+    // command-billed DRAM energy (extra activates) grows.
+    std::cout << "\n(5) Dram backend row-locality sweep (40-point "
+                 "subset, 0.6 GB/s background):\n";
+    const std::vector<dse::Encoding> locality_points(points.begin(),
+                                                     points.begin() + 40);
+    const power::DramModel dram_power;
+    util::Table locality({"randomness", "row hit %", "mean latency ms",
+                          "activates", "command energy mJ"});
+    double prev_hit_rate = 2.0;
+    double prev_dram_latency = -1.0;
+    double prev_energy_mj = -1.0;
+    bool hit_rate_falls = true;
+    bool dram_latency_monotonic = true;
+    bool energy_monotonic = true;
+    for (const double randomness : {0.0, 0.25, 0.5, 1.0}) {
+        const dram::DramSpec spec = dram::uavDramSpec(
+            dram::DramTiming{}, 0.0, 6.0e8, randomness);
+        dse::DramBackend backend(
+            {&db, airlearning::ObstacleDensity::Dense, {}, spec});
+
+        std::vector<double> latencies;
+        for (const dse::Encoding &encoding : locality_points) {
+            latencies.push_back(
+                backend.evaluate(design_space.decode(encoding))
+                    .latencyMs);
+        }
+        const double mean_latency = util::mean(latencies);
+        const double accesses = double(backend.rowHits()) +
+                                double(backend.rowMisses()) +
+                                double(backend.rowConflicts());
+        const double hit_rate =
+            accesses > 0.0 ? double(backend.rowHits()) / accesses : 0.0;
+        const double energy_mj =
+            (dram_power.activateEnergyPj() *
+                 double(backend.activates()) +
+             dram_power.refreshEnergyPj() *
+                 double(backend.refreshes()) +
+             dram_power.ioPjPerByte() *
+                 double(backend.channelBytes())) *
+            1e-9;
+
+        if (hit_rate > prev_hit_rate)
+            hit_rate_falls = false;
+        if (prev_dram_latency >= 0.0 &&
+            mean_latency < prev_dram_latency)
+            dram_latency_monotonic = false;
+        if (prev_energy_mj >= 0.0 && energy_mj < prev_energy_mj)
+            energy_monotonic = false;
+        prev_hit_rate = hit_rate;
+        prev_dram_latency = mean_latency;
+        prev_energy_mj = energy_mj;
+        locality.addRow({util::formatDouble(randomness, 2),
+                         util::formatDouble(100.0 * hit_rate, 1),
+                         util::formatDouble(mean_latency, 3),
+                         std::to_string(backend.activates()),
+                         util::formatDouble(energy_mj, 3)});
+    }
+    locality.print(std::cout);
+    std::cout << "row-buffer hit rate "
+              << (hit_rate_falls ? "falls" : "does NOT fall")
+              << ", mean latency "
+              << (dram_latency_monotonic ? "rises" : "NOT MONOTONIC")
+              << " and command energy "
+              << (energy_monotonic ? "rises" : "NOT MONOTONIC")
+              << " as the background stream turns random\n";
+
+    return latency_monotonic && hv_monotonic && hit_rate_falls &&
+                   dram_latency_monotonic && energy_monotonic
+               ? 0
+               : 1;
 }

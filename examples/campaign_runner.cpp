@@ -39,11 +39,15 @@
  *                      for --resume. Default: no checkpointing.
  *   --resume [DIR]     Warm-start from DIR (or the --dir value).
  *   --optimizer NAME   bo | nsga2 | sa | random     (default bo)
- *   --backend NAME     analytical | cycle | tiered | contention
+ *   --backend NAME     analytical | cycle | tiered | contention | dram
  *                      (default analytical)
  *   --camera-mbps X    Background camera DRAM traffic, MB/s (default 0)
  *   --host-mbps X      Background host DRAM traffic, MB/s   (default 0)
  *   --npu-floor F      QoS bandwidth floor for the NPU, [0,1) (default 0)
+ *   --dram-banks N     Bank count for the dram backend      (default 8)
+ *   --row-policy P     open | closed row-buffer policy  (default open)
+ *   --dram-timing T    "tCAS:tRCD:tRP[:tREFI:tRFC]" in cycles
+ *                      (default 4:4:4:1560:36)
  *   --budget N         Phase 2 evaluation budget    (default 60)
  *   --episodes N       Phase 1 validation episodes  (default 80)
  *   --threads N        Worker threads per task      (default 1)
@@ -63,6 +67,13 @@
  * "contention" backend and the "tiered" verify tier, and are part of
  * the task fingerprint, so a journal resumes only under the profile it
  * was written with.
+ *
+ * With --backend dram (or --backend tiered plus any --dram-* flag) the
+ * same camera/host rates instead program bank-level traffic generators
+ * (see dram::DramSpec): the camera walks rows linearly, the host jumps
+ * randomly, and the flat contention surcharge stays zero so bytes are
+ * never charged twice. The dram spec is folded into the fingerprint the
+ * same way.
  */
 
 #include <csignal>
@@ -73,6 +84,7 @@
 #include <string>
 #include <vector>
 
+#include "dram/config.h"
 #include "runner/campaign.h"
 #include "runner/service.h"
 #include "uav/uav_spec.h"
@@ -89,9 +101,11 @@ usage(const std::string &error)
               << "usage: campaign_runner [--dir DIR] [--resume [DIR]]\n"
               << "         [--optimizer bo|nsga2|sa|random]\n"
               << "         [--backend analytical|cycle|tiered|"
-                 "contention]\n"
+                 "contention|dram]\n"
               << "         [--camera-mbps X] [--host-mbps X]"
                  " [--npu-floor F]\n"
+              << "         [--dram-banks N] [--row-policy open|closed]\n"
+              << "         [--dram-timing tCAS:tRCD:tRP[:tREFI:tRFC]]\n"
               << "         [--budget N] [--episodes N] [--threads N]\n"
               << "         [--concurrency N] [--deadline SECONDS]\n"
               << "         [--airframe quad|fixed-wing]"
@@ -137,6 +151,8 @@ main(int argc, char **argv)
     double cameraMbps = 0.0;
     double hostMbps = 0.0;
     double npuFloor = 0.0;
+    dram::DramTiming dramTiming;
+    bool hasDramFlag = false;
     std::string airframeName;
     std::string missionMixFile;
 
@@ -185,6 +201,20 @@ main(int argc, char **argv)
             hostMbps = std::atof(value(i).c_str());
         } else if (arg == "--npu-floor") {
             npuFloor = std::atof(value(i).c_str());
+        } else if (arg == "--dram-banks") {
+            dramTiming.banks = std::atoi(value(i).c_str());
+            hasDramFlag = true;
+        } else if (arg == "--row-policy") {
+            if (!dram::rowPolicyFromName(value(i),
+                                         dramTiming.rowPolicy))
+                usage("unknown row policy '" + args[i] +
+                      "' (want open|closed)");
+            hasDramFlag = true;
+        } else if (arg == "--dram-timing") {
+            std::string error;
+            if (!dram::parseDramTiming(value(i), dramTiming, error))
+                usage("bad --dram-timing: " + error);
+            hasDramFlag = true;
         } else if (arg == "--airframe") {
             airframeName = value(i);
         } else if (arg == "--mission-mix") {
@@ -257,10 +287,28 @@ main(int argc, char **argv)
         return outcome.failed == 0 ? 0 : 1;
     }
 
+    // --backend dram (or tiered with any --dram-* flag) turns the
+    // camera/host rates into bank-level traffic generators; otherwise
+    // they stay the flat contention surcharge. Never both - the same
+    // bytes must not be charged twice.
+    const bool wantsDram =
+        backend == "dram" || (hasDramFlag && backend == "tiered");
+    if (hasDramFlag && !wantsDram)
+        usage("--dram-* flags require --backend dram or tiered");
+    dram::DramSpec dramSpec;
     systolic::ContentionProfile contention;
-    contention.cameraBytesPerSec = cameraMbps * 1e6;
-    contention.hostBytesPerSec = hostMbps * 1e6;
-    contention.npuFloorFraction = npuFloor;
+    if (wantsDram) {
+        dramSpec =
+            dram::uavDramSpec(dramTiming, cameraMbps * 1e6,
+                              hostMbps * 1e6);
+        const std::string reason = dramSpec.infeasibleReason();
+        if (!reason.empty())
+            usage("infeasible dram channel: " + reason);
+    } else {
+        contention.cameraBytesPerSec = cameraMbps * 1e6;
+        contention.hostBytesPerSec = hostMbps * 1e6;
+        contention.npuFloorFraction = npuFloor;
+    }
 
     runner::CampaignConfig config;
     config.rootDir = dir;
@@ -281,6 +329,7 @@ main(int argc, char **argv)
         task.spec.threads = threads;
         task.spec.backend = backend;
         task.spec.contention = contention;
+        task.spec.dram = dramSpec;
         task.spec.optimizer = optimizer;
         task.spec.missionMix = missionMix;
         task.uav = uav::zhangNano();
@@ -294,6 +343,13 @@ main(int argc, char **argv)
     if (contention.enabled())
         std::cout << " under " << contention.totalBytesPerSec() / 1e6
                   << " MB/s background DRAM traffic";
+    if (dramSpec.enabled())
+        std::cout << " under "
+                  << dramSpec.backgroundBytesPerSec() / 1e6
+                  << " MB/s bank-level traffic ("
+                  << dramSpec.timing.banks << " banks, "
+                  << dram::rowPolicyName(dramSpec.timing.rowPolicy)
+                  << "-row)";
     if (!missionMix.isDefault())
         std::cout << ", mission mix '" << missionMix.tag() << "'";
     std::cout << (dir.empty() ? ""

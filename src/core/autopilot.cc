@@ -38,6 +38,11 @@ taskFingerprint(const TaskSpec &task)
         << '|' << task.contention.cameraBytesPerSec << '|'
         << task.contention.hostBytesPerSec << '|'
         << task.contention.npuFloorFraction;
+    // A disabled DramSpec contributes nothing (like the default mix
+    // below), so every pre-dram checkpoint and journal keeps its
+    // fingerprint and stays resumable.
+    if (task.dram.enabled())
+        key << "|dram|" << task.dram.fingerprintText();
     // The default mix contributes nothing, so every pre-mix checkpoint
     // and journal keeps its fingerprint and stays resumable.
     if (!task.missionMix.isDefault()) {
@@ -83,6 +88,14 @@ AutoPilot::AutoPilot(const TaskSpec &task) : taskSpec(task)
         "AutoPilot: unknown cost-model backend '" + taskSpec.backend +
             "'");
     taskSpec.contention.validate();
+    taskSpec.dram.validate();
+    util::fatalIf(taskSpec.dram.enabled() &&
+                      taskSpec.contention.enabled(),
+                  "AutoPilot: configure background DRAM traffic either "
+                  "as a flat contention profile or as bank-level "
+                  "traffic generators, not both - the two encode the "
+                  "same streams at different fidelities and would be "
+                  "billed twice");
     bool optimizerKnown = false;
     for (const std::string &candidate : dse::optimizerNames())
         optimizerKnown = optimizerKnown || candidate == taskSpec.optimizer;
@@ -166,7 +179,8 @@ AutoPilot::phase2()
         return dseResult;
 
     dse::DseEvaluator evaluator(phase1(), taskSpec.density,
-                                taskSpec.backend, taskSpec.contention);
+                                taskSpec.backend, taskSpec.contention,
+                                taskSpec.dram);
     taskSpec.cancel.check("Phase 2 start");
     util::TraceSpan span("phase2", "autopilot");
     evaluator.setThreadPool(workerPool());

@@ -30,6 +30,7 @@
 
 #include "airlearning/database.h"
 #include "airlearning/trainer.h"
+#include "dram/config.h"
 #include "dse/bayesopt.h"
 #include "dse/optimizer.h"
 #include "systolic/contention.h"
@@ -81,6 +82,18 @@ struct TaskSpec
     /// Validated at construction; part of the task fingerprint, so a
     /// journal written under one profile never resumes under another.
     systolic::ContentionProfile contention;
+    /// Bank-level DRAM channel for the Phase 2 cost model: command
+    /// timing plus programmable camera/host traffic generators (see
+    /// dram::DramSpec). Read by the "dram" backend and, when enabled,
+    /// by the "tiered" verify tier; the default spec (no generators)
+    /// leaves every backend bit-identical to the pure-cycle path and
+    /// contributes nothing to the task fingerprint, so legacy journals
+    /// keep resuming. Validated at construction - degenerate timing is
+    /// rejected with a human-readable diagnosis - and mutually
+    /// exclusive with a non-empty contention profile (the two encode
+    /// the same background traffic at different fidelities; billing
+    /// both would double-charge latency and power).
+    dram::DramSpec dram;
     /// Phase 2 optimizer, by report name ("bo" - the paper's Bayesian
     /// optimization and the default - "nsga2", "sa" or "random"; see
     /// dse::makeOptimizer). Fatal on an unknown name. All optimizers
@@ -135,7 +148,7 @@ struct TaskSpec
  * 64-bit fingerprint (FNV-1a) over every TaskSpec field that affects
  * results: density, budgets, tolerance, latency bound, seed, backend,
  * optimizer, the contention profile and (when non-default) the mission
- * mix. Deliberately EXCLUDES threads,
+ * mix and the bank-level DRAM channel. Deliberately EXCLUDES threads,
  * cancel and telemetry (results
  * are byte-identical across thread counts, so a journal written at
  * --threads 4 legitimately resumes at --threads 1) and the

@@ -97,15 +97,21 @@ printRunReport(const AutoPilotRun &run, std::ostream &os)
     // analytical report stays byte-identical to the historical output.
     const bool mixed_fidelity = run.task.backend != "analytical";
     if (mixed_fidelity) {
-        std::size_t analytical = 0, cycle = 0;
+        std::size_t analytical = 0, cycle = 0, bank = 0;
         for (const dse::Evaluation &eval : run.dseResult.archive) {
-            if (eval.fidelity == dse::Fidelity::CycleAccurate)
+            if (eval.fidelity == dse::Fidelity::BankAccurate)
+                ++bank;
+            else if (eval.fidelity == dse::Fidelity::CycleAccurate)
                 ++cycle;
             else
                 ++analytical;
         }
-        os << "Phase 2 backend: " << run.task.backend << " (fidelity: "
-           << cycle << " cycle-accurate, " << analytical
+        // The bank count appears only when present, so pre-dram golden
+        // outputs are unchanged.
+        os << "Phase 2 backend: " << run.task.backend << " (fidelity: ";
+        if (bank > 0)
+            os << bank << " bank-accurate, ";
+        os << cycle << " cycle-accurate, " << analytical
            << " analytical)\n";
     }
     os << "\nSelected design:\n";

@@ -1,0 +1,88 @@
+#include "dram/bank_model.h"
+
+#include "util/logging.h"
+
+namespace autopilot::dram
+{
+
+void
+ChannelStats::accumulate(const ChannelStats &other)
+{
+    rowHits += other.rowHits;
+    rowMisses += other.rowMisses;
+    rowConflicts += other.rowConflicts;
+    activates += other.activates;
+    precharges += other.precharges;
+    refreshes += other.refreshes;
+    npuRequests += other.npuRequests;
+    npuBytes += other.npuBytes;
+    backgroundRequests += other.backgroundRequests;
+    backgroundBytes += other.backgroundBytes;
+    if (generators.size() < other.generators.size())
+        generators.resize(other.generators.size());
+    for (std::size_t g = 0; g < other.generators.size(); ++g) {
+        generators[g].name = other.generators[g].name;
+        generators[g].requests += other.generators[g].requests;
+        generators[g].bytes += other.generators[g].bytes;
+    }
+}
+
+BankModel::BankModel(const DramTiming &config)
+    : timing(config),
+      openRow(static_cast<std::size_t>(config.banks), -1),
+      nextRefresh(config.tRefiCycles)
+{
+    util::fatalIf(timing.banks <= 0 || timing.rowBytes <= 0 ||
+                      timing.tRefiCycles <= 0,
+                  "BankModel: degenerate timing - validate the DramSpec "
+                  "before simulating");
+}
+
+std::int64_t
+BankModel::service(std::int64_t addr, std::int64_t bytes,
+                   std::int64_t start, std::int64_t bytesPerCycle,
+                   ChannelStats &stats)
+{
+    // Refresh is all-bank: catch up on every interval boundary the
+    // channel slept through, close the rows, and push the request past
+    // the stall when it lands inside one.
+    while (start >= nextRefresh) {
+        const std::int64_t stallEnd = nextRefresh + timing.tRfcCycles;
+        for (std::int64_t &row : openRow)
+            row = -1;
+        ++stats.refreshes;
+        if (start < stallEnd)
+            start = stallEnd;
+        nextRefresh += timing.tRefiCycles;
+    }
+
+    const std::size_t bank = static_cast<std::size_t>(
+        (addr / timing.rowBytes) % timing.banks);
+    const std::int64_t row = addr / (timing.rowBytes * timing.banks);
+
+    std::int64_t latency = timing.tCasCycles;
+    if (openRow[bank] == row) {
+        ++stats.rowHits;
+    } else if (openRow[bank] < 0) {
+        ++stats.rowMisses;
+        ++stats.activates;
+        latency += timing.tRcdCycles;
+    } else {
+        ++stats.rowConflicts;
+        ++stats.activates;
+        ++stats.precharges;
+        latency += timing.tRpCycles + timing.tRcdCycles;
+    }
+    if (timing.rowPolicy == RowPolicy::Open) {
+        openRow[bank] = row;
+    } else {
+        openRow[bank] = -1; // Auto-precharge: the next access misses.
+        ++stats.precharges;
+    }
+
+    const std::int64_t transfer =
+        (bytes + bytesPerCycle - 1) / bytesPerCycle;
+    return start + latency + transfer;
+}
+
+} // namespace autopilot::dram

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Per-bank row-buffer state machine with gem5-style command timing.
+ *
+ * Addresses map row:bank:column (consecutive rows of one stream land in
+ * different banks, the interleaving every real controller uses):
+ *
+ *   column = addr % rowBytes
+ *   bank   = (addr / rowBytes) % banks
+ *   row    =  addr / (rowBytes * banks)
+ *
+ * Each access classifies against the target bank's open row:
+ *
+ *   hit      - row already open:              tCAS
+ *   miss     - bank idle (no open row):       tRCD + tCAS   (+activate)
+ *   conflict - different row open:      tRP + tRCD + tCAS   (+precharge,
+ *                                                            +activate)
+ *
+ * plus the data-transfer cycles ceil(bytes / dramBytesPerCycle). Under
+ * the Closed row policy every access auto-precharges, so every access
+ * is a miss - the locality-blind baseline. Refresh closes all rows and
+ * stalls the channel tRFC cycles every tREFI cycles.
+ */
+
+#ifndef AUTOPILOT_DRAM_BANK_MODEL_H
+#define AUTOPILOT_DRAM_BANK_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/config.h"
+
+namespace autopilot::dram
+{
+
+/** Per-generator slice of the channel statistics. */
+struct GeneratorStats
+{
+    std::string name;
+    std::int64_t requests = 0;
+    std::int64_t bytes = 0;
+};
+
+/** Command and traffic counters accumulated by a channel timeline. */
+struct ChannelStats
+{
+    std::int64_t rowHits = 0;
+    std::int64_t rowMisses = 0;
+    std::int64_t rowConflicts = 0;
+    std::int64_t activates = 0;
+    std::int64_t precharges = 0;
+    std::int64_t refreshes = 0;
+    std::int64_t npuRequests = 0;
+    std::int64_t npuBytes = 0;
+    std::int64_t backgroundRequests = 0;
+    std::int64_t backgroundBytes = 0;
+    /// One entry per generator, in spec order.
+    std::vector<GeneratorStats> generators;
+
+    /** All classified accesses (hits + misses + conflicts). */
+    std::int64_t accesses() const
+    {
+        return rowHits + rowMisses + rowConflicts;
+    }
+
+    /** Row-buffer hit fraction; 0 when nothing was accessed. */
+    double rowHitRate() const
+    {
+        const std::int64_t total = accesses();
+        return total > 0
+                   ? static_cast<double>(rowHits) /
+                         static_cast<double>(total)
+                   : 0.0;
+    }
+
+    /** Bytes moved over the channel by anyone. */
+    std::int64_t totalBytes() const { return npuBytes + backgroundBytes; }
+
+    /** Fold @p other into this (generators matched by index). */
+    void accumulate(const ChannelStats &other);
+};
+
+/** Bank state machines + refresh for one channel. */
+class BankModel
+{
+  public:
+    /** @param timing Validated channel timing. */
+    explicit BankModel(const DramTiming &timing);
+
+    /**
+     * Service one request of @p bytes at @p addr on an idle channel,
+     * starting no earlier than cycle @p start; returns the completion
+     * cycle and folds the command counts into @p stats. The caller (the
+     * channel timeline) owns request ordering and channel occupancy;
+     * this models only bank state and timing.
+     */
+    std::int64_t service(std::int64_t addr, std::int64_t bytes,
+                         std::int64_t start, std::int64_t bytesPerCycle,
+                         ChannelStats &stats);
+
+  private:
+    DramTiming timing;
+    std::vector<std::int64_t> openRow; ///< Per bank; -1 = precharged.
+    std::int64_t nextRefresh;
+};
+
+} // namespace autopilot::dram
+
+#endif // AUTOPILOT_DRAM_BANK_MODEL_H

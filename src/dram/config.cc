@@ -1,0 +1,259 @@
+#include "dram/config.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace autopilot::dram
+{
+
+namespace
+{
+
+bool
+safeGeneratorName(const std::string &name)
+{
+    if (name.empty() || name.size() > 32)
+        return false;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::uint32_t
+fnv32(const std::string &text)
+{
+    std::uint32_t hash = 0x811c9dc5u;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x01000193u;
+    }
+    return hash;
+}
+
+} // namespace
+
+std::string
+rowPolicyName(RowPolicy policy)
+{
+    switch (policy) {
+      case RowPolicy::Open:   return "open";
+      case RowPolicy::Closed: return "closed";
+    }
+    return "?";
+}
+
+bool
+rowPolicyFromName(const std::string &name, RowPolicy &policy)
+{
+    if (name == "open")
+        policy = RowPolicy::Open;
+    else if (name == "closed")
+        policy = RowPolicy::Closed;
+    else
+        return false;
+    return true;
+}
+
+bool
+DramSpec::enabled() const
+{
+    return backgroundBytesPerSec() > 0.0;
+}
+
+double
+DramSpec::backgroundBytesPerSec() const
+{
+    double total = 0.0;
+    for (const TrafficGeneratorSpec &generator : generators)
+        total += generator.bytesPerSec;
+    return total;
+}
+
+std::string
+DramSpec::infeasibleReason() const
+{
+    std::ostringstream what;
+    if (timing.banks <= 0) {
+        what << "bank count must be >= 1 (got " << timing.banks
+             << ") - a channel with no banks has nowhere to put a row";
+        return what.str();
+    }
+    if (timing.rowBytes <= 0 || timing.burstBytes <= 0) {
+        what << "row size (" << timing.rowBytes << " B) and burst size ("
+             << timing.burstBytes << " B) must be positive";
+        return what.str();
+    }
+    if (timing.burstBytes > timing.rowBytes) {
+        what << "burst size " << timing.burstBytes
+             << " B exceeds the row buffer (" << timing.rowBytes
+             << " B) - a single request would span rows";
+        return what.str();
+    }
+    if (timing.tCasCycles <= 0 || timing.tRcdCycles <= 0 ||
+        timing.tRpCycles <= 0) {
+        what << "command latencies must be positive (tCAS "
+             << timing.tCasCycles << ", tRCD " << timing.tRcdCycles
+             << ", tRP " << timing.tRpCycles
+             << " cycles) - zero-latency commands collapse the row "
+                "hit/miss/conflict distinction the model exists for";
+        return what.str();
+    }
+    if (timing.tRefiCycles <= 0 || timing.tRfcCycles < 0) {
+        what << "refresh interval tREFI (" << timing.tRefiCycles
+             << ") must be positive and stall tRFC ("
+             << timing.tRfcCycles << ") non-negative";
+        return what.str();
+    }
+    if (timing.tRefiCycles <= timing.tRfcCycles) {
+        what << "refresh interval tREFI (" << timing.tRefiCycles
+             << " cycles) is no longer than the refresh stall tRFC ("
+             << timing.tRfcCycles
+             << " cycles) - the channel would spend all time refreshing "
+                "and never make progress";
+        return what.str();
+    }
+    for (const TrafficGeneratorSpec &generator : generators) {
+        if (!safeGeneratorName(generator.name)) {
+            what << "traffic-generator name '" << generator.name
+                 << "' must be 1-32 chars of [a-z0-9_-]";
+            return what.str();
+        }
+        if (!(generator.bytesPerSec >= 0.0) ||
+            !std::isfinite(generator.bytesPerSec)) {
+            what << "traffic generator '" << generator.name
+                 << "' rate must be finite and >= 0";
+            return what.str();
+        }
+        if (!(generator.randomness >= 0.0) ||
+            !(generator.randomness <= 1.0)) {
+            what << "traffic generator '" << generator.name
+                 << "' randomness must be in [0, 1]";
+            return what.str();
+        }
+        if (generator.strideBytes <= 0) {
+            what << "traffic generator '" << generator.name
+                 << "' stride must be >= 1 byte";
+            return what.str();
+        }
+        if (generator.addressBase < 0 ||
+            generator.addressRange < timing.burstBytes) {
+            what << "traffic generator '" << generator.name
+                 << "' address window must be non-negative and at "
+                    "least one burst wide";
+            return what.str();
+        }
+    }
+    return {};
+}
+
+void
+DramSpec::validate() const
+{
+    const std::string reason = infeasibleReason();
+    util::fatalIf(!reason.empty(), "DramSpec: " + reason);
+}
+
+std::string
+DramSpec::fingerprintText() const
+{
+    std::ostringstream key;
+    key.precision(17);
+    key << timing.banks << '|' << timing.rowBytes << '|'
+        << timing.burstBytes << '|' << timing.tCasCycles << '|'
+        << timing.tRcdCycles << '|' << timing.tRpCycles << '|'
+        << timing.tRefiCycles << '|' << timing.tRfcCycles << '|'
+        << rowPolicyName(timing.rowPolicy);
+    for (const TrafficGeneratorSpec &generator : generators) {
+        key << "|gen|" << generator.name << '|' << generator.bytesPerSec
+            << '|' << generator.strideBytes << '|'
+            << generator.randomness << '|' << generator.seed << '|'
+            << generator.addressBase << '|' << generator.addressRange
+            << '|' << (generator.write ? 1 : 0);
+    }
+    return key.str();
+}
+
+std::string
+DramSpec::tag() const
+{
+    if (!enabled())
+        return "-";
+    std::ostringstream os;
+    os << 'b' << timing.banks
+       << (timing.rowPolicy == RowPolicy::Open ? 'o' : 'c') << '-'
+       << std::hex << fnv32(fingerprintText());
+    return os.str();
+}
+
+bool
+parseDramTiming(const std::string &text, DramTiming &timing,
+                std::string &error)
+{
+    std::vector<std::int64_t> fields;
+    std::istringstream in(text);
+    std::string token;
+    while (std::getline(in, token, ':')) {
+        std::int64_t value = 0;
+        std::size_t consumed = 0;
+        try {
+            value = std::stoll(token, &consumed);
+        } catch (const std::exception &) {
+            consumed = 0;
+        }
+        if (consumed != token.size() || token.empty()) {
+            error = "bad cycle count '" + token + "' in '" + text + "'";
+            return false;
+        }
+        fields.push_back(value);
+    }
+    if (fields.size() != 3 && fields.size() != 5) {
+        error = "want tCAS:tRCD:tRP[:tREFI:tRFC], got '" + text + "'";
+        return false;
+    }
+    timing.tCasCycles = fields[0];
+    timing.tRcdCycles = fields[1];
+    timing.tRpCycles = fields[2];
+    if (fields.size() == 5) {
+        timing.tRefiCycles = fields[3];
+        timing.tRfcCycles = fields[4];
+    }
+    return true;
+}
+
+DramSpec
+uavDramSpec(const DramTiming &timing, double cameraBytesPerSec,
+            double hostBytesPerSec, double hostRandomness)
+{
+    DramSpec spec;
+    spec.timing = timing;
+    if (cameraBytesPerSec > 0.0) {
+        TrafficGeneratorSpec camera;
+        camera.name = "camera";
+        camera.bytesPerSec = cameraBytesPerSec;
+        camera.strideBytes = timing.burstBytes;
+        camera.randomness = 0.0;
+        camera.seed = 0xCA3E5A;
+        camera.addressBase = 1ll << 30;
+        camera.write = true; // Sensor frames stream into memory.
+        spec.generators.push_back(camera);
+    }
+    if (hostBytesPerSec > 0.0) {
+        TrafficGeneratorSpec host;
+        host.name = "host";
+        host.bytesPerSec = hostBytesPerSec;
+        host.strideBytes = timing.burstBytes;
+        host.randomness = hostRandomness;
+        host.seed = 0x505731;
+        host.addressBase = 2ll << 30;
+        spec.generators.push_back(host);
+    }
+    return spec;
+}
+
+} // namespace autopilot::dram

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "dram/engine.h"
 #include "dse/hypervolume.h"
 #include "nn/e2e_template.h"
 #include "power/npu_power.h"
@@ -138,6 +139,9 @@ BackendRegistry::BackendRegistry()
     };
     factories["contention"] = [](const BackendContext &context) {
         return std::make_unique<ContentionBackend>(context);
+    };
+    factories["dram"] = [](const BackendContext &context) {
+        return std::make_unique<DramBackend>(context);
     };
 }
 
@@ -436,13 +440,148 @@ ContentionBackend::evaluateBatch(std::span<const DesignPoint> points,
     EvalBackend::evaluateBatch(points, pool, commit);
 }
 
+// ------------------------------------------------------------------ dram ----
+
+DramBackend::DramBackend(const BackendContext &context) : ctx(context)
+{
+    checkContext(ctx, "DramBackend");
+    // Fatal with the human-readable infeasibleReason diagnosis on
+    // degenerate timing (zero banks, zero tRP/tRCD, refresh interval
+    // inside the refresh stall, ...) - never simulated into NaN or
+    // infinite latency.
+    ctx.dram.validate();
+    for (const dram::TrafficGeneratorSpec &generator :
+         ctx.dram.generators)
+        genSpanNames.push_back("dram.gen." + generator.name);
+}
+
+Evaluation
+DramBackend::evaluate(const DesignPoint &point)
+{
+    const dram::DramCycleEngine engine(point.accel, ctx.dram);
+
+    if (!ctx.dram.enabled()) {
+        // No generators: the engine IS the pure-cycle path and power
+        // takes the plain flat path - bit-identical to CycleBackend
+        // (the bank-model-vs-contention consistency contract).
+        Evaluation evaluation = evaluateWithEngine(engine, point, ctx);
+        evaluation.fidelity = Fidelity::CycleAccurate;
+        evaluation.backend = name();
+        return evaluation;
+    }
+
+    util::Telemetry &telemetry = util::Telemetry::instance();
+    // Per-generator trace spans around the simulated evaluation, named
+    // by stream so a trace shows which background load shaped this run.
+    std::vector<std::unique_ptr<util::TraceSpan>> genSpans;
+    if (telemetry.enabled()) {
+        for (const std::string &spanName : genSpanNames) {
+            genSpans.push_back(std::make_unique<util::TraceSpan>(
+                spanName.c_str(), "dram"));
+        }
+    }
+
+    Evaluation evaluation;
+    evaluation.point = point;
+
+    const auto record = ctx.database->find(point.policy, ctx.density);
+    util::fatalIf(!record.has_value(),
+                  "EvalBackend: no Phase 1 record for policy " +
+                      nn::policyName(point.policy) +
+                      " - run the trainer first");
+    evaluation.successRate = record->successRate;
+
+    const nn::Model model = nn::buildE2EModel(point.policy);
+    const systolic::RunResult run = engine.run(model);
+    const double clock = point.accel.clockGhz;
+    const double seconds = run.runtimeSeconds(clock);
+
+    // Power: the plain stack with ZERO flat background surcharge - the
+    // background streams are billed below through the commands they
+    // actually issued, never twice (the ContentionProfile/DramModel
+    // double-charging fix).
+    const power::NpuPowerModel npu(point.accel);
+    power::NpuPowerBreakdown breakdown = npu.estimate(run, 0.0);
+    const dram::ChannelStats &stats = engine.runStats();
+    const power::DramCommandCounts counts{stats.activates,
+                                          stats.precharges,
+                                          stats.refreshes,
+                                          stats.totalBytes()};
+    breakdown.dramW =
+        power::DramModel().commandPowerMw(counts, seconds) * 1e-3;
+
+    evaluation.npuPowerW = breakdown.totalW();
+    evaluation.socPowerW = power::socPower(evaluation.npuPowerW).totalW();
+    evaluation.latencyMs = seconds * 1e3;
+    evaluation.fps = run.framesPerSecond(clock);
+    evaluation.objectives = {1.0 - evaluation.successRate,
+                             evaluation.socPowerW, evaluation.latencyMs};
+    evaluation.fidelity = Fidelity::BankAccurate;
+    evaluation.backend = name();
+    evaluation.dramKey = ctx.dram.tag();
+
+    rowHits_.fetch_add(stats.rowHits, std::memory_order_relaxed);
+    rowMisses_.fetch_add(stats.rowMisses, std::memory_order_relaxed);
+    rowConflicts_.fetch_add(stats.rowConflicts,
+                            std::memory_order_relaxed);
+    refreshes_.fetch_add(stats.refreshes, std::memory_order_relaxed);
+    activates_.fetch_add(stats.activates, std::memory_order_relaxed);
+    channelBytes_.fetch_add(stats.totalBytes(),
+                            std::memory_order_relaxed);
+
+    if (telemetry.enabled()) {
+        util::MetricsRegistry &metrics = telemetry.metrics();
+        metrics.counter("dse.dram.row_hits")
+            .add(static_cast<std::uint64_t>(stats.rowHits));
+        metrics.counter("dse.dram.row_misses")
+            .add(static_cast<std::uint64_t>(stats.rowMisses));
+        metrics.counter("dse.dram.row_conflicts")
+            .add(static_cast<std::uint64_t>(stats.rowConflicts));
+        metrics.counter("dse.dram.refreshes")
+            .add(static_cast<std::uint64_t>(stats.refreshes));
+        for (const dram::GeneratorStats &slice : stats.generators) {
+            metrics.counter("dse.dram.gen." + slice.name + ".requests")
+                .add(static_cast<std::uint64_t>(slice.requests));
+        }
+    }
+    return evaluation;
+}
+
+void
+DramBackend::evaluateBatch(std::span<const DesignPoint> points,
+                           util::ThreadPool *pool, const CommitFn &commit)
+{
+    EvalBackend::evaluateBatch(points, pool, commit);
+    util::Telemetry &telemetry = util::Telemetry::instance();
+    if (telemetry.enabled() && !points.empty() && ctx.dram.enabled()) {
+        // Running aggregate hit rate across every evaluation so far -
+        // the row-locality signal of the whole campaign.
+        const std::int64_t hits = rowHits_.load();
+        const std::int64_t total =
+            hits + rowMisses_.load() + rowConflicts_.load();
+        if (total > 0) {
+            telemetry.metrics()
+                .gauge("dse.dram.hit_rate_ppm")
+                .set(static_cast<std::int64_t>(
+                    1e6 * static_cast<double>(hits) /
+                    static_cast<double>(total)));
+        }
+    }
+}
+
 // ---------------------------------------------------------------- tiered ----
 
 TieredBackend::TieredBackend(const BackendContext &context,
                              const TieredPolicy &policy)
-    : screen(context), verify(context), tierPolicy(policy),
-      band_(policy.promotionBand)
+    : screen(context), tierPolicy(policy), band_(policy.promotionBand)
 {
+    // The verify tier is the most accurate model configured: bank-level
+    // when the context carries traffic generators, else the contention
+    // engine (bit-identical to plain cycle with an empty profile).
+    if (context.dram.enabled())
+        verify = std::make_unique<DramBackend>(context);
+    else
+        verify = std::make_unique<ContentionBackend>(context);
     util::fatalIf(tierPolicy.promotionBand <= 0.0 ||
                       tierPolicy.promotionBand >= 1.0,
                   "TieredBackend: promotion band outside (0, 1)");
@@ -607,9 +746,9 @@ TieredBackend::evaluateBatch(std::span<const DesignPoint> points,
             {
                 util::TraceSpan span("dse.simulate", "dse");
                 util::ScopedTimer timer(simulate_hist);
-                evaluation = verify.evaluate(points[i]);
+                evaluation = verify->evaluate(points[i]);
             }
-            evaluation.backend = name(); // Fidelity: CycleAccurate.
+            evaluation.backend = name(); // Verify-tier fidelity kept.
             cycleLatencyMs[p] = evaluation.latencyMs;
             commit(i, std::move(evaluation));
         });
@@ -650,7 +789,7 @@ TieredBackend::warmStart(std::span<const Evaluation> replayed)
         const Evaluation screened = screen.evaluate(row.point);
         absorb(screened.objectives);
         ++screened_;
-        if (row.fidelity == Fidelity::CycleAccurate) {
+        if (row.fidelity != Fidelity::Analytical) {
             ++promoted_;
             foldError(screened.latencyMs, row.latencyMs);
         }
@@ -677,6 +816,7 @@ fidelityName(Fidelity fidelity)
     switch (fidelity) {
       case Fidelity::Analytical:    return "analytical";
       case Fidelity::CycleAccurate: return "cycle";
+      case Fidelity::BankAccurate:  return "bank";
       case Fidelity::Mixed:         return "mixed";
     }
     return "?";
@@ -698,6 +838,8 @@ tryFidelityFromName(const std::string &name, Fidelity &fidelity)
         fidelity = Fidelity::Analytical;
     else if (name == "cycle")
         fidelity = Fidelity::CycleAccurate;
+    else if (name == "bank")
+        fidelity = Fidelity::BankAccurate;
     else if (name == "mixed")
         fidelity = Fidelity::Mixed;
     else

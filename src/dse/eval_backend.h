@@ -9,7 +9,7 @@
  * backend and routes every cache miss through it, so the memoization,
  * batching and determinism machinery is shared by all cost models.
  *
- * Four backends ship in-tree, keyed in the BackendRegistry:
+ * Five backends ship in-tree, keyed in the BackendRegistry:
  *
  *  - "analytical": the closed-form AnalyticalEngine + NPU/SoC power
  *    stack - the historical DseEvaluator::compute() path, bit-identical
@@ -29,6 +29,14 @@
  *    to DRAM power. With an empty profile its numbers are bit-identical
  *    to "cycle". Each evaluation records the profile's bytes/s so a
  *    journaled run resumes under the profile it was written with.
+ *  - "dram": the highest fidelity tier - the cycle timeline over a
+ *    bank-level DRAM channel (dram::BankModel) shared with
+ *    programmable camera/host traffic generators; latency comes from
+ *    simulated per-request row hit/miss/conflict service times and
+ *    DRAM power from actual activate/precharge/refresh counts. With no
+ *    generators its numbers are bit-identical to "cycle". Each
+ *    evaluation records the channel tag so a journaled run resumes
+ *    under the channel it was written with.
  *
  * Determinism: analytical and cycle evaluations are pure functions of
  * the design point. The tiered promotion decision is stateful (it
@@ -58,7 +66,10 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "airlearning/database.h"
+#include "dram/config.h"
 #include "dse/design_space.h"
 #include "dse/evaluation.h"
 #include "systolic/contention.h"
@@ -80,6 +91,15 @@ struct BackendContext
     /// contention backend reads it; the default (empty) profile keeps
     /// every other backend's results untouched.
     systolic::ContentionProfile contention;
+    /// Bank-level DRAM channel description (timing + traffic
+    /// generators). Read by the dram backend and, when enabled, by the
+    /// tiered verify tier; the default (no generators) keeps every
+    /// backend's results untouched. Mutually exclusive with a
+    /// non-empty contention profile - the two encode the same
+    /// background traffic at different fidelities, and billing it
+    /// twice (flat derate + simulated interference) would double-charge
+    /// latency and power.
+    dram::DramSpec dram;
 };
 
 /** Abstract cost model: DesignPoint -> Evaluation. */
@@ -275,6 +295,82 @@ class ContentionBackend : public EvalBackend
     BackendContext ctx;
 };
 
+/**
+ * Cycle-stepped engine over the bank-level DRAM channel: the highest
+ * fidelity tier, above "contention".
+ *
+ * The DramSpec comes from the BackendContext (plumbed from
+ * TaskSpec/campaign flags). Where the contention backend derates one
+ * aggregate bandwidth number, this backend simulates the channel:
+ * every NPU prefetch/writeback is split into bursts, classified per
+ * bank (row hit/miss/conflict, refresh stalls) and interleaved with
+ * the programmable background generators in deterministic arrival
+ * order (dram::ChannelTimeline), so effective latency comes from
+ * simulated per-request service times. DRAM power is charged from the
+ * actual activate/precharge/refresh/byte counts
+ * (power::DramModel::commandPowerMw) INSTEAD of the flat
+ * background-bytes/s surcharge - the background streams are billed
+ * exactly once, through the commands they really issued. The
+ * contention profile in the context is ignored by construction (the
+ * AutoPilot task layer rejects specs that set both).
+ *
+ * With no generators configured the backend reproduces the pure-cycle
+ * path bit for bit: the engine delegates to systolic::CycleEngine and
+ * power takes the plain flat path with zero background traffic.
+ *
+ * Pure per point (the spec is fixed for the backend's lifetime), so
+ * the default batched path applies unchanged and results are
+ * byte-identical at any thread count.
+ *
+ * Telemetry: besides the shared "dse.backend.dram.points" counter,
+ * each batch folds the simulated command counts into
+ * "dse.dram.row_hits" / "dse.dram.row_misses" / "dse.dram.row_conflicts"
+ * / "dse.dram.refreshes", per-generator request counters
+ * "dse.dram.gen.<name>.requests", and sets the "dse.dram.hit_rate_ppm"
+ * gauge; per-generator trace spans ("dram.gen.<name>") wrap each
+ * simulated evaluation.
+ */
+class DramBackend : public EvalBackend
+{
+  public:
+    explicit DramBackend(const BackendContext &context);
+
+    std::string name() const override { return "dram"; }
+    Fidelity fidelity() const override
+    {
+        return ctx.dram.enabled() ? Fidelity::BankAccurate
+                                  : Fidelity::CycleAccurate;
+    }
+    Evaluation evaluate(const DesignPoint &point) override;
+    void evaluateBatch(std::span<const DesignPoint> points,
+                       util::ThreadPool *pool,
+                       const CommitFn &commit) override;
+
+    const dram::DramSpec &spec() const { return ctx.dram; }
+
+    /** Command counters accumulated across every evaluation since
+     * construction (monotonic; thread-safe). */
+    std::int64_t rowHits() const { return rowHits_.load(); }
+    std::int64_t rowMisses() const { return rowMisses_.load(); }
+    std::int64_t rowConflicts() const { return rowConflicts_.load(); }
+    std::int64_t refreshes() const { return refreshes_.load(); }
+    std::int64_t activates() const { return activates_.load(); }
+    std::int64_t channelBytes() const { return channelBytes_.load(); }
+
+  private:
+    BackendContext ctx;
+    /// Stable per-generator trace-span names ("dram.gen.<name>");
+    /// TraceSpan keeps the char pointer, so the strings must outlive
+    /// every span.
+    std::vector<std::string> genSpanNames;
+    std::atomic<std::int64_t> rowHits_{0};
+    std::atomic<std::int64_t> rowMisses_{0};
+    std::atomic<std::int64_t> rowConflicts_{0};
+    std::atomic<std::int64_t> refreshes_{0};
+    std::atomic<std::int64_t> activates_{0};
+    std::atomic<std::int64_t> channelBytes_{0};
+};
+
 /** Tiered-promotion policy knobs. */
 struct TieredPolicy
 {
@@ -354,7 +450,7 @@ class TieredBackend : public EvalBackend
      * Restore the analytical front, screen/promotion counters and
      * adaptive error statistics from a journal prefix by re-screening
      * every replayed point (pure, cheap) in journal order. Rows that
-     * were promoted (Fidelity::CycleAccurate) contribute their
+     * were promoted (any non-analytical fidelity) contribute their
      * journaled cycle numbers to the adaptive error fold, so the band
      * trajectory resumes byte-identically without re-running the cycle
      * engine.
@@ -385,12 +481,13 @@ class TieredBackend : public EvalBackend
     void foldError(double analyticalLatencyMs, double cycleLatencyMs);
 
     AnalyticalBackend screen;
-    /// The verify tier runs under the BackendContext's contention
-    /// profile; with the default empty profile it is bit-identical to
-    /// CycleBackend, so "tiered" composes with shared-DRAM contention
-    /// for free (promoted points pay the derated channel, screened
-    /// points keep their contention-free analytical numbers).
-    ContentionBackend verify;
+    /// The verify tier: the bank-level DramBackend when the context's
+    /// DramSpec is enabled (only knee-adjacent promoted designs pay
+    /// bank-level simulation), else the ContentionBackend under the
+    /// context's contention profile - which with the default empty
+    /// profile is bit-identical to CycleBackend. Promoted rows archive
+    /// the verify tier's fidelity (BankAccurate or CycleAccurate).
+    std::unique_ptr<EvalBackend> verify;
     TieredPolicy tierPolicy;
 
     mutable std::mutex stateMutex;

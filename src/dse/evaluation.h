@@ -28,10 +28,11 @@ enum class Fidelity
 {
     Analytical,    ///< Closed-form engine (max(compute, DRAM) + latency).
     CycleAccurate, ///< Cycle-stepped prefetch/writeback timeline.
+    BankAccurate,  ///< Cycle timeline over the bank-level DRAM channel.
     Mixed,         ///< Backend mixes fidelities per point (tiered).
 };
 
-/** Stable lowercase label ("analytical", "cycle", "mixed"). */
+/** Stable lowercase label ("analytical", "cycle", "bank", "mixed"). */
 std::string fidelityName(Fidelity fidelity);
 
 /** Inverse of fidelityName (fatal on an unknown label). */
@@ -70,6 +71,12 @@ struct Evaluation
     /// workload, else the '+'-joined scenario names. CSV-safe by
     /// construction (scenario names are [a-z0-9_-]).
     std::string scenario = "-";
+    /// Bank-level DRAM channel the evaluation was costed under
+    /// (dram::DramSpec::tag()): "-" when bank simulation was off (every
+    /// non-dram backend, and a dram backend with no traffic
+    /// generators), else the compact channel tag. CSV-safe by
+    /// construction.
+    std::string dramKey = "-";
 };
 
 } // namespace autopilot::dse

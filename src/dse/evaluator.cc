@@ -10,11 +10,13 @@ namespace autopilot::dse
 DseEvaluator::DseEvaluator(const airlearning::PolicyDatabase &database,
                            airlearning::ObstacleDensity density,
                            const std::string &backend,
-                           const systolic::ContentionProfile &contention)
+                           const systolic::ContentionProfile &contention,
+                           const dram::DramSpec &dram)
     : DseEvaluator(database, density,
                    makeBackend(backend, BackendContext{&database,
                                                        density,
-                                                       contention}))
+                                                       contention,
+                                                       dram}))
 {
 }
 

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "airlearning/database.h"
+#include "dram/config.h"
 #include "dse/design_space.h"
 #include "dse/evaluation.h"
 #include "dse/pareto.h"
@@ -102,11 +103,16 @@ class DseEvaluator
      *                 backend (and the tiered verify tier); the default
      *                 empty profile leaves every backend's results
      *                 untouched.
+     * @param dram     Bank-level DRAM channel description for the dram
+     *                 backend (and, when enabled, the tiered verify
+     *                 tier); the default spec (no traffic generators)
+     *                 leaves every backend's results untouched.
      */
     DseEvaluator(const airlearning::PolicyDatabase &database,
                  airlearning::ObstacleDensity density,
                  const std::string &backend = "analytical",
-                 const systolic::ContentionProfile &contention = {});
+                 const systolic::ContentionProfile &contention = {},
+                 const dram::DramSpec &dram = {});
 
     /**
      * Construct with an explicit backend instance (for tests and

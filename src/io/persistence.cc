@@ -88,6 +88,15 @@ const std::vector<std::string> archiveHeader = {
     "layers_idx",  "filters_idx", "pe_rows_idx",   "pe_cols_idx",
     "ifmap_idx",   "filter_idx",  "ofmap_idx",     "success_rate",
     "npu_power_w", "soc_power_w", "latency_ms",    "fps",
+    "backend",     "fidelity",    "contention_bps", "scenario",
+    "dram"};
+
+/// Pre-dram archive layout: scenario but no bank-level channel column;
+/// such rows load with the default "-" (no bank simulation) tag.
+const std::vector<std::string> legacyScenarioArchiveHeader = {
+    "layers_idx",  "filters_idx", "pe_rows_idx",   "pe_cols_idx",
+    "ifmap_idx",   "filter_idx",  "ofmap_idx",     "success_rate",
+    "npu_power_w", "soc_power_w", "latency_ms",    "fps",
     "backend",     "fidelity",    "contention_bps", "scenario"};
 
 /// Pre-airframe archive layout: contention but no mission-mix scenario
@@ -218,6 +227,11 @@ tryDecodeArchiveRow(const std::vector<std::string> &row,
             return "empty scenario tag";
         eval.scenario = row[15];
     }
+    if (row.size() > legacyScenarioArchiveHeader.size()) {
+        if (row[16].empty())
+            return "empty dram channel tag";
+        eval.dramKey = row[16];
+    }
     eval.point = space.decode(eval.encoding);
     eval.objectives = {1.0 - eval.successRate, eval.socPowerW,
                        eval.latencyMs};
@@ -323,8 +337,9 @@ const std::vector<std::vector<std::string>> &
 dseArchiveAcceptedHeaders()
 {
     static const std::vector<std::vector<std::string>> accepted = {
-        archiveHeader, legacyContentionArchiveHeader,
-        legacyBackendArchiveHeader, legacyArchiveHeader};
+        archiveHeader, legacyScenarioArchiveHeader,
+        legacyContentionArchiveHeader, legacyBackendArchiveHeader,
+        legacyArchiveHeader};
     return accepted;
 }
 
@@ -340,7 +355,7 @@ writeDseArchiveRow(const dse::Evaluation &eval, std::ostream &os)
        << formatDouble(eval.fps) << ',' << eval.backend << ','
        << dse::fidelityName(eval.fidelity) << ','
        << formatDouble(eval.contentionBytesPerSec) << ','
-       << eval.scenario << '\n';
+       << eval.scenario << ',' << eval.dramKey << '\n';
 }
 
 void
@@ -373,6 +388,8 @@ tryReadDseArchive(std::istream &is, ParseDiag &diag)
         width = legacyBackendArchiveHeader.size();
     else if (header == legacyContentionArchiveHeader)
         width = legacyContentionArchiveHeader.size();
+    else if (header == legacyScenarioArchiveHeader)
+        width = legacyScenarioArchiveHeader.size();
     else if (header != archiveHeader) {
         failAt(diag, reader, "unexpected header '" + line + "'");
         return archive;

@@ -32,4 +32,23 @@ DramModel::averagePowerMw(double bytes_per_second) const
     return backgroundPowerMw + pjPerByte * bytes_per_second * 1e-9;
 }
 
+double
+DramModel::commandPowerMw(const DramCommandCounts &counts,
+                          double seconds) const
+{
+    util::fatalIf(!(seconds > 0.0) || !std::isfinite(seconds),
+                  "DramModel::commandPowerMw: interval must be a "
+                  "positive finite number of seconds");
+    util::fatalIf(counts.activates < 0 || counts.precharges < 0 ||
+                      counts.refreshes < 0 || counts.bytes < 0,
+                  "DramModel::commandPowerMw: command counts must be "
+                  ">= 0");
+    const double energyPj =
+        activatePj * static_cast<double>(counts.activates) +
+        refreshPj * static_cast<double>(counts.refreshes) +
+        ioPj * static_cast<double>(counts.bytes);
+    // pJ / s = pW; convert to mW.
+    return backgroundPowerMw + energyPj * 1e-9 / seconds;
+}
+
 } // namespace autopilot::power

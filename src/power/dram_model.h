@@ -16,6 +16,21 @@
 namespace autopilot::power
 {
 
+/**
+ * Actual DRAM command activity of a simulated interval, as counted by
+ * the bank-level channel model (dram::ChannelStats). The flat
+ * averagePowerMw() path folds row energy into its per-byte coefficient;
+ * this record lets commandPowerMw() charge it from what the banks
+ * really did instead.
+ */
+struct DramCommandCounts
+{
+    std::int64_t activates = 0;  ///< Row activations (misses+conflicts).
+    std::int64_t precharges = 0; ///< Explicit precharges (conflicts).
+    std::int64_t refreshes = 0;  ///< All-bank refresh commands.
+    std::int64_t bytes = 0;      ///< Data moved over the channel.
+};
+
 /** LPDDR-class external-memory power model. */
 class DramModel
 {
@@ -34,13 +49,41 @@ class DramModel
     /** Average power for a sustained traffic rate, milliwatts. */
     double averagePowerMw(double bytes_per_second) const;
 
+    /**
+     * Average power from actual command counts over @p seconds,
+     * milliwatts: the standby floor plus activate/precharge/refresh
+     * energy plus per-byte I/O energy. The per-byte coefficient here is
+     * ioPjPerByte(), LOWER than energyPjPerByte(): the flat model's
+     * 120 pJ/B amortizes row activation into every byte, while this
+     * path bills activation explicitly per command - so a high-locality
+     * stream (few activates per byte) is cheaper than the flat model
+     * and a conflict-heavy one dearer. Used by the dram backend, which
+     * simulates background streams explicitly and must not also pay
+     * the flat background-bytes/s surcharge (the double-charging fix).
+     *
+     * Fatal when @p seconds is not positive-finite - the pJ-to-mW
+     * conversion would otherwise NaN/inf every power objective.
+     */
+    double commandPowerMw(const DramCommandCounts &counts,
+                          double seconds) const;
+
     double energyPjPerByte() const { return pjPerByte; }
     double backgroundMw() const { return backgroundPowerMw; }
+    /// Pure I/O + column-access energy per byte (row energy excluded).
+    double ioPjPerByte() const { return ioPj; }
+    double activateEnergyPj() const { return activatePj; }
+    double refreshEnergyPj() const { return refreshPj; }
 
   private:
     // LPDDR4-class defaults at 28 nm-era controllers.
     double pjPerByte = 120.0;
     double backgroundPowerMw = 40.0;
+    // Command-level split of the same budget: ~2 nJ per row
+    // activate+precharge pair, ~30 nJ per all-bank refresh, and the
+    // per-byte remainder once row energy is billed separately.
+    double ioPj = 80.0;
+    double activatePj = 2000.0;
+    double refreshPj = 30000.0;
 };
 
 } // namespace autopilot::power

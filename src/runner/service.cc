@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "airlearning/environment.h"
+#include "dram/config.h"
 #include "dse/eval_backend.h"
 #include "io/json.h"
 #include "io/persistence.h"
@@ -237,6 +238,8 @@ parseSubmission(const std::string &id, const std::string &text,
     uav::AirframeKind airframeKind = uav::AirframeKind::Quadrotor;
     bool hasAirframe = false;
     bool hasMix = false;
+    dram::DramTiming dramTiming;
+    bool hasDramKey = false;
 
     for (const auto &[key, value] : doc.asObject()) {
         bool ok = true;
@@ -286,6 +289,21 @@ parseSubmission(const std::string &id, const std::string &text,
                              sub.task.spec.contention.npuFloorFraction) &&
                  sub.task.spec.contention.npuFloorFraction >= 0.0 &&
                  sub.task.spec.contention.npuFloorFraction < 1.0;
+        } else if (key == "dram_banks") {
+            ok = intField(value, dramTiming.banks) &&
+                 dramTiming.banks >= 1;
+            hasDramKey = hasDramKey || ok;
+        } else if (key == "row_policy") {
+            ok = value.isString() &&
+                 dram::rowPolicyFromName(value.asString(),
+                                         dramTiming.rowPolicy);
+            hasDramKey = hasDramKey || ok;
+        } else if (key == "dram_timing") {
+            std::string timingError;
+            ok = value.isString() &&
+                 dram::parseDramTiming(value.asString(), dramTiming,
+                                       timingError);
+            hasDramKey = hasDramKey || ok;
         } else if (key == "airframe") {
             ok = value.isString() &&
                  uav::airframeKindFromName(value.asString(),
@@ -318,8 +336,31 @@ parseSubmission(const std::string &id, const std::string &text,
         sub.task.spec.missionMix.scenarios = {scenario};
     }
 
-    sub.task.spec.contention.cameraBytesPerSec = cameraMbps * 1e6;
-    sub.task.spec.contention.hostBytesPerSec = hostMbps * 1e6;
+    // Bank-level simulation is active for the "dram" backend (or for
+    // "tiered" when a dram_* key opts the verify tier in). The same
+    // camera/host rates then shape traffic generators instead of the
+    // flat contention surcharge, which stays zero so the channel is
+    // never charged twice for the same bytes.
+    const bool wantsDram =
+        sub.task.spec.backend == "dram" ||
+        (hasDramKey && sub.task.spec.backend == "tiered");
+    if (hasDramKey && !wantsDram) {
+        error = "dram_* keys require backend 'dram' or 'tiered'";
+        return false;
+    }
+    if (wantsDram) {
+        sub.task.spec.dram =
+            dram::uavDramSpec(dramTiming, cameraMbps * 1e6,
+                              hostMbps * 1e6);
+        std::string dramError = sub.task.spec.dram.infeasibleReason();
+        if (!dramError.empty()) {
+            error = "infeasible dram channel: " + dramError;
+            return false;
+        }
+    } else {
+        sub.task.spec.contention.cameraBytesPerSec = cameraMbps * 1e6;
+        sub.task.spec.contention.hostBytesPerSec = hostMbps * 1e6;
+    }
     out = std::move(sub);
     return true;
 }

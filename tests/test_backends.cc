@@ -123,6 +123,7 @@ TEST(BackendRegistry, KnowsTheBuiltins)
     EXPECT_TRUE(registry.knows("cycle"));
     EXPECT_TRUE(registry.knows("tiered"));
     EXPECT_TRUE(registry.knows("contention"));
+    EXPECT_TRUE(registry.knows("dram"));
     EXPECT_FALSE(registry.knows("no-such-backend"));
 
     const auto context = sharedContext();
@@ -133,6 +134,10 @@ TEST(BackendRegistry, KnowsTheBuiltins)
     EXPECT_EQ(dse::makeBackend("tiered", context)->fidelity(),
               dse::Fidelity::Mixed);
     EXPECT_EQ(dse::makeBackend("contention", context)->fidelity(),
+              dse::Fidelity::CycleAccurate);
+    // A disabled DramSpec degrades the dram backend to the pure cycle
+    // path, and its advertised fidelity says so.
+    EXPECT_EQ(dse::makeBackend("dram", context)->fidelity(),
               dse::Fidelity::CycleAccurate);
 }
 

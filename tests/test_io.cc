@@ -382,7 +382,7 @@ TEST(Persistence, TryReadDseArchiveDiagnosesBadNumber)
         buffer);
     std::string corrupt = buffer.str();
     corrupt +=
-        "0,1,0,1,0,1,0,NOT_A_NUMBER,1,2,3,4,analytical,cycle,0,-\n";
+        "0,1,0,1,0,1,0,NOT_A_NUMBER,1,2,3,4,analytical,cycle,0,-,-\n";
     std::istringstream is(corrupt);
     io::ParseDiag diag;
     const auto restored = io::tryReadDseArchive(is, diag);
@@ -400,7 +400,7 @@ TEST(Persistence, TryReadDseArchiveDiagnosesUnknownFidelity)
         {madeEvaluation(0, dse::Fidelity::Analytical, "analytical")},
         buffer);
     std::string corrupt = buffer.str();
-    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,analytical,quantum,0,-\n";
+    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,analytical,quantum,0,-,-\n";
     std::istringstream is(corrupt);
     io::ParseDiag diag;
     io::tryReadDseArchive(is, diag);
@@ -474,7 +474,7 @@ TEST(Persistence, TryReadDseArchiveDiagnosesBadContention)
         {madeEvaluation(0, dse::Fidelity::Analytical, "analytical")},
         buffer);
     std::string corrupt = buffer.str();
-    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,analytical,cycle,-5,-\n";
+    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,analytical,cycle,-5,-,-\n";
     std::istringstream is(corrupt);
     io::ParseDiag diag;
     const auto restored = io::tryReadDseArchive(is, diag);
@@ -521,7 +521,7 @@ TEST(Persistence, TryReadDseArchiveDiagnosesEmptyScenario)
         {madeEvaluation(0, dse::Fidelity::Analytical, "analytical")},
         buffer);
     std::string corrupt = buffer.str();
-    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,analytical,cycle,0,\n";
+    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,analytical,cycle,0,,-\n";
     std::istringstream is(corrupt);
     io::ParseDiag diag;
     const auto restored = io::tryReadDseArchive(is, diag);
@@ -531,17 +531,68 @@ TEST(Persistence, TryReadDseArchiveDiagnosesEmptyScenario)
         << diag.reason;
 }
 
+TEST(Persistence, DramColumnRoundTrips)
+{
+    dse::Evaluation eval =
+        madeEvaluation(1, dse::Fidelity::BankAccurate, "dram");
+    eval.dramKey = "b8o-1a2b3c4d";
+    std::stringstream buffer;
+    io::writeDseArchive({eval}, buffer);
+    const auto restored = io::readDseArchive(buffer);
+    ASSERT_EQ(restored.size(), 1u);
+    EXPECT_EQ(restored[0].dramKey, "b8o-1a2b3c4d");
+    EXPECT_EQ(restored[0].fidelity, dse::Fidelity::BankAccurate);
+    EXPECT_EQ(restored[0].backend, "dram");
+}
+
+TEST(Persistence, LegacyScenarioArchiveHeaderStillReads)
+{
+    // Pre-dram archives end at the scenario column; they must load
+    // with the default "-" dram tag, so a journal written before the
+    // bank-level layer resumes unchanged.
+    std::istringstream is(
+        "layers_idx,filters_idx,pe_rows_idx,pe_cols_idx,ifmap_idx,"
+        "filter_idx,ofmap_idx,success_rate,npu_power_w,soc_power_w,"
+        "latency_ms,fps,backend,fidelity,contention_bps,scenario\n"
+        "0,1,1,1,0,1,0,0.75,1.5,3.25,12.5,80,tiered,cycle,0,nav\n");
+    const auto restored = io::readDseArchive(is);
+    ASSERT_EQ(restored.size(), 1u);
+    EXPECT_EQ(restored[0].dramKey, "-");
+    EXPECT_EQ(restored[0].scenario, "nav");
+    EXPECT_EQ(restored[0].backend, "tiered");
+}
+
+TEST(Persistence, TryReadDseArchiveDiagnosesEmptyDramTag)
+{
+    std::stringstream buffer;
+    io::writeDseArchive(
+        {madeEvaluation(0, dse::Fidelity::Analytical, "analytical")},
+        buffer);
+    std::string corrupt = buffer.str();
+    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,analytical,cycle,0,-,\n";
+    std::istringstream is(corrupt);
+    io::ParseDiag diag;
+    const auto restored = io::tryReadDseArchive(is, diag);
+    EXPECT_EQ(restored.size(), 1u);
+    EXPECT_FALSE(diag.ok);
+    EXPECT_NE(diag.reason.find("dram"), std::string::npos)
+        << diag.reason;
+}
+
 TEST(Persistence, AcceptedHeadersCoverCurrentAndLegacyLayouts)
 {
     const auto &headers = io::dseArchiveAcceptedHeaders();
-    ASSERT_EQ(headers.size(), 4u);
+    ASSERT_EQ(headers.size(), 5u);
     EXPECT_EQ(headers.front(), io::dseArchiveHeader());
-    EXPECT_EQ(headers.front().back(), "scenario");
+    EXPECT_EQ(headers.front().back(), "dram");
     // Each legacy layout drops exactly the trailing columns the newer
-    // ones appended: scenario, then contention, then backend/fidelity.
-    EXPECT_EQ(headers[1].back(), "contention_bps");
+    // ones appended: dram, then scenario, then contention, then
+    // backend/fidelity.
+    EXPECT_EQ(headers[1].back(), "scenario");
     EXPECT_EQ(headers[1].size(), headers.front().size() - 1);
-    EXPECT_EQ(headers[2].back(), "fidelity");
+    EXPECT_EQ(headers[2].back(), "contention_bps");
+    EXPECT_EQ(headers[2].size(), headers[1].size() - 1);
+    EXPECT_EQ(headers[3].back(), "fidelity");
     EXPECT_EQ(headers.back().size(), 12u);
 }
 

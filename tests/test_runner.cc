@@ -24,6 +24,7 @@
 
 #include "airlearning/trainer.h"
 #include "core/autopilot.h"
+#include "dram/config.h"
 #include "dse/eval_backend.h"
 #include "dse/evaluator.h"
 #include "io/journal.h"
@@ -35,6 +36,7 @@
 namespace fs = std::filesystem;
 namespace al = autopilot::airlearning;
 namespace core = autopilot::core;
+namespace dram = autopilot::dram;
 namespace dse = autopilot::dse;
 namespace io = autopilot::io;
 namespace nn = autopilot::nn;
@@ -730,6 +732,89 @@ TEST(Resume, ContentionBackendResumesByteIdentical)
         fs::remove_all(dir);
     }
     fs::remove_all(goldenDir);
+}
+
+TEST(Resume, DramBackendResumesByteIdentical)
+{
+    // The bank-level channel is folded into the fingerprint and its
+    // tag is journaled per row, so a killed dram-backend run must
+    // replay byte-identically at any thread count - and the replayed
+    // rows must carry the channel tag back out of the journal.
+    core::TaskSpec goldenSpec = smallSpec("bo", "dram");
+    goldenSpec.dram =
+        dram::uavDramSpec(dram::DramTiming{}, 1.0e9, 0.5e9);
+    const std::string channelTag = goldenSpec.dram.tag();
+    ASSERT_NE(channelTag, "-");
+
+    const fs::path goldenDir = testDir("resume_dram_golden");
+    goldenSpec.checkpointDir = goldenDir.string();
+    core::AutoPilot goldenPilot(goldenSpec);
+    const std::string goldenArchive =
+        archiveCsv(goldenPilot.phase2().archive);
+    const std::string goldenJournal =
+        fileBytes(goldenDir / "journal.csv");
+    const std::size_t totalRows =
+        journalRows(goldenDir / "journal.csv");
+    ASSERT_GT(totalRows, 4u);
+    for (const dse::Evaluation &eval : goldenPilot.phase2().archive) {
+        EXPECT_EQ(eval.dramKey, channelTag);
+        EXPECT_EQ(eval.fidelity, dse::Fidelity::BankAccurate);
+    }
+
+    for (const int threads : {1, 2, 4}) {
+        const fs::path dir =
+            testDir("resume_dram_t" + std::to_string(threads));
+        fs::copy(goldenDir, dir,
+                 fs::copy_options::overwrite_existing |
+                     fs::copy_options::recursive);
+        truncateJournal(dir / "journal.csv", totalRows / 2);
+
+        // The truncated prefix must round-trip the channel tag.
+        const io::JournalReplay replay =
+            io::readEvalJournal((dir / "journal.csv").string());
+        ASSERT_FALSE(replay.entries.empty());
+        for (const dse::Evaluation &eval : replay.entries)
+            EXPECT_EQ(eval.dramKey, channelTag);
+
+        core::TaskSpec spec = goldenSpec;
+        spec.checkpointDir = dir.string();
+        spec.resume = true;
+        spec.threads = threads;
+        core::AutoPilot pilot(spec);
+        EXPECT_EQ(archiveCsv(pilot.phase2().archive), goldenArchive)
+            << threads << " threads";
+        EXPECT_EQ(fileBytes(dir / "journal.csv"), goldenJournal)
+            << threads << " threads";
+        fs::remove_all(dir);
+    }
+    fs::remove_all(goldenDir);
+}
+
+TEST(Fingerprint, DramChannelFoldsOnlyWhenEnabled)
+{
+    // A default (disabled) DramSpec must leave the fingerprint exactly
+    // where the pre-dram layer put it: old journals resume unchanged.
+    const core::TaskSpec base = smallSpec();
+    core::TaskSpec with_disabled_dram = base;
+    with_disabled_dram.dram.timing.banks = 16; // Timing alone is inert.
+    EXPECT_EQ(core::taskFingerprint(base),
+              core::taskFingerprint(with_disabled_dram));
+
+    core::TaskSpec with_traffic = base;
+    with_traffic.dram =
+        dram::uavDramSpec(dram::DramTiming{}, 1.0e9, 0.0);
+    EXPECT_NE(core::taskFingerprint(base),
+              core::taskFingerprint(with_traffic));
+
+    // Every result-affecting channel field moves the fingerprint.
+    core::TaskSpec retimed = with_traffic;
+    retimed.dram.timing.tCasCycles += 1;
+    EXPECT_NE(core::taskFingerprint(with_traffic),
+              core::taskFingerprint(retimed));
+    core::TaskSpec repoliced = with_traffic;
+    repoliced.dram.timing.rowPolicy = dram::RowPolicy::Closed;
+    EXPECT_NE(core::taskFingerprint(with_traffic),
+              core::taskFingerprint(repoliced));
 }
 
 TEST(Resume, TornHeaderJournalWarmStartsAsFresh)

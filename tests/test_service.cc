@@ -158,6 +158,19 @@ TEST(Submission, RejectsBadDocumentsWithDiagnostics)
         {"x", R"({"uav": "jumbo"})", "uav"},
         {"x", R"({"npu_floor": 1.0})", "npu_floor"},
         {"x", R"({"deadline_s": -1})", "deadline_s"},
+        {"x", R"({"dram_banks": 0, "backend": "dram"})", "dram_banks"},
+        {"x", R"({"row_policy": "ajar", "backend": "dram"})",
+         "row_policy"},
+        {"x", R"({"dram_timing": "4:4", "backend": "dram"})",
+         "dram_timing"},
+        // dram_* keys only make sense for the dram/tiered backends.
+        {"x", R"({"dram_banks": 8})", "dram"},
+        {"x", R"({"dram_banks": 8, "backend": "cycle"})", "dram"},
+        // A degenerate channel is diagnosed at submission time.
+        {"x",
+         R"({"backend": "dram", "camera_mbps": 100,)"
+         R"( "dram_timing": "4:4:4:10:36"})",
+         "infeasible"},
         {"x", R"({"tenant": "has space"})", "tenant"},
         {"bad/id", "{}", "id"}, // Path-hostile campaign id.
         {"", "{}", "id"},
@@ -172,6 +185,39 @@ TEST(Submission, RejectsBadDocumentsWithDiagnostics)
             << "error '" << error << "' should mention '" << bad.needle
             << "'";
     }
+}
+
+TEST(Submission, DramKeysBuildBankLevelChannel)
+{
+    runner::CampaignSubmission sub;
+    std::string error;
+    ASSERT_TRUE(runner::parseSubmission(
+        "d-1",
+        R"({"backend": "dram", "dram_banks": 16,)"
+        R"( "row_policy": "closed", "dram_timing": "3:5:7:2000:40",)"
+        R"( "camera_mbps": 400, "host_mbps": 100})",
+        sub, error))
+        << error;
+    EXPECT_EQ(sub.task.spec.backend, "dram");
+    ASSERT_EQ(sub.task.spec.dram.generators.size(), 2u);
+    EXPECT_EQ(sub.task.spec.dram.timing.banks, 16);
+    EXPECT_EQ(sub.task.spec.dram.timing.rowPolicy,
+              autopilot::dram::RowPolicy::Closed);
+    EXPECT_EQ(sub.task.spec.dram.timing.tCasCycles, 3);
+    EXPECT_EQ(sub.task.spec.dram.timing.tRefiCycles, 2000);
+    EXPECT_DOUBLE_EQ(sub.task.spec.dram.backgroundBytesPerSec(),
+                     5.0e8);
+    // The same rates feed the generators, never also the flat
+    // surcharge - bytes must not be billed twice.
+    EXPECT_FALSE(sub.task.spec.contention.enabled());
+
+    // "dram" without traffic keys is legal: the backend then takes the
+    // pure-cycle path (the bit-identical degraded mode).
+    runner::CampaignSubmission quiet;
+    ASSERT_TRUE(runner::parseSubmission(
+        "d-2", R"({"backend": "dram"})", quiet, error))
+        << error;
+    EXPECT_FALSE(quiet.task.spec.dram.enabled());
 }
 
 TEST(Submission, MissionMixScenariosParseIntoTaskSpec)
