@@ -19,6 +19,12 @@
  *     dram backend while the background stream turns from linear to
  *     random; the row-buffer hit rate must fall and both mean latency
  *     and DRAM command energy must rise with the randomness knob.
+ *  6. Operand-precision sweep: one fixed (config, policy) pair at
+ *     int8/fp16/fp32 - MAC energy, SRAM energy and DRAM traffic must
+ *     all strictly increase with element width - then the quantized
+ *     backend over an int8-only vs full-precision Phase 2 space; the
+ *     widened space must shift the Pareto knee (hypervolume can only
+ *     grow, and the front must use more than one precision).
  *
  * Exit code is non-zero when any monotonicity gate fails, so CI can
  * enforce the physics, not just print it.
@@ -36,6 +42,7 @@
 #include "dse/pareto.h"
 #include "nn/e2e_template.h"
 #include "power/dram_model.h"
+#include "power/npu_power.h"
 #include "systolic/cycle_engine.h"
 #include "systolic/engine.h"
 #include "systolic/functional.h"
@@ -343,8 +350,165 @@ main()
               << (energy_monotonic ? "rises" : "NOT MONOTONIC")
               << " as the background stream turns random\n";
 
+    // --- 6. Operand-precision sweep (quantized backend) ---
+    // Fixed (config, policy) pair at int8/fp16/fp32: every cost the
+    // element width touches must respond. Energies (not average watts)
+    // are compared so a longer runtime cannot mask a larger energy.
+    std::cout << "\n(6) Precision sweep at one fixed (config, policy) "
+                 "pair:\n";
+    systolic::AcceleratorConfig precision_config;
+    nn::PolicyHyperParams precision_params;
+    precision_params.numConvLayers = 5;
+    precision_params.numFilters = 32;
+    const nn::Model precision_model =
+        nn::buildE2EModel(precision_params);
+
+    util::Table precisions({"precision", "MAC energy mJ",
+                            "SRAM energy mJ", "DRAM MB", "latency ms"});
+    double prev_mac_mj = -1.0, prev_sram_mj = -1.0;
+    double prev_dram_mb = -1.0;
+    bool mac_energy_grows = true;
+    bool sram_energy_grows = true;
+    bool traffic_grows = true;
+    for (const int width : {1, 2, 4}) {
+        precision_config.bytesPerElement = width;
+        const systolic::AnalyticalEngine engine(precision_config);
+        const systolic::RunResult run = engine.run(precision_model);
+        const power::NpuPowerModel model(precision_config);
+        const power::NpuPowerBreakdown breakdown = model.estimate(run);
+        const double seconds =
+            run.runtimeSeconds(precision_config.clockGhz);
+        const double mac_mj = breakdown.peDynamicW * seconds * 1e3;
+        const double sram_mj = breakdown.sramDynamicW * seconds * 1e3;
+        const double dram_mb = double(run.traffic.totalDramBytes()) / 1e6;
+        if (mac_mj <= prev_mac_mj)
+            mac_energy_grows = false;
+        if (sram_mj <= prev_sram_mj)
+            sram_energy_grows = false;
+        if (dram_mb <= prev_dram_mb)
+            traffic_grows = false;
+        prev_mac_mj = mac_mj;
+        prev_sram_mj = sram_mj;
+        prev_dram_mb = dram_mb;
+        precisions.addRow(
+            {systolic::precisionName(width),
+             util::formatDouble(mac_mj, 4),
+             util::formatDouble(sram_mj, 4),
+             util::formatDouble(dram_mb, 3),
+             util::formatDouble(
+                 run.runtimeSeconds(precision_config.clockGhz) * 1e3,
+                 3)});
+    }
+    precisions.print(std::cout);
+    std::cout << "MAC energy "
+              << (mac_energy_grows ? "grows" : "does NOT grow")
+              << ", SRAM energy "
+              << (sram_energy_grows ? "grows" : "does NOT grow")
+              << " and DRAM traffic "
+              << (traffic_grows ? "grows" : "does NOT grow")
+              << " strictly with element width\n";
+
+    // Knee shift: the same budget of random base configs, evaluated by
+    // the quantized backend over the pinned int8 space and over the
+    // full int8+fp16+fp32 space. The widened space's points are a
+    // superset in objective space, so its front hypervolume can only
+    // grow; a genuine knee shift additionally puts more than one
+    // precision on the front.
+    std::cout << "\n(6b) Quantized backend: int8-only vs "
+                 "int8+fp16+fp32 design space (same 60 base configs):\n";
+    const std::vector<int> full_widths = {1, 2, 4};
+    dse::DseEvaluator quantized(db, airlearning::ObstacleDensity::Dense,
+                                "quantized", {}, {}, full_widths);
+    util::Rng knee_rng(0x0DD5);
+    std::vector<dse::Encoding> base_points;
+    std::set<dse::Encoding> base_seen;
+    while (base_points.size() < 60) {
+        dse::Encoding encoding =
+            quantized.space().randomEncoding(knee_rng);
+        encoding[dse::precisionDim] = 0;
+        if (base_seen.insert(encoding).second)
+            base_points.push_back(encoding);
+    }
+    std::vector<dse::Encoding> all_points;
+    for (const dse::Encoding &base : base_points) {
+        for (std::size_t w = 0; w < full_widths.size(); ++w) {
+            dse::Encoding encoding = base;
+            encoding[dse::precisionDim] = int(w);
+            all_points.push_back(encoding);
+        }
+    }
+    quantized.evaluateBatch(all_points);
+
+    // Per-base-config physics: widening the operands must never lower
+    // the collision-avoidance success rate (the fp recovery term) and
+    // must strictly raise per-inference NPU energy (power x latency -
+    // average watts alone could hide the cost behind a longer runtime).
+    bool success_monotonic = true;
+    bool npu_energy_monotonic = true;
+    std::vector<dse::Objectives> int8_objectives;
+    std::vector<dse::Objectives> full_objectives;
+    std::size_t front_precisions = 0;
+    {
+        std::vector<const dse::Evaluation *> evals;
+        for (const dse::Encoding &encoding : all_points)
+            evals.push_back(&quantized.evaluate(encoding));
+        for (std::size_t i = 0; i < evals.size(); i += 3) {
+            if (evals[i]->successRate > evals[i + 1]->successRate ||
+                evals[i + 1]->successRate > evals[i + 2]->successRate)
+                success_monotonic = false;
+            const double mj_int8 =
+                evals[i]->npuPowerW * evals[i]->latencyMs;
+            const double mj_fp16 =
+                evals[i + 1]->npuPowerW * evals[i + 1]->latencyMs;
+            const double mj_fp32 =
+                evals[i + 2]->npuPowerW * evals[i + 2]->latencyMs;
+            if (mj_int8 >= mj_fp16 || mj_fp16 >= mj_fp32)
+                npu_energy_monotonic = false;
+            int8_objectives.push_back(evals[i]->objectives);
+        }
+        for (const dse::Evaluation *eval : evals)
+            full_objectives.push_back(eval->objectives);
+
+        const auto full_front = dse::paretoFront(full_objectives);
+        std::set<std::string> widths_on_front;
+        for (const dse::Evaluation *eval : evals) {
+            for (const dse::Objectives &obj : full_front) {
+                if (obj == eval->objectives)
+                    widths_on_front.insert(eval->precision);
+            }
+        }
+        front_precisions = widths_on_front.size();
+    }
+    const double int8_hv =
+        dse::hypervolume(dse::paretoFront(int8_objectives), reference);
+    const double full_hv =
+        dse::hypervolume(dse::paretoFront(full_objectives), reference);
+    const bool knee_shifts =
+        full_hv >= int8_hv && front_precisions > 1;
+    std::cout << "int8-only hypervolume "
+              << util::formatDouble(int8_hv, 4)
+              << ", int8+fp16+fp32 hypervolume "
+              << util::formatDouble(full_hv, 4) << " (+"
+              << util::formatDouble(
+                     int8_hv > 0.0
+                         ? 100.0 * (full_hv - int8_hv) / int8_hv
+                         : 0.0,
+                     2)
+              << " %), " << front_precisions
+              << " precisions on the widened front\n";
+    std::cout << "success rate "
+              << (success_monotonic ? "never falls" : "FALLS")
+              << " and per-inference NPU energy "
+              << (npu_energy_monotonic ? "strictly rises"
+                                       : "NOT MONOTONIC")
+              << " with element width; knee "
+              << (knee_shifts ? "shifts" : "does NOT shift") << "\n";
+
     return latency_monotonic && hv_monotonic && hit_rate_falls &&
-                   dram_latency_monotonic && energy_monotonic
+                   dram_latency_monotonic && energy_monotonic &&
+                   mac_energy_grows && sram_energy_grows &&
+                   traffic_grows && success_monotonic &&
+                   npu_energy_monotonic && knee_shifts
                ? 0
                : 1;
 }

@@ -38,8 +38,8 @@ main()
     util::Rng rng(0x1A8);
 
     const char *dim_names[dse::designDims] = {
-        "NN layers",  "NN filters",  "PE rows",  "PE cols",
-        "ifmap SRAM", "filter SRAM", "ofmap SRAM"};
+        "NN layers",  "NN filters",  "PE rows",    "PE cols",
+        "ifmap SRAM", "filter SRAM", "ofmap SRAM", "precision"};
 
     std::vector<std::vector<double>> power_delta(dse::designDims);
     std::vector<std::vector<double>> latency_delta(dse::designDims);

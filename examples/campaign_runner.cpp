@@ -39,7 +39,8 @@
  *                      for --resume. Default: no checkpointing.
  *   --resume [DIR]     Warm-start from DIR (or the --dir value).
  *   --optimizer NAME   bo | nsga2 | sa | random     (default bo)
- *   --backend NAME     analytical | cycle | tiered | contention | dram
+ *   --backend NAME     analytical | quantized | cycle | tiered |
+ *                      contention | dram
  *                      (default analytical)
  *   --camera-mbps X    Background camera DRAM traffic, MB/s (default 0)
  *   --host-mbps X      Background host DRAM traffic, MB/s   (default 0)
@@ -61,6 +62,11 @@
  *                      weighted missions-per-charge across the mix
  *                      becomes the selection objective. Mutually
  *                      exclusive with --airframe.
+ *   --precision LIST   Comma-separated operand widths searched by
+ *                      Phase 2: subset of int8,fp16,fp32 (default
+ *                      int8). More than one width adds precision as an
+ *                      8th design dimension and switches the archive/
+ *                      journal to the precision-labelled layout.
  *
  * The contention flags describe camera/host streams sharing the NPU's
  * DRAM channel (see systolic::ContentionProfile); they shape the
@@ -87,6 +93,7 @@
 #include "dram/config.h"
 #include "runner/campaign.h"
 #include "runner/service.h"
+#include "systolic/config.h"
 #include "uav/uav_spec.h"
 #include "util/cancel.h"
 #include "util/logging.h"
@@ -100,7 +107,7 @@ usage(const std::string &error)
     std::cerr << "campaign_runner: " << error << "\n"
               << "usage: campaign_runner [--dir DIR] [--resume [DIR]]\n"
               << "         [--optimizer bo|nsga2|sa|random]\n"
-              << "         [--backend analytical|cycle|tiered|"
+              << "         [--backend analytical|quantized|cycle|tiered|"
                  "contention|dram]\n"
               << "         [--camera-mbps X] [--host-mbps X]"
                  " [--npu-floor F]\n"
@@ -110,6 +117,7 @@ usage(const std::string &error)
               << "         [--concurrency N] [--deadline SECONDS]\n"
               << "         [--airframe quad|fixed-wing]"
                  " [--mission-mix FILE]\n"
+              << "         [--precision int8[,fp16[,fp32]]]\n"
               << "   or: campaign_runner --serve ROOT [--max-active N]\n"
               << "         [--workers N] [--poll SECONDS]"
                  " [--max-campaigns N]\n";
@@ -155,6 +163,7 @@ main(int argc, char **argv)
     bool hasDramFlag = false;
     std::string airframeName;
     std::string missionMixFile;
+    std::vector<int> precisions = {1};
 
     const std::vector<std::string> args(argv + 1, argv + argc);
     auto value = [&](std::size_t &i) -> const std::string & {
@@ -219,6 +228,11 @@ main(int argc, char **argv)
             airframeName = value(i);
         } else if (arg == "--mission-mix") {
             missionMixFile = value(i);
+        } else if (arg == "--precision") {
+            std::string error;
+            if (!systolic::parsePrecisionList(value(i), precisions,
+                                              error))
+                usage("bad --precision: " + error);
         } else {
             usage("unknown flag '" + arg + "'");
         }
@@ -332,6 +346,7 @@ main(int argc, char **argv)
         task.spec.dram = dramSpec;
         task.spec.optimizer = optimizer;
         task.spec.missionMix = missionMix;
+        task.spec.precisions = precisions;
         task.uav = uav::zhangNano();
         task.deadlineSeconds = deadlineSeconds;
         tasks.push_back(task);
@@ -352,6 +367,9 @@ main(int argc, char **argv)
                   << "-row)";
     if (!missionMix.isDefault())
         std::cout << ", mission mix '" << missionMix.tag() << "'";
+    if (precisions.size() > 1)
+        std::cout << ", precision "
+                  << systolic::formatPrecisionList(precisions);
     std::cout << (dir.empty() ? ""
                               : (resume ? ", resuming" : ", journaled"))
               << "\n\n";

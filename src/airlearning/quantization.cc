@@ -1,0 +1,54 @@
+#include "airlearning/quantization.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/logging.h"
+
+namespace autopilot::airlearning
+{
+
+double
+quantizationPenalty(const nn::PolicyHyperParams &params)
+{
+    util::fatalIf(params.numConvLayers <= 0 || params.numFilters <= 0,
+                  "quantizationPenalty: hyperparameters must be positive");
+    // Penalty shrinks with network capacity: a 2-layer/32-filter policy
+    // loses ~6% success to int8 rounding, the 10-layer/64-filter one
+    // ~2%. The 1/sqrt(capacity) shape mirrors how quantization error
+    // averages out over more accumulations.
+    const double capacity = static_cast<double>(params.numConvLayers) *
+                            static_cast<double>(params.numFilters);
+    return 0.5 / std::sqrt(capacity);
+}
+
+double
+quantizedSuccessRate(double baseSuccessRate,
+                     const nn::PolicyHyperParams &params,
+                     int bytesPerElement)
+{
+    // The database record IS the int8 number: return it untouched so
+    // default-precision runs stay bit-identical.
+    if (bytesPerElement == 1)
+        return baseSuccessRate;
+
+    double recovered = 0.0;
+    switch (bytesPerElement) {
+    case 2:
+        recovered = 0.75;
+        break;
+    case 4:
+        recovered = 1.0;
+        break;
+    default:
+        util::fatal("quantizedSuccessRate: unsupported operand width " +
+                    std::to_string(bytesPerElement) +
+                    " bytes (want 1, 2 or 4)");
+    }
+    const double adjusted =
+        baseSuccessRate + recovered * quantizationPenalty(params);
+    return std::min(1.0, adjusted);
+}
+
+} // namespace autopilot::airlearning

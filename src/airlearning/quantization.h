@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Precision-aware success-rate surrogate for Phase 1 policies.
+ *
+ * The Air Learning database stores success rates validated with INT8
+ * quantized inference (the paper's deployment precision), so the record
+ * already includes the quantization penalty. When the Phase 2 search
+ * widens the precision axis, running the same policy at fp16/fp32
+ * recovers part or all of that penalty: quantization error is an
+ * accuracy loss relative to full precision, and the loss is larger for
+ * small networks (fewer layers/filters mean less redundancy to absorb
+ * rounding noise - the AutoSoC observation that precision must be
+ * co-designed with the accelerator).
+ */
+
+#ifndef AUTOPILOT_AIRLEARNING_QUANTIZATION_H
+#define AUTOPILOT_AIRLEARNING_QUANTIZATION_H
+
+#include "nn/e2e_template.h"
+
+namespace autopilot::airlearning
+{
+
+/**
+ * INT8 quantization penalty of a policy: the success-rate gap between
+ * the stored INT8 validation number and a full-precision deployment of
+ * the same weights. Deterministic in the hyperparameters; larger for
+ * smaller networks.
+ */
+double quantizationPenalty(const nn::PolicyHyperParams &params);
+
+/**
+ * Success rate of @p params deployed at @p bytesPerElement, given the
+ * database's INT8-validated @p baseSuccessRate.
+ *
+ * bytesPerElement == 1 returns @p baseSuccessRate verbatim (bit-for-bit:
+ * the record already is the int8 number). fp16 (2) recovers three
+ * quarters of the quantization penalty, fp32 (4) recovers all of it;
+ * the result is clamped to 1. Fatal on any other width.
+ */
+double quantizedSuccessRate(double baseSuccessRate,
+                            const nn::PolicyHyperParams &params,
+                            int bytesPerElement);
+
+} // namespace autopilot::airlearning
+
+#endif // AUTOPILOT_AIRLEARNING_QUANTIZATION_H

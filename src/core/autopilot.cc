@@ -43,6 +43,12 @@ taskFingerprint(const TaskSpec &task)
     // fingerprint and stays resumable.
     if (task.dram.enabled())
         key << "|dram|" << task.dram.fingerprintText();
+    // The default int8-only precision set contributes nothing, so every
+    // pre-precision checkpoint and journal keeps its fingerprint and
+    // stays resumable.
+    if (task.precisions != std::vector<int>{1})
+        key << "|precision|"
+            << systolic::formatPrecisionList(task.precisions);
     // The default mix contributes nothing, so every pre-mix checkpoint
     // and journal keeps its fingerprint and stays resumable.
     if (!task.missionMix.isDefault()) {
@@ -102,6 +108,19 @@ AutoPilot::AutoPilot(const TaskSpec &task) : taskSpec(task)
     util::fatalIf(!optimizerKnown, "AutoPilot: unknown optimizer '" +
                                        taskSpec.optimizer + "'");
     taskSpec.missionMix.validate();
+    util::fatalIf(taskSpec.precisions.empty(),
+                  "AutoPilot: precision set must not be empty");
+    int previousWidth = 0;
+    for (const int width : taskSpec.precisions) {
+        util::fatalIf(width != 1 && width != 2 && width != 4,
+                      "AutoPilot: unsupported precision width " +
+                          std::to_string(width) +
+                          " bytes (want 1, 2 or 4)");
+        util::fatalIf(width <= previousWidth,
+                      "AutoPilot: precision set must be strictly "
+                      "ascending");
+        previousWidth = width;
+    }
     if (!taskSpec.checkpointDir.empty())
         std::filesystem::create_directories(taskSpec.checkpointDir);
     if (taskSpec.telemetry)
@@ -180,7 +199,7 @@ AutoPilot::phase2()
 
     dse::DseEvaluator evaluator(phase1(), taskSpec.density,
                                 taskSpec.backend, taskSpec.contention,
-                                taskSpec.dram);
+                                taskSpec.dram, taskSpec.precisions);
     taskSpec.cancel.check("Phase 2 start");
     util::TraceSpan span("phase2", "autopilot");
     evaluator.setThreadPool(workerPool());
@@ -224,7 +243,8 @@ AutoPilot::phase2()
         }
         evaluator.preload(replayed);
         journal = std::make_unique<io::EvalJournalWriter>(
-            journalPath, fingerprint, replayed);
+            journalPath, fingerprint, replayed,
+            taskSpec.precisions.size() > 1);
         evaluator.setJournalSink(
             [writer = journal.get()](
                 std::span<const dse::Evaluation> batch) {

@@ -134,6 +134,20 @@ struct TaskSpec
     /// and journals keep resuming. Validated at construction; a
     /// non-default mix is folded into taskFingerprint().
     uav::MissionMix missionMix;
+    /// Searchable operand precisions for the Phase 2 design space's 8th
+    /// dimension, as ascending bytes-per-element drawn from {1,2,4}
+    /// (int8/fp16/fp32; see systolic::precisionName). The default
+    /// int8-only set pins the axis: no RNG draws are spent on it, the
+    /// archive keeps the legacy column layout, and nothing is folded
+    /// into the fingerprint - results are bit-identical to the
+    /// pre-precision pipeline and old journals keep resuming. A wider
+    /// set makes precision a search dimension (pair with the
+    /// "quantized" backend for per-precision telemetry): wider operands
+    /// pay quadratically more MAC energy and proportionally more
+    /// SRAM/DRAM traffic but recover the Phase 1 int8 quantization
+    /// penalty. Validated at construction; folded into
+    /// taskFingerprint() when non-default.
+    std::vector<int> precisions = {1};
     /// Enable the run-telemetry subsystem (util::Telemetry): Phase
     /// 1/2/3 trace spans, per-evaluation simulate spans, cache/pool
     /// metrics, and a summary table appended to printRunReport(). Off
@@ -148,7 +162,8 @@ struct TaskSpec
  * 64-bit fingerprint (FNV-1a) over every TaskSpec field that affects
  * results: density, budgets, tolerance, latency bound, seed, backend,
  * optimizer, the contention profile and (when non-default) the mission
- * mix and the bank-level DRAM channel. Deliberately EXCLUDES threads,
+ * mix, the bank-level DRAM channel and the precision set. Deliberately
+ * EXCLUDES threads,
  * cancel and telemetry (results
  * are byte-identical across thread counts, so a journal written at
  * --threads 4 legitimately resumes at --threads 1) and the

@@ -4,9 +4,16 @@
  * optimizers.
  *
  * A design point is a (policy hyperparameters, accelerator configuration)
- * pair. For the optimizers each point is a vector of seven choice indices:
+ * pair. For the optimizers each point is a vector of eight choice indices:
  *
- *   [layers, filters, peRows, peCols, ifmapKb, filterKb, ofmapKb]
+ *   [layers, filters, peRows, peCols, ifmapKb, filterKb, ofmapKb,
+ *    precision]
+ *
+ * The precision dimension (operand bytes per element) defaults to the
+ * single int8 choice, so legacy searches see exactly the seven-dimension
+ * space they always did: size-1 dimensions draw no RNG samples and
+ * contribute a constant-zero GP feature, keeping results bit-identical
+ * to the pre-precision encoding.
  *
  * Index space (not raw values) is also what the Gaussian process sees,
  * normalized to [0, 1] per dimension - the power-of-two hardware choices
@@ -30,7 +37,10 @@ namespace autopilot::dse
 {
 
 /** Number of encoded dimensions. */
-constexpr std::size_t designDims = 7;
+constexpr std::size_t designDims = 8;
+
+/** Encoded dimension holding the operand precision choice index. */
+constexpr std::size_t precisionDim = 7;
 
 /** Choice-index encoding of one design point. */
 using Encoding = std::array<int, designDims>;
@@ -58,13 +68,32 @@ struct DesignPoint
 class DesignSpace
 {
   public:
-    /** Default space per Table II. */
+    /** Default space per Table II: precision pinned to int8. */
     DesignSpace();
+
+    /**
+     * Space with a configurable precision axis. @p precisionChoices must
+     * be non-empty, strictly ascending operand widths drawn from
+     * {1, 2, 4} (fatal otherwise). {1} reproduces the default space.
+     */
+    explicit DesignSpace(const std::vector<int> &precisionChoices);
 
     /** Number of legal values in each encoded dimension. */
     const std::array<int, designDims> &dimensionSizes() const
     {
         return dimSizes;
+    }
+
+    /** Legal operand widths on the precision axis (ascending). */
+    const std::vector<int> &precisionChoices() const
+    {
+        return hwSpace.bytesPerElementChoices;
+    }
+
+    /** True when more than one precision is searchable (non-default). */
+    bool precisionAxisEnabled() const
+    {
+        return hwSpace.bytesPerElementChoices.size() > 1;
     }
 
     /** Total number of design points. */
@@ -80,12 +109,17 @@ class DesignSpace
     Encoding randomEncoding(util::Rng &rng) const;
 
     /**
-     * A neighbouring encoding: one dimension stepped by +/-1 (used by
-     * simulated annealing); clamped to the legal range.
+     * A neighbouring encoding: one searchable dimension stepped by +/-1
+     * (used by simulated annealing); clamped to the legal range.
+     * Dimensions with a single legal value are never picked - stepping
+     * them could only self-move, burning annealer budget - so the
+     * proposal always differs from the input whenever any dimension has
+     * at least two choices.
      */
     Encoding neighbor(const Encoding &encoding, util::Rng &rng) const;
 
-    /** Normalized [0,1]^7 feature vector for the GP surrogate. */
+    /** Normalized [0,1]^8 feature vector for the GP surrogate; size-1
+     *  dimensions contribute a constant 0. */
     std::vector<double> features(const Encoding &encoding) const;
 
   private:

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "airlearning/quantization.h"
 #include "dram/engine.h"
 #include "dse/hypervolume.h"
 #include "nn/e2e_template.h"
@@ -43,7 +44,11 @@ evaluateWithEngine(const systolic::Engine &engine,
                   "EvalBackend: no Phase 1 record for policy " +
                       nn::policyName(point.policy) +
                       " - run the trainer first");
-    evaluation.successRate = record->successRate;
+    // The Phase 1 record is int8-validated; deploying at a wider
+    // precision recovers part of the quantization penalty (verbatim
+    // pass-through at the int8 default).
+    evaluation.successRate = airlearning::quantizedSuccessRate(
+        record->successRate, point.policy, point.accel.bytesPerElement);
 
     const nn::Model model = nn::buildE2EModel(point.policy);
     const systolic::RunResult run = engine.run(model);
@@ -130,6 +135,9 @@ BackendRegistry::BackendRegistry()
 {
     factories["analytical"] = [](const BackendContext &context) {
         return std::make_unique<AnalyticalBackend>(context);
+    };
+    factories["quantized"] = [](const BackendContext &context) {
+        return std::make_unique<QuantizedBackend>(context);
     };
     factories["cycle"] = [](const BackendContext &context) {
         return std::make_unique<CycleBackend>(context);
@@ -335,7 +343,12 @@ AnalyticalBackend::batchEvaluate(std::span<const DesignPoint> points,
             const std::size_t i = group.indices[chunk.begin + j];
             Evaluation evaluation;
             evaluation.point = points[i];
-            evaluation.successRate = group.successRate;
+            // Per point, not per group: the group shares a policy but
+            // its points may carry different precisions. Verbatim at
+            // int8, so the batch path stays bit-identical to scalar.
+            evaluation.successRate = airlearning::quantizedSuccessRate(
+                group.successRate, points[i].policy,
+                points[i].accel.bytesPerElement);
             evaluation.npuPowerW = npu_w[j];
             evaluation.socPowerW = soc_w[j];
             // Same expressions as RunResult::runtimeSeconds /
@@ -387,6 +400,35 @@ AnalyticalBackend::screenBatch(std::span<const DesignPoint> points,
             out[i] = std::move(evaluation);
         },
         screen_hist, "dse.screen");
+}
+
+// ------------------------------------------------------------- quantized ----
+
+QuantizedBackend::QuantizedBackend(const BackendContext &context)
+    : AnalyticalBackend(context)
+{
+}
+
+void
+QuantizedBackend::evaluateBatch(std::span<const DesignPoint> points,
+                                util::ThreadPool *pool,
+                                const CommitFn &commit)
+{
+    util::Telemetry &telemetry = util::Telemetry::instance();
+    if (telemetry.enabled() && !points.empty()) {
+        // Per-precision spread of the batch: how the search splits its
+        // budget across the int8/fp16/fp32 axis.
+        std::map<int, std::uint64_t> perWidth;
+        for (const DesignPoint &point : points)
+            ++perWidth[point.accel.bytesPerElement];
+        for (const auto &[width, count] : perWidth) {
+            telemetry.metrics()
+                .counter("dse.quantized." +
+                         systolic::precisionName(width) + ".points")
+                .add(count);
+        }
+    }
+    AnalyticalBackend::evaluateBatch(points, pool, commit);
 }
 
 CycleBackend::CycleBackend(const BackendContext &context) : ctx(context)
@@ -489,7 +531,8 @@ DramBackend::evaluate(const DesignPoint &point)
                   "EvalBackend: no Phase 1 record for policy " +
                       nn::policyName(point.policy) +
                       " - run the trainer first");
-    evaluation.successRate = record->successRate;
+    evaluation.successRate = airlearning::quantizedSuccessRate(
+        record->successRate, point.policy, point.accel.bytesPerElement);
 
     const nn::Model model = nn::buildE2EModel(point.policy);
     const systolic::RunResult run = engine.run(model);

@@ -9,11 +9,16 @@
  * backend and routes every cache miss through it, so the memoization,
  * batching and determinism machinery is shared by all cost models.
  *
- * Five backends ship in-tree, keyed in the BackendRegistry:
+ * Six backends ship in-tree, keyed in the BackendRegistry:
  *
  *  - "analytical": the closed-form AnalyticalEngine + NPU/SoC power
  *    stack - the historical DseEvaluator::compute() path, bit-identical
  *    to it. The default; fast enough to burn inside the DSE loop.
+ *  - "quantized": the analytical stack with the precision search axis
+ *    made explicit - same numbers, rows archive backend "quantized",
+ *    and per-precision "dse.quantized.<label>.points" telemetry shows
+ *    how the search spreads across int8/fp16/fp32 (pair with
+ *    TaskSpec::precisions to widen the 8th design dimension).
  *  - "cycle": the same power stack on the cycle-stepped reference
  *    CycleEngine (explicit double-buffered prefetch timeline). Slower,
  *    higher fidelity; previously reachable only from the benches.
@@ -245,6 +250,31 @@ class AnalyticalBackend : public EvalBackend
     /// Compiled plans per policy (<= |PolicySpace| = 27 entries),
     /// built on first use behind a mutex.
     std::unique_ptr<PlanCache> plans;
+};
+
+/**
+ * Precision-aware analytical backend for quantized-inference search.
+ *
+ * Numerically identical to AnalyticalBackend - every backend already
+ * prices the design point's bytesPerElement (traffic, MAC/SRAM energy,
+ * fold occupancy) and recovers the Phase 1 quantization penalty at
+ * wider precisions - so this subclass exists to make the precision axis
+ * an explicit, named choice: rows archive backend "quantized", and each
+ * batch additionally bumps per-precision "dse.quantized.<label>.points"
+ * counters so telemetry shows how the search spreads across int8/fp16/
+ * fp32. Pair it with TaskSpec::precisions to widen the 8th dimension;
+ * with the default int8-only axis it is bit-identical to "analytical"
+ * except for the archived backend name.
+ */
+class QuantizedBackend : public AnalyticalBackend
+{
+  public:
+    explicit QuantizedBackend(const BackendContext &context);
+
+    std::string name() const override { return "quantized"; }
+    void evaluateBatch(std::span<const DesignPoint> points,
+                       util::ThreadPool *pool,
+                       const CommitFn &commit) override;
 };
 
 /** Cycle-stepped reference engine + the same power stack. */

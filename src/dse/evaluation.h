@@ -77,6 +77,11 @@ struct Evaluation
     /// generators), else the compact channel tag. CSV-safe by
     /// construction.
     std::string dramKey = "-";
+    /// Operand precision label (systolic::precisionName) when the
+    /// precision axis is searchable: "-" for legacy single-precision
+    /// runs (which also selects the legacy archive layout), else
+    /// "int8"/"fp16"/"fp32". CSV-safe by construction.
+    std::string precision = "-";
 };
 
 } // namespace autopilot::dse

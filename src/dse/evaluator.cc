@@ -11,19 +11,22 @@ DseEvaluator::DseEvaluator(const airlearning::PolicyDatabase &database,
                            airlearning::ObstacleDensity density,
                            const std::string &backend,
                            const systolic::ContentionProfile &contention,
-                           const dram::DramSpec &dram)
+                           const dram::DramSpec &dram,
+                           const std::vector<int> &precisions)
     : DseEvaluator(database, density,
                    makeBackend(backend, BackendContext{&database,
                                                        density,
                                                        contention,
-                                                       dram}))
+                                                       dram}),
+                   precisions)
 {
 }
 
 DseEvaluator::DseEvaluator(const airlearning::PolicyDatabase &database,
                            airlearning::ObstacleDensity density,
-                           std::unique_ptr<EvalBackend> backend)
-    : policyDb(database), scenario(density),
+                           std::unique_ptr<EvalBackend> backend,
+                           const std::vector<int> &precisions)
+    : policyDb(database), scenario(density), designSpace(precisions),
       evalBackend(std::move(backend))
 {
     util::fatalIf(evalBackend == nullptr,
@@ -163,6 +166,14 @@ DseEvaluator::evaluateBatch(std::span<const Encoding> encodings)
                 Node *node = claimed[i].node;
                 evaluation.encoding = node->evaluation.encoding;
                 evaluation.scenario = scenarioTag;
+                // Label the operand width only when the axis is
+                // searchable: the "-" default selects the legacy
+                // archive layout, keeping single-precision runs
+                // byte-identical on disk.
+                if (designSpace.precisionAxisEnabled()) {
+                    evaluation.precision = systolic::precisionName(
+                        evaluation.point.accel.bytesPerElement);
+                }
                 Shard &shard = shards[claimed[i].shard];
                 {
                     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -214,12 +225,21 @@ DseEvaluator::preload(std::span<const Evaluation> evaluations)
     // adaptive band) from the same prefix the cache is loaded from.
     evalBackend->warmStart(evaluations);
     for (const Evaluation &evaluation : evaluations) {
-        Shard &shard = shardFor(evaluation.encoding);
+        // Re-encode through THIS evaluator's space so cache keys are
+        // normalized: a journal archives 7 encoding columns plus a
+        // precision label, and the label's index depends on the
+        // configured precision set. encode() also rejects (fatal, with
+        // the dimension named) any replayed point outside the space -
+        // the fingerprint gate upstream makes that unreachable in
+        // normal operation.
+        const Encoding key = designSpace.encode(evaluation.point);
+        Shard &shard = shardFor(key);
         std::lock_guard<std::mutex> lock(shard.mutex);
-        if (shard.entries.count(evaluation.encoding) != 0)
+        if (shard.entries.count(key) != 0)
             continue; // First replayed row wins; the rest are hits.
         auto node = std::make_unique<Node>();
         node->evaluation = evaluation;
+        node->evaluation.encoding = key;
         node->replayFresh = true;
         {
             std::lock_guard<std::mutex> orderLock(orderMutex);
@@ -227,7 +247,7 @@ DseEvaluator::preload(std::span<const Evaluation> evaluations)
             evaluationOrder.push_back(node.get());
         }
         node->ready.store(true, std::memory_order_release);
-        shard.entries.emplace(evaluation.encoding, std::move(node));
+        shard.entries.emplace(key, std::move(node));
     }
 }
 

@@ -107,12 +107,17 @@ class DseEvaluator
      *                 backend (and, when enabled, the tiered verify
      *                 tier); the default spec (no traffic generators)
      *                 leaves every backend's results untouched.
+     * @param precisions Searchable operand widths for the precision
+     *                 axis (ascending, from {1,2,4}); the default
+     *                 int8-only set pins the axis and keeps results
+     *                 bit-identical to the legacy 7-dimension space.
      */
     DseEvaluator(const airlearning::PolicyDatabase &database,
                  airlearning::ObstacleDensity density,
                  const std::string &backend = "analytical",
                  const systolic::ContentionProfile &contention = {},
-                 const dram::DramSpec &dram = {});
+                 const dram::DramSpec &dram = {},
+                 const std::vector<int> &precisions = {1});
 
     /**
      * Construct with an explicit backend instance (for tests and
@@ -121,7 +126,8 @@ class DseEvaluator
      */
     DseEvaluator(const airlearning::PolicyDatabase &database,
                  airlearning::ObstacleDensity density,
-                 std::unique_ptr<EvalBackend> backend);
+                 std::unique_ptr<EvalBackend> backend,
+                 const std::vector<int> &precisions = {1});
 
     ~DseEvaluator();
 

@@ -123,14 +123,20 @@ GeneticAlgorithm::optimize(DseEvaluator &evaluator,
         while (static_cast<int>(children.size()) < cfg.populationSize) {
             const Individual &parent_a = tournament();
             const Individual &parent_b = tournament();
+            // Size-1 genes are skipped before any draw so the RNG stream
+            // matches the legacy 7-gene genome when precision is pinned.
             Encoding child = parent_a.genes;
             if (rng.bernoulli(cfg.crossoverProb)) {
                 for (std::size_t g = 0; g < designDims; ++g) {
+                    if (space.dimensionSizes()[g] <= 1)
+                        continue;
                     if (rng.bernoulli(0.5))
                         child[g] = parent_b.genes[g];
                 }
             }
             for (std::size_t g = 0; g < designDims; ++g) {
+                if (space.dimensionSizes()[g] <= 1)
+                    continue;
                 if (rng.bernoulli(cfg.mutationProbPerGene)) {
                     child[g] = rng.uniformInt(
                         0, space.dimensionSizes()[g] - 1);

@@ -104,13 +104,15 @@ readEvalJournal(const std::string &path)
 
 EvalJournalWriter::EvalJournalWriter(
     const std::string &path, std::uint64_t fingerprint,
-    std::span<const dse::Evaluation> replayed)
+    std::span<const dse::Evaluation> replayed, bool precisionColumn)
     : filePath(path), out(path, std::ios::trunc)
 {
     util::fatalIf(!out, "EvalJournalWriter: cannot open '" + path +
                             "' for writing");
     writeFingerprintLine(out, fingerprint);
-    const std::vector<std::string> &header = dseArchiveHeader();
+    const std::vector<std::string> &header =
+        precisionColumn ? dsePrecisionArchiveHeader()
+                        : dseArchiveHeader();
     for (std::size_t i = 0; i < header.size(); ++i)
         out << header[i] << (i + 1 == header.size() ? "\n" : ",");
     for (const dse::Evaluation &eval : replayed)

@@ -64,13 +64,20 @@ JournalReplay readEvalJournal(const std::string &path);
  * lose nothing and a kill during append() loses at most that batch
  * (the torn tail is dropped on the next replay).
  *
+ * @p precisionColumn selects the archive layout written by the header:
+ * true emits dsePrecisionArchiveHeader() (rows carry the trailing
+ * operand-precision label), false the classic dseArchiveHeader().
+ * Single-precision runs must pass false so their journals stay
+ * byte-identical to pre-precision ones.
+ *
  * append() is thread-safe; batches land in call order.
  */
 class EvalJournalWriter
 {
   public:
     EvalJournalWriter(const std::string &path, std::uint64_t fingerprint,
-                      std::span<const dse::Evaluation> replayed = {});
+                      std::span<const dse::Evaluation> replayed = {},
+                      bool precisionColumn = false);
 
     void append(std::span<const dse::Evaluation> batch);
 

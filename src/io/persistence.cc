@@ -84,6 +84,25 @@ const std::vector<std::string> databaseHeader = {
     "density",      "success_rate", "model_params",
     "model_macs",   "training_steps", "converged"};
 
+/// Encoding columns of every archive layout: the seven legacy choice
+/// indices. The 8th design dimension (precision) is archived as a
+/// trailing LABEL column instead of an index - an index would be
+/// ambiguous across precision sets ({1,2} and {1,2,4} number fp16
+/// differently), and keeping the encoding columns fixed at seven is
+/// what lets pre-precision journals replay byte-identically.
+constexpr std::size_t encodedColumns = 7;
+
+/// Precision-axis archive layout: the 17-column layout plus a trailing
+/// operand-precision label ("int8"/"fp16"/"fp32"). Written only when
+/// the precision axis is searchable; single-precision runs keep the
+/// 17-column layout below so their archives stay byte-identical.
+const std::vector<std::string> precisionArchiveHeader = {
+    "layers_idx",  "filters_idx", "pe_rows_idx",   "pe_cols_idx",
+    "ifmap_idx",   "filter_idx",  "ofmap_idx",     "success_rate",
+    "npu_power_w", "soc_power_w", "latency_ms",    "fps",
+    "backend",     "fidelity",    "contention_bps", "scenario",
+    "dram",        "precision"};
+
 const std::vector<std::string> archiveHeader = {
     "layers_idx",  "filters_idx", "pe_rows_idx",   "pe_cols_idx",
     "ifmap_idx",   "filter_idx",  "ofmap_idx",     "success_rate",
@@ -193,7 +212,10 @@ std::string
 tryDecodeArchiveRow(const std::vector<std::string> &row,
                     const dse::DesignSpace &space, dse::Evaluation &eval)
 {
-    for (std::size_t d = 0; d < dse::designDims; ++d) {
+    // Seven index columns in every layout; the precision dimension
+    // arrives (if at all) as the trailing label column handled below.
+    eval.encoding.fill(0);
+    for (std::size_t d = 0; d < encodedColumns; ++d) {
         const std::string reason = tryParseInt(row[d], eval.encoding[d]);
         if (!reason.empty())
             return reason;
@@ -233,6 +255,17 @@ tryDecodeArchiveRow(const std::vector<std::string> &row,
         eval.dramKey = row[16];
     }
     eval.point = space.decode(eval.encoding);
+    if (row.size() > archiveHeader.size()) {
+        // Precision label column: decode through the default space
+        // first (index 0 = int8), then override the operand width from
+        // the archived label - the label, not an index, is what stays
+        // unambiguous across precision sets.
+        int width = 0;
+        if (!systolic::precisionFromName(row[17], width))
+            return "unknown precision '" + row[17] + "'";
+        eval.precision = row[17];
+        eval.point.accel.bytesPerElement = width;
+    }
     eval.objectives = {1.0 - eval.successRate, eval.socPowerW,
                        eval.latencyMs};
     return {};
@@ -337,17 +370,27 @@ const std::vector<std::vector<std::string>> &
 dseArchiveAcceptedHeaders()
 {
     static const std::vector<std::vector<std::string>> accepted = {
-        archiveHeader, legacyScenarioArchiveHeader,
-        legacyContentionArchiveHeader, legacyBackendArchiveHeader,
-        legacyArchiveHeader};
+        precisionArchiveHeader, archiveHeader,
+        legacyScenarioArchiveHeader, legacyContentionArchiveHeader,
+        legacyBackendArchiveHeader, legacyArchiveHeader};
     return accepted;
+}
+
+const std::vector<std::string> &
+dsePrecisionArchiveHeader()
+{
+    return precisionArchiveHeader;
 }
 
 void
 writeDseArchiveRow(const dse::Evaluation &eval, std::ostream &os)
 {
-    for (int index : eval.encoding)
-        os << index << ',';
+    // Seven index columns in every layout (see encodedColumns); the
+    // precision dimension is the trailing label column, present only on
+    // precision-labelled rows so single-precision archives stay
+    // byte-identical to the pre-precision format.
+    for (std::size_t d = 0; d < encodedColumns; ++d)
+        os << eval.encoding[d] << ',';
     os << formatDouble(eval.successRate) << ','
        << formatDouble(eval.npuPowerW) << ','
        << formatDouble(eval.socPowerW) << ','
@@ -355,16 +398,25 @@ writeDseArchiveRow(const dse::Evaluation &eval, std::ostream &os)
        << formatDouble(eval.fps) << ',' << eval.backend << ','
        << dse::fidelityName(eval.fidelity) << ','
        << formatDouble(eval.contentionBytesPerSec) << ','
-       << eval.scenario << ',' << eval.dramKey << '\n';
+       << eval.scenario << ',' << eval.dramKey;
+    if (eval.precision != "-")
+        os << ',' << eval.precision;
+    os << '\n';
 }
 
 void
 writeDseArchive(const std::vector<dse::Evaluation> &archive,
                 std::ostream &os)
 {
-    for (std::size_t i = 0; i < archiveHeader.size(); ++i)
-        os << archiveHeader[i]
-           << (i + 1 == archiveHeader.size() ? "\n" : ",");
+    // Precision-labelled rows select the wider layout; a run labels
+    // either every row or none (the evaluator stamps labels only when
+    // the axis is searchable), so checking the first row suffices.
+    const bool precisionColumn =
+        !archive.empty() && archive.front().precision != "-";
+    const std::vector<std::string> &header =
+        precisionColumn ? precisionArchiveHeader : archiveHeader;
+    for (std::size_t i = 0; i < header.size(); ++i)
+        os << header[i] << (i + 1 == header.size() ? "\n" : ",");
     for (const dse::Evaluation &eval : archive)
         writeDseArchiveRow(eval, os);
 }
@@ -390,6 +442,8 @@ tryReadDseArchive(std::istream &is, ParseDiag &diag)
         width = legacyContentionArchiveHeader.size();
     else if (header == legacyScenarioArchiveHeader)
         width = legacyScenarioArchiveHeader.size();
+    else if (header == precisionArchiveHeader)
+        width = precisionArchiveHeader.size();
     else if (header != archiveHeader) {
         failAt(diag, reader, "unexpected header '" + line + "'");
         return archive;

@@ -81,9 +81,16 @@ airlearning::PolicyDatabase readPolicyDatabase(std::istream &is);
 airlearning::PolicyDatabase tryReadPolicyDatabase(std::istream &is,
                                                   ParseDiag &diag);
 
-/** The current DSE archive CSV column set (backend/fidelity/contention
- * and the mission-mix scenario tag included). */
+/** The default DSE archive CSV column set (backend/fidelity/contention
+ * and the mission-mix scenario tag included) - the layout of every
+ * single-precision run. */
 const std::vector<std::string> &dseArchiveHeader();
+
+/** The precision-axis archive layout: dseArchiveHeader() plus the
+ * trailing operand-precision label column. Written whenever the Phase 2
+ * precision axis is searchable (rows carry "int8"/"fp16"/"fp32"
+ * labels). */
+const std::vector<std::string> &dsePrecisionArchiveHeader();
 
 /**
  * Every archive header this reader family accepts, current layout

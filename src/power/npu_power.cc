@@ -56,10 +56,20 @@ NpuPowerModel::estimateCounts(std::int64_t total_macs,
 
     NpuPowerBreakdown breakdown;
 
+    // MAC energy scales with the configured operand width - before this
+    // the traffic side already charged bytesPerElement while every MAC
+    // was billed at the INT8 constant, silently under-charging any
+    // non-int8 configuration.
     breakdown.peDynamicW = static_cast<double>(total_macs) *
-                           peModel.macEnergyPj() * pj_to_w;
+                           peModel.macEnergyPj(cfg.bytesPerElement) *
+                           pj_to_w;
     breakdown.peLeakageW = peModel.arrayLeakageMw(cfg.peCount()) * 1e-3;
 
+    // SRAM access counts are element counts; the per-access energies are
+    // for one 8-bit word, so wider operands cost proportionally more
+    // (x1 at the int8 default keeps legacy numbers bit-identical).
+    const double sram_width =
+        static_cast<double>(cfg.bytesPerElement);
     double sram_pj = 0.0;
     sram_pj += static_cast<double>(traffic.ifmapSramReads) *
                ifmapSram.readEnergyPj();
@@ -71,7 +81,7 @@ NpuPowerModel::estimateCounts(std::int64_t total_macs,
                ofmapSram.readEnergyPj();
     sram_pj += static_cast<double>(traffic.psumSramWrites) *
                ofmapSram.writeEnergyPj();
-    breakdown.sramDynamicW = sram_pj * pj_to_w;
+    breakdown.sramDynamicW = sram_pj * sram_width * pj_to_w;
 
     breakdown.sramLeakageW =
         (ifmapSram.leakageMw() + filterSram.leakageMw() +

@@ -10,9 +10,23 @@ PeModel::PeModel(const TechnologyNode &node) : tech(node)
 }
 
 double
-PeModel::macEnergyPj() const
+PeModel::precisionEnergyScale(int bytesPerElement)
 {
-    return baseMacPj * tech.dynamicScale;
+    util::fatalIf(bytesPerElement <= 0,
+                  "PeModel: operand width must be positive");
+    // Multiplier energy grows with the square of operand bits: int8 1x,
+    // fp16 4x, fp32 16x.
+    const double widths = static_cast<double>(bytesPerElement);
+    return widths * widths;
+}
+
+double
+PeModel::macEnergyPj(int bytesPerElement) const
+{
+    // bytesPerElement == 1 multiplies by exactly 1.0, reproducing the
+    // pre-precision INT8 energy bit for bit.
+    return baseMacPj * tech.dynamicScale *
+           precisionEnergyScale(bytesPerElement);
 }
 
 double

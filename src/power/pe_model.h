@@ -24,8 +24,19 @@ class PeModel
     /** @param node Process node; defaults to the 28 nm reference. */
     explicit PeModel(const TechnologyNode &node = referenceNode());
 
-    /** Dynamic energy of one INT8 MAC (with operand movement), pJ. */
-    double macEnergyPj() const;
+    /**
+     * Dynamic energy of one MAC (with operand movement), pJ, for the
+     * given operand width. The INT8 reference (1 byte) is the Li et al.
+     * constant; wider operands scale quadratically with width - MAC
+     * array area/switching grows as the square of operand bits (fp16 4x,
+     * fp32 16x), the standard multiplier energy model. The default
+     * reproduces the legacy INT8 number bit for bit (scale factor is
+     * exactly 1.0).
+     */
+    double macEnergyPj(int bytesPerElement = 1) const;
+
+    /** Energy scale factor of an operand width relative to INT8. */
+    static double precisionEnergyScale(int bytesPerElement);
 
     /** Leakage of one PE (MAC + registers + control), milliwatts. */
     double leakagePerPeMw() const;

@@ -15,6 +15,7 @@
 #include "dse/eval_backend.h"
 #include "io/json.h"
 #include "io/persistence.h"
+#include "systolic/config.h"
 #include "uav/uav_spec.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
@@ -314,6 +315,19 @@ parseSubmission(const std::string &id, const std::string &text,
             if (!missionMixFromJson(value, sub.task.spec.missionMix,
                                     error))
                 return false;
+        } else if (key == "precision") {
+            // Comma-separated operand-width list ("int8,fp16,fp32");
+            // more than one width makes precision a searched Phase 2
+            // dimension for this campaign.
+            std::string precisionError;
+            ok = value.isString() &&
+                 systolic::parsePrecisionList(value.asString(),
+                                              sub.task.spec.precisions,
+                                              precisionError);
+            if (value.isString() && !ok) {
+                error = "bad value for 'precision': " + precisionError;
+                return false;
+            }
         } else {
             error = "unknown key '" + key + "'";
             return false;

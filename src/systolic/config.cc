@@ -44,7 +44,7 @@ HardwareSpace::cardinality() const
     const auto sram = static_cast<std::int64_t>(sramKbChoices.size());
     return static_cast<std::int64_t>(peRowChoices.size()) *
            static_cast<std::int64_t>(peColChoices.size()) * sram * sram *
-           sram;
+           sram * static_cast<std::int64_t>(bytesPerElementChoices.size());
 }
 
 bool
@@ -58,7 +58,96 @@ HardwareSpace::contains(const AcceleratorConfig &config) const
            has(peColChoices, config.peCols) &&
            has(sramKbChoices, config.ifmapSramKb) &&
            has(sramKbChoices, config.filterSramKb) &&
-           has(sramKbChoices, config.ofmapSramKb);
+           has(sramKbChoices, config.ofmapSramKb) &&
+           has(bytesPerElementChoices, config.bytesPerElement);
+}
+
+std::string
+precisionName(int bytesPerElement)
+{
+    switch (bytesPerElement) {
+    case 1:
+        return "int8";
+    case 2:
+        return "fp16";
+    case 4:
+        return "fp32";
+    default:
+        util::fatal("precisionName: unsupported operand width " +
+                    std::to_string(bytesPerElement) +
+                    " bytes (want 1, 2 or 4)");
+    }
+}
+
+bool
+precisionFromName(const std::string &name, int &bytesPerElement)
+{
+    if (name == "int8") {
+        bytesPerElement = 1;
+    } else if (name == "fp16") {
+        bytesPerElement = 2;
+    } else if (name == "fp32") {
+        bytesPerElement = 4;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool
+parsePrecisionList(const std::string &text,
+                   std::vector<int> &bytesPerElement, std::string &error)
+{
+    std::vector<int> parsed;
+    std::string token;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        token = text.substr(start, comma == std::string::npos
+                                       ? std::string::npos
+                                       : comma - start);
+        // Trim surrounding whitespace so "int8, fp16" parses.
+        while (!token.empty() &&
+               std::isspace(static_cast<unsigned char>(token.front())))
+            token.erase(token.begin());
+        while (!token.empty() &&
+               std::isspace(static_cast<unsigned char>(token.back())))
+            token.pop_back();
+        int width = 0;
+        if (!precisionFromName(token, width)) {
+            error = "unknown precision '" + token +
+                    "' (want int8|fp16|fp32)";
+            return false;
+        }
+        if (std::find(parsed.begin(), parsed.end(), width) !=
+            parsed.end()) {
+            error = "duplicate precision '" + token + "'";
+            return false;
+        }
+        parsed.push_back(width);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (parsed.empty()) {
+        error = "empty precision list";
+        return false;
+    }
+    std::sort(parsed.begin(), parsed.end());
+    bytesPerElement = std::move(parsed);
+    return true;
+}
+
+std::string
+formatPrecisionList(const std::vector<int> &bytesPerElement)
+{
+    std::string out;
+    for (const int width : bytesPerElement) {
+        if (!out.empty())
+            out += '+';
+        out += precisionName(width);
+    }
+    return out;
 }
 
 } // namespace autopilot::systolic

@@ -59,7 +59,10 @@ struct AcceleratorConfig
 
 /**
  * The hardware design space of Table II: PE rows/columns in
- * {8,...,1024}, scratchpad sizes in {32KB,...,4096KB}.
+ * {8,...,1024}, scratchpad sizes in {32KB,...,4096KB}. The precision
+ * axis (operand bytes per element) defaults to the single int8 choice,
+ * which keeps legacy 7-dimension searches bit-identical; widening it to
+ * {1,2,4} turns inference precision into an 8th search dimension.
  */
 struct HardwareSpace
 {
@@ -67,13 +70,36 @@ struct HardwareSpace
     std::vector<int> peColChoices = {8, 16, 32, 64, 128, 256, 512, 1024};
     std::vector<int> sramKbChoices = {32, 64, 128, 256, 512, 1024, 2048,
                                       4096};
+    std::vector<int> bytesPerElementChoices = {1};
 
-    /** Number of distinct configurations (PE rows x cols x 3 SRAMs). */
+    /** Number of distinct configurations (PEs x SRAMs x precisions). */
     std::int64_t cardinality() const;
 
-    /** True when @p config uses only legal choice values. */
+    /** True when @p config uses only legal choice values (including
+     *  bytesPerElement: an out-of-space precision is rejected here the
+     *  same way DesignSpace::encode rejects it with a fatal). */
     bool contains(const AcceleratorConfig &config) const;
 };
+
+/** Canonical label for an operand width: 1 -> "int8", 2 -> "fp16",
+ *  4 -> "fp32". Aborts via fatal() on any other width. */
+std::string precisionName(int bytesPerElement);
+
+/** Inverse of precisionName. Returns false on an unknown label. */
+bool precisionFromName(const std::string &name, int &bytesPerElement);
+
+/**
+ * Parse a comma-separated precision list ("int8,fp16,fp32") into
+ * ascending operand widths. Rejects empty lists, unknown labels and
+ * duplicates with a diagnosis in @p error.
+ */
+bool parsePrecisionList(const std::string &text,
+                        std::vector<int> &bytesPerElement,
+                        std::string &error);
+
+/** Stable text form of a precision list, e.g. "int8+fp16+fp32"; used
+ *  by task fingerprints and telemetry labels. */
+std::string formatPrecisionList(const std::vector<int> &bytesPerElement);
 
 } // namespace autopilot::systolic
 

@@ -287,7 +287,10 @@ madeEvaluation(int seedIndex, dse::Fidelity fidelity,
 {
     const dse::DesignSpace space;
     dse::Evaluation eval;
-    for (std::size_t d = 0; d < dse::designDims; ++d)
+    // Vary only the seven classic dimensions: the precision dim has a
+    // single choice in the default space, so any non-zero index there
+    // would be out of range.
+    for (std::size_t d = 0; d < dse::precisionDim; ++d)
         eval.encoding[d] = seedIndex % 2;
     eval.point = space.decode(eval.encoding);
     eval.successRate = 0.5 + 0.1 * seedIndex;
@@ -579,20 +582,76 @@ TEST(Persistence, TryReadDseArchiveDiagnosesEmptyDramTag)
         << diag.reason;
 }
 
+TEST(Persistence, PrecisionColumnRoundTrips)
+{
+    // An archive whose first row carries a precision label is written
+    // in the precision layout; the label restores the operand width on
+    // read (the seven encoding columns stay precision-agnostic).
+    dse::Evaluation eval =
+        madeEvaluation(1, dse::Fidelity::Analytical, "quantized");
+    eval.precision = "fp16";
+    eval.point.accel.bytesPerElement = 2;
+    std::stringstream buffer;
+    io::writeDseArchive({eval}, buffer);
+    EXPECT_NE(buffer.str().find(",precision\n"), std::string::npos);
+    const auto restored = io::readDseArchive(buffer);
+    ASSERT_EQ(restored.size(), 1u);
+    EXPECT_EQ(restored[0].precision, "fp16");
+    EXPECT_EQ(restored[0].point.accel.bytesPerElement, 2);
+    EXPECT_EQ(restored[0].backend, "quantized");
+}
+
+TEST(Persistence, DefaultArchiveOmitsPrecisionColumn)
+{
+    // Single-precision rows (precision "-") must keep writing the
+    // legacy layout so pre-precision archives stay byte-identical.
+    std::stringstream buffer;
+    io::writeDseArchive(
+        {madeEvaluation(0, dse::Fidelity::Analytical, "analytical")},
+        buffer);
+    EXPECT_EQ(buffer.str().find("precision"), std::string::npos);
+    const auto restored = io::readDseArchive(buffer);
+    ASSERT_EQ(restored.size(), 1u);
+    EXPECT_EQ(restored[0].precision, "-");
+    EXPECT_EQ(restored[0].point.accel.bytesPerElement, 1);
+}
+
+TEST(Persistence, TryReadDseArchiveDiagnosesUnknownPrecision)
+{
+    dse::Evaluation eval =
+        madeEvaluation(0, dse::Fidelity::Analytical, "quantized");
+    eval.precision = "int8";
+    std::stringstream buffer;
+    io::writeDseArchive({eval}, buffer);
+    std::string corrupt = buffer.str();
+    corrupt += "0,1,0,1,0,1,0,0.5,1,2,3,4,quantized,analytical,0,-,-,"
+               "int9\n";
+    std::istringstream is(corrupt);
+    io::ParseDiag diag;
+    const auto restored = io::tryReadDseArchive(is, diag);
+    EXPECT_EQ(restored.size(), 1u);
+    EXPECT_FALSE(diag.ok);
+    EXPECT_NE(diag.reason.find("precision"), std::string::npos)
+        << diag.reason;
+}
+
 TEST(Persistence, AcceptedHeadersCoverCurrentAndLegacyLayouts)
 {
     const auto &headers = io::dseArchiveAcceptedHeaders();
-    ASSERT_EQ(headers.size(), 5u);
-    EXPECT_EQ(headers.front(), io::dseArchiveHeader());
-    EXPECT_EQ(headers.front().back(), "dram");
+    ASSERT_EQ(headers.size(), 6u);
+    EXPECT_EQ(headers.front(), io::dsePrecisionArchiveHeader());
+    EXPECT_EQ(headers.front().back(), "precision");
     // Each legacy layout drops exactly the trailing columns the newer
-    // ones appended: dram, then scenario, then contention, then
-    // backend/fidelity.
-    EXPECT_EQ(headers[1].back(), "scenario");
+    // ones appended: precision, then dram, then scenario, then
+    // contention, then backend/fidelity.
+    EXPECT_EQ(headers[1], io::dseArchiveHeader());
+    EXPECT_EQ(headers[1].back(), "dram");
     EXPECT_EQ(headers[1].size(), headers.front().size() - 1);
-    EXPECT_EQ(headers[2].back(), "contention_bps");
+    EXPECT_EQ(headers[2].back(), "scenario");
     EXPECT_EQ(headers[2].size(), headers[1].size() - 1);
-    EXPECT_EQ(headers[3].back(), "fidelity");
+    EXPECT_EQ(headers[3].back(), "contention_bps");
+    EXPECT_EQ(headers[3].size(), headers[2].size() - 1);
+    EXPECT_EQ(headers[4].back(), "fidelity");
     EXPECT_EQ(headers.back().size(), 12u);
 }
 

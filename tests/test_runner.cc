@@ -145,7 +145,9 @@ madeBatch(int offset)
     std::vector<dse::Evaluation> batch;
     for (int k = 0; k < 2; ++k) {
         dse::Evaluation eval;
-        for (std::size_t d = 0; d < dse::designDims; ++d)
+        // The default space pins the precision dim to one choice, so
+        // only the seven classic dimensions can take index 1.
+        for (std::size_t d = 0; d < dse::precisionDim; ++d)
             eval.encoding[d] = (offset + k) % 2;
         eval.point = space.decode(eval.encoding);
         eval.successRate = 0.25 * (k + 1);
